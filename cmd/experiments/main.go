@@ -1,0 +1,121 @@
+// Command experiments regenerates the paper's evaluation artifacts
+// (Section V): the full-join estimator baseline, Figures 2–5, Tables I
+// and II, and the performance numbers from Section V-D.
+//
+// Usage:
+//
+//	experiments [-run all|fulljoin|fig2|fig3|fig4|fig5|table1|table2|perf|ablation|convergence|smoothing]
+//	            [-trials N] [-rows N] [-sketch N] [-pairs N] [-seed N]
+//
+// Output is written to stdout as fixed-width tables; the series the
+// paper plots appear as binned true-MI vs mean-estimate columns. Expect
+// the full run to take a few minutes at the default scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"misketch/internal/exp"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "which experiment to run: all, fulljoin, fig2, fig3, fig4, fig5, table1, table2, perf, ablation, convergence, smoothing")
+		trials = flag.Int("trials", 40, "datasets per configuration cell (synthetic experiments)")
+		rows   = flag.Int("rows", 10000, "rows per synthetic dataset (the paper uses 10k)")
+		sketch = flag.Int("sketch", 256, "sketch size n for synthetic experiments (the paper uses 256)")
+		pairs  = flag.Int("pairs", 60, "table pairs per collection (corpus experiments)")
+		seed   = flag.Int64("seed", 1, "random seed; equal seeds reproduce runs exactly")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Seed: *seed, Trials: *trials, Rows: *rows, SketchSize: *sketch}
+	w := os.Stdout
+
+	want := func(name string) bool { return *run == "all" || strings.EqualFold(*run, name) }
+	ran := false
+
+	if want("fulljoin") {
+		ran = true
+		rs, err := exp.RunFullJoin(cfg)
+		die(err)
+		exp.WriteFullJoin(w, rs)
+	}
+	if want("fig2") {
+		ran = true
+		r, err := exp.RunFig2(cfg)
+		die(err)
+		r.Write(w)
+	}
+	if want("fig3") {
+		ran = true
+		r, err := exp.RunFig3(cfg)
+		die(err)
+		r.Write(w)
+	}
+	if want("fig4") {
+		ran = true
+		r, err := exp.RunFig4(cfg)
+		die(err)
+		r.Write(w)
+	}
+	if want("table1") {
+		ran = true
+		rs, err := exp.RunTable1(cfg)
+		die(err)
+		exp.WriteTable1(w, rs)
+	}
+	if want("table2") || want("fig5") {
+		ran = true
+		// The paper's real-data experiments use n = 1024.
+		corpusCfg := cfg
+		corpusCfg.SketchSize = 1024
+		res, err := exp.RunTable2(corpusCfg, *pairs)
+		die(err)
+		if want("table2") {
+			res.Write(w)
+		}
+		if want("fig5") {
+			exp.WriteFig5(w, exp.RunFig5(res.Records["WBF"]))
+		}
+	}
+	if want("perf") {
+		ran = true
+		rs, err := exp.RunPerf(cfg)
+		die(err)
+		exp.WritePerf(w, rs)
+	}
+	if want("ablation") {
+		ran = true
+		rs, err := exp.RunCandSizeAblation(cfg)
+		die(err)
+		exp.WriteAblation(w, rs)
+	}
+	if want("convergence") {
+		ran = true
+		r, err := exp.RunConvergence(cfg)
+		die(err)
+		r.Write(w)
+	}
+	if want("smoothing") {
+		ran = true
+		r, err := exp.RunSmoothing(cfg, 1)
+		die(err)
+		r.Write(w)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,292 @@
+// Command misketch estimates mutual information between columns of CSV
+// tables across a (virtual) join, using the TUPSK sketches from the
+// paper. It supports one-shot estimation between two tables and ranking
+// a directory of candidate tables against a base table.
+//
+// Estimate MI between taxi.csv#num_trips and weather.csv#temp joined on
+// their date columns, without materializing the join:
+//
+//	misketch estimate -train taxi.csv -train-key date -target num_trips \
+//	                  -cand weather.csv -cand-key date -feature temp -agg avg
+//
+// Rank every column of every CSV file in ./candidates/ by estimated MI
+// with the target:
+//
+//	misketch rank -train taxi.csv -train-key date -target num_trips ./candidates
+//
+// Compare the sketch estimate against the exact full-join computation:
+//
+//	misketch estimate -full ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"misketch"
+	"misketch/internal/table"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "estimate":
+		runEstimate(os.Args[2:])
+	case "rank":
+		runRank(os.Args[2:])
+	case "sketch":
+		runSketch(os.Args[2:])
+	case "store-rank":
+		runStoreRank(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  misketch estimate   -train FILE -train-key COL -target COL -cand FILE -cand-key COL -feature COL [flags]
+  misketch rank       -train FILE -train-key COL -target COL [flags] CANDIDATE_DIR
+  misketch sketch     -store DIR -key COL [flags] CSV_FILE...        (ingest: sketch every column)
+  misketch store-rank -store DIR -train FILE -train-key COL -target COL [flags]`)
+}
+
+// commonFlags registers the flags shared by both subcommands.
+func commonFlags(fs *flag.FlagSet) (train, trainKey, target *string, size *int, agg *string, seed *uint) {
+	train = fs.String("train", "", "base table CSV file")
+	trainKey = fs.String("train-key", "", "join-key column of the base table")
+	target = fs.String("target", "", "target column of the base table")
+	size = fs.Int("sketch", misketch.DefaultSketchSize, "sketch size n")
+	agg = fs.String("agg", "first", "aggregation for repeated candidate keys: avg|sum|count|min|max|mode|first|median")
+	seed = fs.Uint("seed", 0, "hash seed (0 = default); both sketches must share it")
+	return
+}
+
+func buildTrainSketch(train, trainKey, target string, size int, seed uint) *misketch.Sketch {
+	tb, err := misketch.ReadCSVFile(train)
+	die(err)
+	s, err := misketch.SketchTrain(tb, trainKey, target, misketch.Options{
+		Size: size, Seed: uint32(seed),
+	})
+	die(err)
+	return s
+}
+
+func runEstimate(args []string) {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	train, trainKey, target, size, agg, seed := commonFlags(fs)
+	cand := fs.String("cand", "", "candidate table CSV file")
+	candKey := fs.String("cand-key", "", "join-key column of the candidate table")
+	feature := fs.String("feature", "", "feature column of the candidate table")
+	full := fs.Bool("full", false, "also compute the exact full-join MI for comparison")
+	ci := fs.Bool("ci", false, "attach a 95% subsampling confidence interval to the sketch estimate")
+	die(fs.Parse(args))
+	requireFlags(map[string]string{
+		"train": *train, "train-key": *trainKey, "target": *target,
+		"cand": *cand, "cand-key": *candKey, "feature": *feature,
+	})
+
+	st := buildTrainSketch(*train, *trainKey, *target, *size, *seed)
+	candTable, err := misketch.ReadCSVFile(*cand)
+	die(err)
+	sc, err := misketch.SketchCandidate(candTable, *candKey, *feature, misketch.Options{
+		Size: *size, Seed: uint32(*seed), Agg: misketch.AggFunc(*agg),
+	})
+	die(err)
+	res, err := misketch.EstimateMI(st, sc)
+	die(err)
+	fmt.Printf("sketch MI estimate: %.4f nats (estimator %s, sketch join size %d)\n",
+		res.MI, res.Estimator, res.N)
+	if *ci {
+		_, interval, err := misketch.EstimateMIWithCI(st, sc, 100, 0.95, 1)
+		die(err)
+		fmt.Printf("95%% confidence:     [%.4f, %.4f]\n", interval.Lo, interval.Hi)
+	}
+	if *full {
+		trainTable, err := misketch.ReadCSVFile(*train)
+		die(err)
+		fr, err := misketch.FullJoinMI(trainTable, *trainKey, *target,
+			candTable, *candKey, *feature, misketch.AggFunc(*agg))
+		die(err)
+		fmt.Printf("full-join MI:       %.4f nats (estimator %s, join size %d)\n",
+			fr.MI, fr.Estimator, fr.N)
+	}
+}
+
+func runRank(args []string) {
+	fs := flag.NewFlagSet("rank", flag.ExitOnError)
+	train, trainKey, target, size, agg, seed := commonFlags(fs)
+	candKey := fs.String("cand-key", "", "join-key column of candidates (default: same name as -train-key)")
+	minJoin := fs.Int("min-join", 100, "drop candidates whose sketch join has at most this many samples")
+	top := fs.Int("top", 20, "show the top-K candidates")
+	die(fs.Parse(args))
+	requireFlags(map[string]string{"train": *train, "train-key": *trainKey, "target": *target})
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "rank: exactly one candidate directory required")
+		os.Exit(2)
+	}
+	dir := fs.Arg(0)
+	key := *candKey
+	if key == "" {
+		key = *trainKey
+	}
+
+	st := buildTrainSketch(*train, *trainKey, *target, *size, *seed)
+
+	paths, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	die(err)
+	sort.Strings(paths)
+	var cands []misketch.Candidate
+	for _, p := range paths {
+		tb, err := misketch.ReadCSVFile(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %s: %v\n", p, err)
+			continue
+		}
+		if tb.Column(key) == nil {
+			continue // not joinable on this key
+		}
+		for _, col := range tb.Columns() {
+			if col.Name == key {
+				continue
+			}
+			s, err := misketch.SketchCandidate(tb, key, col.Name, misketch.Options{
+				Size: *size, Seed: uint32(*seed), Agg: pickAgg(misketch.AggFunc(*agg), col),
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "skipping %s#%s: %v\n", p, col.Name, err)
+				continue
+			}
+			cands = append(cands, misketch.Candidate{
+				Name:   fmt.Sprintf("%s#%s", filepath.Base(p), col.Name),
+				Sketch: s,
+			})
+		}
+	}
+	if len(cands) == 0 {
+		fmt.Fprintf(os.Stderr, "no joinable candidate columns found in %s (key %q)\n", dir, key)
+		os.Exit(1)
+	}
+	ranked, err := misketch.Rank(st, cands, *minJoin)
+	die(err)
+	fmt.Printf("%-40s %10s %10s %10s\n", "candidate", "MI (nats)", "estimator", "join size")
+	for i, r := range ranked {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("%-40s %10.4f %10s %10d\n", r.Name, r.MI, r.Estimator, r.JoinSize)
+	}
+	fmt.Printf("(%d candidates evaluated, %d passed the min-join filter; rank within one estimator family)\n",
+		len(cands), len(ranked))
+}
+
+// pickAgg falls back to MODE for string columns when the requested
+// aggregate needs numeric input.
+func pickAgg(requested misketch.AggFunc, col *misketch.Column) misketch.AggFunc {
+	if _, ok := requested.OutputKind(col.Kind); ok {
+		return requested
+	}
+	if col.Kind == table.KindString {
+		return misketch.AggMode
+	}
+	return misketch.AggFirst
+}
+
+func requireFlags(vals map[string]string) {
+	for name, v := range vals {
+		if v == "" {
+			fmt.Fprintf(os.Stderr, "missing required flag -%s\n", name)
+			os.Exit(2)
+		}
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misketch:", err)
+		os.Exit(1)
+	}
+}
+
+// runSketch ingests CSV files into a sketch store: every non-key column
+// of every file gets a candidate sketch persisted under "file#column".
+func runSketch(args []string) {
+	fs := flag.NewFlagSet("sketch", flag.ExitOnError)
+	storeDir := fs.String("store", "", "sketch store directory")
+	key := fs.String("key", "", "join-key column name (must exist in each file)")
+	size := fs.Int("sketch", misketch.DefaultSketchSize, "sketch size n")
+	agg := fs.String("agg", "first", "aggregation for repeated keys")
+	seed := fs.Uint("seed", 0, "hash seed (0 = default)")
+	die(fs.Parse(args))
+	requireFlags(map[string]string{"store": *storeDir, "key": *key})
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "sketch: at least one CSV file required")
+		os.Exit(2)
+	}
+	st, err := misketch.OpenStore(*storeDir)
+	die(err)
+	total := 0
+	for _, path := range fs.Args() {
+		tb, err := misketch.ReadCSVFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %s: %v\n", path, err)
+			continue
+		}
+		if tb.Column(*key) == nil {
+			fmt.Fprintf(os.Stderr, "skipping %s: no column %q\n", path, *key)
+			continue
+		}
+		for _, col := range tb.Columns() {
+			if col.Name == *key {
+				continue
+			}
+			sk, err := misketch.SketchCandidate(tb, *key, col.Name, misketch.Options{
+				Size: *size, Seed: uint32(*seed),
+				Agg: pickAgg(misketch.AggFunc(*agg), col),
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "skipping %s#%s: %v\n", path, col.Name, err)
+				continue
+			}
+			name := fmt.Sprintf("%s#%s@%s", filepath.Base(path), col.Name, *key)
+			die(st.Put(name, sk))
+			total++
+		}
+	}
+	fmt.Printf("ingested %d sketches into %s\n", total, *storeDir)
+}
+
+// runStoreRank answers a discovery query against a sketch store.
+func runStoreRank(args []string) {
+	fs := flag.NewFlagSet("store-rank", flag.ExitOnError)
+	storeDir := fs.String("store", "", "sketch store directory")
+	train, trainKey, target, size, _, seed := commonFlags(fs)
+	minJoin := fs.Int("min-join", 100, "drop candidates whose sketch join has at most this many samples")
+	top := fs.Int("top", 20, "show the top-K candidates")
+	prefix := fs.String("prefix", "", "only rank stored sketches whose name has this prefix")
+	die(fs.Parse(args))
+	requireFlags(map[string]string{"store": *storeDir, "train": *train, "train-key": *trainKey, "target": *target})
+
+	st := buildTrainSketch(*train, *trainKey, *target, *size, *seed)
+	sketches, err := misketch.OpenStore(*storeDir)
+	die(err)
+	ranked, skipped, err := sketches.Rank(st, *prefix, *minJoin, misketch.DefaultK)
+	die(err)
+	fmt.Printf("%-44s %10s %10s %10s\n", "candidate", "MI (nats)", "estimator", "join size")
+	for i, r := range ranked {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("%-44s %10.4f %10s %10d\n", r.Name, r.MI, r.Estimator, r.JoinSize)
+	}
+	if len(skipped) > 0 {
+		fmt.Printf("(%d sketches skipped: incompatible seed or role)\n", len(skipped))
+	}
+}

@@ -1,0 +1,82 @@
+// Augmentation featurization: how the choice of aggregation function AGG
+// changes what a joined feature can tell you (Section III-B, Example 2).
+// A candidate table holds hourly events per store; the base table's
+// target depends on the *count* of daily events, not their values. Only
+// COUNT featurization surfaces the dependence — AVG looks uninformative.
+//
+// Run with: go run ./examples/augmentation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"misketch"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	const stores = 1200
+
+	// Hidden truth: each store has a daily event rate; the target is
+	// driven by that rate (i.e., by how often events occur).
+	rate := make([]int, stores)
+	for s := range rate {
+		rate[s] = 1 + rng.Intn(12)
+	}
+
+	// Base table: one row per store with the target metric.
+	var keys []string
+	var target []float64
+	for s := 0; s < stores; s++ {
+		keys = append(keys, fmt.Sprintf("store-%04d", s))
+		target = append(target, float64(rate[s])*2+rng.NormFloat64())
+	}
+	base := misketch.NewTable(
+		misketch.NewStringColumn("store", keys),
+		misketch.NewFloatColumn("weekly_sales", target),
+	)
+
+	// Candidate table: event log with repeated keys — rate[s] rows per
+	// store — whose recorded values are pure noise.
+	var eKeys []string
+	var eVals []float64
+	for s := 0; s < stores; s++ {
+		for r := 0; r < rate[s]; r++ {
+			eKeys = append(eKeys, fmt.Sprintf("store-%04d", s))
+			eVals = append(eVals, rng.NormFloat64()) // uninformative values
+		}
+	}
+	events := misketch.NewTable(
+		misketch.NewStringColumn("store", eKeys),
+		misketch.NewFloatColumn("event_value", eVals),
+	)
+
+	st, err := misketch.SketchTrain(base, "store", "weekly_sales", misketch.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("candidate feature: events.event_value, joined on store")
+	fmt.Printf("%-8s %12s %12s\n", "AGG", "sketch MI", "full-join MI")
+	for _, agg := range []misketch.AggFunc{misketch.AggAvg, misketch.AggFirst, misketch.AggCount} {
+		sc, err := misketch.SketchCandidate(events, "store", "event_value", misketch.Options{Agg: agg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := misketch.EstimateMI(st, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		full, err := misketch.FullJoinMI(base, "store", "weekly_sales",
+			events, "store", "event_value", agg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %12.3f %12.3f\n", agg, res.MI, full.MI)
+	}
+	fmt.Println("\nCOUNT exposes the dependence hiding in the key-frequency distribution;")
+	fmt.Println("AVG and FIRST see only the noise values. In practice, generate multiple")
+	fmt.Println("augmentation columns with different AGGs and rank them all (Section III-B).")
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Sketches are built in an offline preprocessing stage (Section IV) and
+// persisted alongside the dataset catalog; discovery queries then operate
+// on stored sketches alone. This file implements a compact, versioned
+// binary format for that storage.
+//
+// Layout (little-endian, varint = unsigned LEB128):
+//
+//	magic "MISK" | version u8 | method str | role u8 | seed u32 |
+//	size varint | numeric u8 | sourceRows varint | count varint |
+//	keyHashes u32×count | values (f64 bits or str)×count
+//
+// str = varint length + raw bytes.
+
+const (
+	sketchMagic   = "MISK"
+	sketchVersion = 1
+)
+
+// WriteTo serializes the sketch. It implements io.WriterTo.
+func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
+	bw := &countingWriter{w: bufio.NewWriter(w)}
+	bw.bytes([]byte(sketchMagic))
+	bw.u8(sketchVersion)
+	bw.str(string(s.Method))
+	bw.u8(uint8(s.Role))
+	bw.u32(s.Seed)
+	bw.uvarint(uint64(s.Size))
+	if s.Numeric {
+		bw.u8(1)
+	} else {
+		bw.u8(0)
+	}
+	bw.uvarint(uint64(s.SourceRows))
+	bw.uvarint(uint64(s.Len()))
+	for _, hk := range s.KeyHashes {
+		bw.u32(hk)
+	}
+	if s.Numeric {
+		for _, v := range s.Nums {
+			bw.u64(math.Float64bits(v))
+		}
+	} else {
+		for _, v := range s.Strs {
+			bw.str(v)
+		}
+	}
+	if bw.err == nil {
+		bw.err = bw.w.(*bufio.Writer).Flush()
+	}
+	return bw.n, bw.err
+}
+
+// ReadSketch deserializes a sketch written by WriteTo.
+func ReadSketch(r io.Reader) (*Sketch, error) {
+	br := &reader{r: bufio.NewReader(r)}
+	magic := br.bytes(4)
+	if br.err != nil {
+		return nil, fmt.Errorf("core: reading sketch header: %w", br.err)
+	}
+	if string(magic) != sketchMagic {
+		return nil, fmt.Errorf("core: bad sketch magic %q", magic)
+	}
+	version := br.u8()
+	if version != sketchVersion {
+		return nil, fmt.Errorf("core: unsupported sketch version %d", version)
+	}
+	s := &Sketch{}
+	s.Method = Method(br.str())
+	s.Role = Role(br.u8())
+	s.Seed = br.u32()
+	s.Size = int(br.uvarint())
+	s.Numeric = br.u8() == 1
+	s.SourceRows = int(br.uvarint())
+	count := br.uvarint()
+	if br.err != nil {
+		return nil, fmt.Errorf("core: reading sketch metadata: %w", br.err)
+	}
+	const maxEntries = 1 << 28 // refuse absurd counts from corrupt input
+	if count > maxEntries {
+		return nil, fmt.Errorf("core: sketch claims %d entries", count)
+	}
+	switch s.Method {
+	case TUPSK, LV2SK, PRISK, INDSK, CSK:
+	default:
+		return nil, fmt.Errorf("core: unknown method %q in sketch", s.Method)
+	}
+	s.KeyHashes = make([]uint32, count)
+	for i := range s.KeyHashes {
+		s.KeyHashes[i] = br.u32()
+	}
+	if s.Numeric {
+		s.Nums = make([]float64, count)
+		for i := range s.Nums {
+			s.Nums[i] = math.Float64frombits(br.u64())
+		}
+	} else {
+		s.Strs = make([]string, count)
+		for i := range s.Strs {
+			s.Strs[i] = br.str()
+		}
+	}
+	if br.err != nil {
+		return nil, fmt.Errorf("core: reading sketch body: %w", br.err)
+	}
+	return s, nil
+}
+
+// countingWriter tracks bytes written and the first error.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) bytes(b []byte) {
+	if c.err != nil {
+		return
+	}
+	n, err := c.w.Write(b)
+	c.n += int64(n)
+	c.err = err
+}
+
+func (c *countingWriter) u8(v uint8) { c.bytes([]byte{v}) }
+func (c *countingWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	c.bytes(b[:])
+}
+func (c *countingWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	c.bytes(b[:])
+}
+func (c *countingWriter) uvarint(v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	c.bytes(b[:binary.PutUvarint(b[:], v)])
+}
+func (c *countingWriter) str(s string) {
+	c.uvarint(uint64(len(s)))
+	c.bytes([]byte(s))
+}
+
+// reader tracks the first error across reads.
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	_, r.err = io.ReadFull(r.r, b)
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.bytes(1)
+	if r.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	b := r.bytes(4)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.bytes(8)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.r)
+	r.err = err
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > 1<<24 {
+		r.err = fmt.Errorf("string of %d bytes", n)
+		return ""
+	}
+	return string(r.bytes(int(n)))
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadSketch hardens the sketch decoder against corrupt and
+// adversarial input: it must never panic or allocate absurdly, and any
+// sketch it accepts must round-trip to identical bytes.
+func FuzzReadSketch(f *testing.F) {
+	// Seed with a valid sketch and a few mutations.
+	valid := &Sketch{
+		Method: TUPSK, Role: RoleTrain, Seed: 7, Size: 4, Numeric: true,
+		SourceRows: 2, KeyHashes: []uint32{1, 2}, Nums: []float64{1.5, -3},
+	}
+	var buf bytes.Buffer
+	if _, err := valid.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	catSketch := &Sketch{
+		Method: CSK, Role: RoleCandidate, Seed: 1, Size: 2, Numeric: false,
+		SourceRows: 1, KeyHashes: []uint32{9}, Strs: []string{"label"},
+	}
+	buf.Reset()
+	if _, err := catSketch.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("MISK"))
+	f.Add([]byte("MISK\x01\x05TUPSK"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSketch(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted sketches must be well formed...
+		want := len(s.KeyHashes)
+		if s.Numeric && len(s.Nums) != want {
+			t.Fatalf("numeric sketch with %d hashes, %d values", want, len(s.Nums))
+		}
+		if !s.Numeric && len(s.Strs) != want {
+			t.Fatalf("categorical sketch with %d hashes, %d values", want, len(s.Strs))
+		}
+		// ...and re-encode deterministically.
+		var out1, out2 bytes.Buffer
+		if _, err := s.WriteTo(&out1); err != nil {
+			t.Fatalf("re-encoding accepted sketch: %v", err)
+		}
+		if _, err := s.WriteTo(&out2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+			t.Fatal("encoding is nondeterministic")
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"misketch/internal/table"
+)
+
+// TestSketchJoinIsSubsetOfFullJoin verifies the defining invariant of
+// every sketching method: the pairs recovered by joining two sketches are
+// a subset (as a multiset, per pair value) of the pairs in the fully
+// materialized augmentation join. A violation would mean the sketch join
+// matched rows the real join never produces.
+func TestSketchJoinIsSubsetOfFullJoin(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 200 + rng.Intn(800)
+		nKeys := 5 + rng.Intn(100)
+		keys := make([]string, rows)
+		ys := make([]float64, rows)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("k%d", rng.Intn(nKeys))
+			ys[i] = float64(rng.Intn(20))
+		}
+		train := makeTrainTable(keys, ys)
+		// Candidate covers a random subset of the keys, with repeats.
+		candRows := 50 + rng.Intn(300)
+		candKeys := make([]string, candRows)
+		candXs := make([]float64, candRows)
+		for i := range candKeys {
+			candKeys[i] = fmt.Sprintf("k%d", rng.Intn(nKeys*3/2)) // partial overlap
+			candXs[i] = float64(rng.Intn(10))
+		}
+		cand := makeCandTable(candKeys, candXs)
+
+		full, err := table.AugmentationJoin(train, "k", cand, "k", "x", table.AggFirst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := map[[2]float64]int{}
+		fy := full.MustColumn("y").Num
+		fx := full.MustColumn("x").Num
+		for i := range fy {
+			truth[[2]float64{fy[i], fx[i]}]++
+		}
+
+		for _, m := range Methods {
+			opt := Options{Method: m, Size: 64, RNGSeed: seed, Agg: table.AggFirst}
+			st, err := Build(train, "k", "y", RoleTrain, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := Build(cand, "k", "x", RoleCandidate, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			js, err := Join(st, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := map[[2]float64]int{}
+			for i := 0; i < js.Size; i++ {
+				counts[[2]float64{js.Y.Num[i], js.X.Num[i]}]++
+			}
+			for pair, n := range counts {
+				if truth[pair] < n {
+					t.Errorf("seed %d, %s: pair %v appears %d times in sketch join, %d in full join",
+						seed, m, pair, n, truth[pair])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSketchJoinSizeNeverExceedsTrainSketch checks the structural bound:
+// the candidate side is unique-keyed, so the join can match each train
+// entry at most once.
+func TestSketchJoinSizeNeverExceedsTrainSketch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 100 + rng.Intn(500)
+		keys := make([]string, rows)
+		ys := make([]float64, rows)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("k%d", rng.Intn(50))
+			ys[i] = rng.NormFloat64()
+		}
+		train := makeTrainTable(keys, ys)
+		cand := makeCandTable(keys, ys)
+		for _, m := range Methods {
+			opt := Options{Method: m, Size: 32, RNGSeed: seed}
+			st, err := Build(train, "k", "y", RoleTrain, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := Build(cand, "k", "x", RoleCandidate, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			js, err := Join(st, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if js.Size > st.Len() {
+				t.Errorf("%s: join %d exceeds train sketch %d", m, js.Size, st.Len())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"misketch/internal/mi"
+	"misketch/internal/table"
+)
+
+// sketchEntries collects a sketch's entries as (keyHash, value) pairs for
+// order-insensitive comparison.
+func sketchEntries(s *Sketch) map[string]int {
+	out := map[string]int{}
+	for i, hk := range s.KeyHashes {
+		var v string
+		if s.Numeric {
+			v = fmt.Sprintf("%g", s.Nums[i])
+		} else {
+			v = s.Strs[i]
+		}
+		out[fmt.Sprintf("%d|%s", hk, v)]++
+	}
+	return out
+}
+
+func entriesEqual(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func skewedTrainTable(rows int, rng *rand.Rand) *table.Table {
+	keys := make([]string, rows)
+	ys := make([]float64, rows)
+	for i := range keys {
+		// Zipf-ish: a few heavy keys, many light ones.
+		g := int(math.Floor(math.Pow(rng.Float64(), 2) * 300))
+		keys[i] = fmt.Sprintf("k%d", g)
+		ys[i] = float64(g%7) + 0.1*rng.NormFloat64()
+	}
+	return makeTrainTable(keys, ys)
+}
+
+func TestStreamingTUPSKBitIdenticalToBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tb := skewedTrainTable(5000, rng)
+	opt := Options{Method: TUPSK, Size: 128}
+	batch, err := Build(tb, "k", "y", RoleTrain, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := BuildStreaming(tb, "k", "y", RoleTrain, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !entriesEqual(sketchEntries(batch), sketchEntries(stream)) {
+		t.Error("TUPSK streaming differs from batch (both are hash-determined)")
+	}
+	if stream.SourceRows != batch.SourceRows {
+		t.Errorf("source rows %d vs %d", stream.SourceRows, batch.SourceRows)
+	}
+}
+
+func TestStreamingCSKBitIdenticalToBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tb := skewedTrainTable(3000, rng)
+	opt := Options{Method: CSK, Size: 64}
+	batch, _ := Build(tb, "k", "y", RoleTrain, opt)
+	stream, err := BuildStreaming(tb, "k", "y", RoleTrain, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !entriesEqual(sketchEntries(batch), sketchEntries(stream)) {
+		t.Error("CSK streaming differs from batch")
+	}
+}
+
+func TestStreamingCandidateMatchesBatchAllAggs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Candidate with repeated keys and both value kinds.
+	keys := make([]string, 2000)
+	nums := make([]float64, 2000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", rng.Intn(150))
+		nums[i] = math.Round(rng.NormFloat64()*10) / 2 // some repeats for MODE
+	}
+	cand := makeCandTable(keys, nums)
+	for _, agg := range []table.AggFunc{table.AggFirst, table.AggAvg, table.AggSum,
+		table.AggCount, table.AggMin, table.AggMax, table.AggMedian} {
+		for _, method := range []Method{TUPSK, LV2SK} {
+			opt := Options{Method: method, Size: 64, Agg: agg, RNGSeed: 4}
+			batch, err := Build(cand, "k", "x", RoleCandidate, opt)
+			if err != nil {
+				t.Fatalf("%s/%s batch: %v", method, agg, err)
+			}
+			stream, err := BuildStreaming(cand, "k", "x", RoleCandidate, opt)
+			if err != nil {
+				t.Fatalf("%s/%s stream: %v", method, agg, err)
+			}
+			if !entriesEqual(sketchEntries(batch), sketchEntries(stream)) {
+				t.Errorf("%s/%s: candidate streaming differs from batch", method, agg)
+			}
+		}
+	}
+}
+
+func TestStreamingCandidateModeAgrees(t *testing.T) {
+	// MODE with a clear (untied) winner must agree exactly with batch.
+	keys := []string{"a", "a", "a", "b", "b"}
+	vals := []string{"x", "y", "x", "z", "z"}
+	cand := table.New(
+		table.NewStringColumn("k", keys),
+		table.NewStringColumn("x", vals),
+	)
+	opt := Options{Method: TUPSK, Size: 8, Agg: table.AggMode}
+	batch, _ := Build(cand, "k", "x", RoleCandidate, opt)
+	stream, err := BuildStreaming(cand, "k", "x", RoleCandidate, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !entriesEqual(sketchEntries(batch), sketchEntries(stream)) {
+		t.Error("MODE streaming differs from batch on untied data")
+	}
+}
+
+func TestStreamingLV2SKSameKeysAndCaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tb := skewedTrainTable(4000, rng)
+	opt := Options{Method: LV2SK, Size: 64, RNGSeed: 9}
+	batch, _ := Build(tb, "k", "y", RoleTrain, opt)
+	stream, err := BuildStreaming(tb, "k", "y", RoleTrain, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The selected key set and per-key entry counts are hash/frequency
+	// determined and must agree; the specific rows differ (different
+	// random draws).
+	countByKey := func(s *Sketch) map[uint32]int {
+		m := map[uint32]int{}
+		for _, hk := range s.KeyHashes {
+			m[hk]++
+		}
+		return m
+	}
+	cb, cs := countByKey(batch), countByKey(stream)
+	if len(cb) != len(cs) {
+		t.Fatalf("selected key counts differ: %d vs %d", len(cb), len(cs))
+	}
+	for hk, n := range cb {
+		if cs[hk] != n {
+			t.Errorf("key %d: batch %d entries, stream %d", hk, n, cs[hk])
+		}
+	}
+}
+
+func TestStreamingINDSKSizeAndValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tb := skewedTrainTable(3000, rng)
+	opt := Options{Method: INDSK, Size: 64, RNGSeed: 10}
+	stream, err := BuildStreaming(tb, "k", "y", RoleTrain, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Len() != 64 {
+		t.Errorf("INDSK streaming size = %d", stream.Len())
+	}
+	// Every entry must correspond to an actual table row.
+	valid := map[string]bool{}
+	kc, vc := tb.MustColumn("k"), tb.MustColumn("y")
+	for i := 0; i < tb.NumRows(); i++ {
+		s, _ := Build(table.New(
+			table.NewStringColumn("k", []string{kc.Str[i]}),
+			table.NewFloatColumn("y", []float64{vc.Num[i]}),
+		), "k", "y", RoleTrain, Options{Method: TUPSK, Size: 1})
+		valid[fmt.Sprintf("%d|%g", s.KeyHashes[0], vc.Num[i])] = true
+	}
+	for i, hk := range stream.KeyHashes {
+		if !valid[fmt.Sprintf("%d|%g", hk, stream.Nums[i])] {
+			t.Fatalf("entry %d does not correspond to any source row", i)
+		}
+	}
+}
+
+func TestStreamingPRISKRejected(t *testing.T) {
+	if _, err := NewStreamBuilder(RoleTrain, true, Options{Method: PRISK, Size: 8}); err == nil {
+		t.Error("PRISK streaming should be rejected")
+	}
+}
+
+func TestStreamingNullPolicy(t *testing.T) {
+	b, err := NewStreamBuilder(RoleTrain, true, Options{Method: TUPSK, Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AddNum("", 1)           // NULL key
+	b.AddNum("k", math.NaN()) // NULL value
+	b.AddNum("k", 2)
+	if b.Rows() != 1 {
+		t.Errorf("rows = %d, want 1", b.Rows())
+	}
+	if s := b.Sketch(); s.Len() != 1 || s.SourceRows != 1 {
+		t.Errorf("len=%d source=%d", s.Len(), s.SourceRows)
+	}
+}
+
+func TestStreamingKindPanics(t *testing.T) {
+	bn, _ := NewStreamBuilder(RoleTrain, true, Options{Method: TUPSK, Size: 8})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AddStr on numeric builder should panic")
+			}
+		}()
+		bn.AddStr("k", "v")
+	}()
+	bs, _ := NewStreamBuilder(RoleTrain, false, Options{Method: TUPSK, Size: 8})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AddNum on categorical builder should panic")
+			}
+		}()
+		bs.AddNum("k", 1)
+	}()
+}
+
+func TestStreamingSketchIsSnapshot(t *testing.T) {
+	b, _ := NewStreamBuilder(RoleTrain, true, Options{Method: TUPSK, Size: 8})
+	for i := 0; i < 4; i++ {
+		b.AddNum(fmt.Sprintf("k%d", i), float64(i))
+	}
+	s1 := b.Sketch()
+	for i := 4; i < 100; i++ {
+		b.AddNum(fmt.Sprintf("k%d", i), float64(i))
+	}
+	s2 := b.Sketch()
+	if s1.Len() != 4 {
+		t.Errorf("first snapshot len = %d", s1.Len())
+	}
+	if s2.Len() != 8 {
+		t.Errorf("second snapshot len = %d", s2.Len())
+	}
+}
+
+func TestStreamingEndToEndEstimate(t *testing.T) {
+	// Streamed sketches must interoperate with batch-built sketches and
+	// produce comparable MI estimates.
+	rng := rand.New(rand.NewSource(7))
+	const rows = 8000
+	trainB, _ := NewStreamBuilder(RoleTrain, true, Options{Method: TUPSK, Size: 512})
+	candAgg := map[string]float64{}
+	for i := 0; i < rows; i++ {
+		g := rng.Intn(400)
+		k := fmt.Sprintf("g%d", g)
+		trainB.AddNum(k, float64(g%6))
+		candAgg[k] = float64(g % 6)
+	}
+	candB, _ := NewStreamBuilder(RoleCandidate, true, Options{Method: TUPSK, Size: 512})
+	for k, v := range candAgg {
+		candB.AddNum(k, v)
+	}
+	res, err := EstimateMI(trainB.Sketch(), candB.Sketch(), mi.DefaultK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MI-math.Log(6)) > 0.35 {
+		t.Errorf("streamed estimate %v, want about ln6 = %v", res.MI, math.Log(6))
+	}
+}
+
+func TestBuildStreamingErrors(t *testing.T) {
+	tb := makeTrainTable([]string{"a"}, []float64{1})
+	if _, err := BuildStreaming(tb, "zzz", "y", RoleTrain, Options{Method: TUPSK, Size: 4}); err == nil {
+		t.Error("missing column should error")
+	}
+	if _, err := BuildStreaming(tb, "k", "y", RoleTrain, Options{Method: "bogus", Size: 4}); err == nil {
+		t.Error("bad method should error")
+	}
+}

@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"misketch/internal/core"
+	"misketch/internal/synth"
+)
+
+// Fig2Result holds the series of Figure 2: sketch MI estimates versus the
+// analytic MI for Trinomial(m=512), sketch size n, comparing LV2SK and
+// TUPSK across estimators and key-generation processes.
+type Fig2Result struct {
+	// SeriesByMethod maps LV2SK and TUPSK to their six series
+	// (3 estimators × 2 key generators).
+	SeriesByMethod map[core.Method][]*Series
+	M              int
+}
+
+// RunFig2 executes EXP-FIG2. Every series sees the same Trials datasets.
+func RunFig2(cfg Config) (*Fig2Result, error) {
+	cfg = cfg.normalized()
+	const m = 512
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	datasets := make([]*synth.Dataset, cfg.Trials)
+	for i := range datasets {
+		datasets[i] = synth.GenTrinomial(m, cfg.Rows, rng)
+	}
+	res := &Fig2Result{SeriesByMethod: map[core.Method][]*Series{}, M: m}
+	for _, method := range []core.Method{core.LV2SK, core.TUPSK} {
+		for _, tr := range []synth.Treatment{synth.TreatDiscrete, synth.TreatMixture, synth.TreatDC} {
+			for _, kg := range []synth.KeyGen{synth.KeyInd, synth.KeyDep} {
+				s := &Series{Label: fmt.Sprintf("%s %s", tr, kg)}
+				for _, ds := range datasets {
+					p, err := sketchTrial(ds, kg, tr, method, cfg, rng)
+					if err != nil {
+						return nil, err
+					}
+					s.Points = append(s.Points, p)
+				}
+				res.SeriesByMethod[method] = append(res.SeriesByMethod[method], s)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Write renders the Figure 2 series as binned tables, one per method.
+func (r *Fig2Result) Write(w io.Writer) {
+	for _, method := range []core.Method{core.LV2SK, core.TUPSK} {
+		series := r.SeriesByMethod[method]
+		sortSeries(series)
+		writeSeriesTable(w,
+			fmt.Sprintf("Figure 2 — %s, Trinomial(m=%d): true MI vs sketch estimate", method, r.M),
+			series, 0, 3.5, 7)
+	}
+}

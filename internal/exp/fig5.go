@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"misketch/internal/core"
+	"misketch/internal/mi"
+	"misketch/internal/stats"
+)
+
+// Fig5Thresholds are the sketch-join-size lower bounds of Figure 5's
+// panels.
+var Fig5Thresholds = []int{128, 256, 512, 768}
+
+// Fig5Bucket summarizes one panel: pairs whose TUPSK sketch join exceeded
+// the threshold, broken down by estimator.
+type Fig5Bucket struct {
+	Threshold int
+	Estimator mi.Estimator
+	Pairs     int
+	Pearson   float64
+	RMSE      float64
+	MeanFull  float64
+	MeanEst   float64
+}
+
+// RunFig5 executes EXP-FIG5 from per-pair records of the WBF stand-in
+// (produced by RunCorpusPairs/RunTable2 with TUPSK included): sketch vs
+// full-join MI per estimator and join-size threshold.
+func RunFig5(records []PairRecord) []Fig5Bucket {
+	var out []Fig5Bucket
+	for _, th := range Fig5Thresholds {
+		for _, est := range []mi.Estimator{mi.EstMLE, mi.EstMixedKSG, mi.EstDCKSG} {
+			var full, sketch []float64
+			for _, r := range records {
+				if r.Estimator != est || r.JoinSize[core.TUPSK] <= th {
+					continue
+				}
+				full = append(full, r.FullMI)
+				sketch = append(sketch, r.SketchMI[core.TUPSK])
+			}
+			b := Fig5Bucket{Threshold: th, Estimator: est, Pairs: len(full)}
+			if len(full) > 1 {
+				b.Pearson = stats.Pearson(sketch, full)
+				b.RMSE = stats.RMSE(sketch, full)
+				b.MeanFull = stats.Mean(full)
+				b.MeanEst = stats.Mean(sketch)
+			}
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// WriteFig5 renders the Figure 5 panels.
+func WriteFig5(w io.Writer, buckets []Fig5Bucket) {
+	fmt.Fprintln(w, "Figure 5 — TUPSK sketch estimate vs full-join estimate (WBF stand-in, n=1024)")
+	fmt.Fprintf(w, "%-18s %-10s %6s %9s %8s %10s %9s\n",
+		"sketch join size >", "estimator", "pairs", "Pearson", "RMSE", "mean full", "mean est")
+	for _, b := range buckets {
+		if b.Pairs < 2 {
+			fmt.Fprintf(w, "%18d %-10s %6d %9s %8s %10s %9s\n",
+				b.Threshold, b.Estimator, b.Pairs, "-", "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(w, "%18d %-10s %6d %9.3f %8.3f %10.3f %9.3f\n",
+			b.Threshold, b.Estimator, b.Pairs, b.Pearson, b.RMSE, b.MeanFull, b.MeanEst)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"misketch/internal/hash"
+	"misketch/internal/stats"
+	"misketch/internal/synth"
+)
+
+// FullJoinResult summarizes Section V-B1: MI estimated on the fully
+// materialized join versus the analytic truth, per distribution and
+// estimator. The paper reports RMSE < 0.07 and Pearson > 0.99 at N = 10k.
+type FullJoinResult struct {
+	Dataset   string
+	Estimator string
+	RMSE      float64
+	Pearson   float64
+	Trials    int
+}
+
+// RunFullJoin executes EXP-FULLJOIN: for each distribution, every
+// estimator applicable without data transformation (Trinomial: MLE,
+// DC-KSG, Mixed-KSG; CDUnif: DC-KSG, Mixed-KSG) is evaluated on the full
+// N-row join across Trials random parameterizations.
+func RunFullJoin(cfg Config) ([]FullJoinResult, error) {
+	cfg = cfg.normalized()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type cell struct {
+		ds string
+		tr synth.Treatment
+	}
+	cells := []cell{
+		{"Trinomial", synth.TreatDiscrete},
+		{"Trinomial", synth.TreatDC},
+		{"Trinomial", synth.TreatMixture},
+		{"CDUnif", synth.TreatDC},
+		{"CDUnif", synth.TreatMixture},
+	}
+	// Generate shared datasets per distribution so estimators are
+	// compared on identical draws, as in the paper.
+	triSets := make([]*synth.Dataset, cfg.Trials)
+	cdSets := make([]*synth.Dataset, cfg.Trials)
+	for i := 0; i < cfg.Trials; i++ {
+		m := []int{16, 64, 256, 512, 1024}[i%5]
+		triSets[i] = synth.GenTrinomial(m, cfg.Rows, rng)
+		cdSets[i] = synth.GenCDUnif(2+rng.Intn(999), cfg.Rows, rng)
+	}
+	var out []FullJoinResult
+	for _, c := range cells {
+		sets := triSets
+		if c.ds == "CDUnif" {
+			sets = cdSets
+		}
+		var est, truth []float64
+		trialRng := rand.New(rand.NewSource(hash.SubSeed(uint64(cfg.Seed), 77)))
+		for _, ds := range sets {
+			p, err := fullJoinTrial(ds, synth.KeyInd, c.tr, cfg, trialRng)
+			if err != nil {
+				return nil, err
+			}
+			est = append(est, p.Estimate)
+			truth = append(truth, p.TrueMI)
+		}
+		out = append(out, FullJoinResult{
+			Dataset:   c.ds,
+			Estimator: string(c.tr.Estimator()),
+			RMSE:      stats.RMSE(est, truth),
+			Pearson:   stats.Pearson(est, truth),
+			Trials:    len(est),
+		})
+	}
+	return out, nil
+}
+
+// WriteFullJoin renders the EXP-FULLJOIN results.
+func WriteFullJoin(w io.Writer, rs []FullJoinResult) {
+	fmt.Fprintln(w, "Section V-B1 — true vs estimated MI on full-table joins")
+	fmt.Fprintln(w, "(paper: RMSE < 0.07 and Pearson r > 0.99 for both distributions at N=10k)")
+	fmt.Fprintf(w, "%-10s %-10s %8s %9s %7s\n", "dataset", "estimator", "RMSE", "Pearson", "trials")
+	for _, r := range rs {
+		fmt.Fprintf(w, "%-10s %-10s %8.4f %9.4f %7d\n", r.Dataset, r.Estimator, r.RMSE, r.Pearson, r.Trials)
+	}
+	fmt.Fprintln(w)
+}

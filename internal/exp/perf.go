@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"misketch/internal/core"
+	"misketch/internal/mi"
+	"misketch/internal/synth"
+	"misketch/internal/table"
+)
+
+// PerfRow reports the Section V-D timings for one table size N: the cost
+// of materializing the full join and estimating MI on it, versus joining
+// prebuilt sketches and estimating MI on the sketch join. The paper's
+// observation: full-join cost grows with N while the sketch-side costs
+// stay roughly constant.
+type PerfRow struct {
+	N              int
+	FullJoin       time.Duration
+	SketchJoin     time.Duration
+	FullEstimate   time.Duration
+	SketchEstimate time.Duration
+	SketchBuild    time.Duration
+}
+
+// PerfN lists the table sizes from Section V-D.
+var PerfN = []int{5000, 10000, 20000}
+
+// RunPerf measures the timings with sketch size cfg.SketchSize (the paper
+// uses n = 256). Each measurement is repeated and averaged.
+func RunPerf(cfg Config) ([]PerfRow, error) {
+	cfg = cfg.normalized()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const reps = 5
+	var rows []PerfRow
+	for _, n := range PerfN {
+		ds := synth.GenCDUnif(200, n, rng)
+		train, cand, err := ds.Tables(synth.KeyDep, synth.TreatMixture, rng)
+		if err != nil {
+			return nil, err
+		}
+		opt := core.Options{Method: core.TUPSK, Size: cfg.SketchSize, RNGSeed: 7}
+
+		var row PerfRow
+		row.N = n
+
+		start := time.Now()
+		var st, sc *core.Sketch
+		for r := 0; r < reps; r++ {
+			st, err = core.Build(train, "k", "y", core.RoleTrain, opt)
+			if err != nil {
+				return nil, err
+			}
+			sc, err = core.Build(cand, "k", "x", core.RoleCandidate, opt)
+			if err != nil {
+				return nil, err
+			}
+		}
+		row.SketchBuild = time.Since(start) / reps
+
+		start = time.Now()
+		var joined *table.Table
+		for r := 0; r < reps; r++ {
+			joined, err = table.AugmentationJoin(train, "k", cand, "k", "x", table.AggFirst)
+			if err != nil {
+				return nil, err
+			}
+		}
+		row.FullJoin = time.Since(start) / reps
+
+		start = time.Now()
+		var js *core.JoinedSample
+		for r := 0; r < reps; r++ {
+			js, err = core.Join(st, sc)
+			if err != nil {
+				return nil, err
+			}
+		}
+		row.SketchJoin = time.Since(start) / reps
+
+		y := joined.MustColumn("y").Num
+		x := joined.MustColumn("x").Num
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			mi.Estimate(mi.NumericColumn(y), mi.NumericColumn(x), cfg.K)
+		}
+		row.FullEstimate = time.Since(start) / reps
+
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			mi.Estimate(js.Y, js.X, cfg.K)
+		}
+		row.SketchEstimate = time.Since(start) / reps
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WritePerf renders the Section V-D timings.
+func WritePerf(w io.Writer, rows []PerfRow) {
+	fmt.Fprintln(w, "Section V-D — performance (sketch n, averaged; sketch-side costs should stay ~constant in N)")
+	fmt.Fprintf(w, "%8s %14s %14s %14s %14s %14s\n",
+		"N", "full join", "sketch join", "full MI est", "sketch MI est", "sketch build")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %14s %14s %14s %14s %14s\n",
+			r.N, r.FullJoin, r.SketchJoin, r.FullEstimate, r.SketchEstimate, r.SketchBuild)
+	}
+	fmt.Fprintln(w)
+}

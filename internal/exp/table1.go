@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"misketch/internal/core"
+	"misketch/internal/synth"
+)
+
+// Table1Row is one row of Table I: per dataset and sketching method, the
+// average sketch join size, its percentage of the sketch size n, and the
+// MSE of the MI estimate against the analytic truth.
+type Table1Row struct {
+	Dataset     string
+	Method      core.Method
+	AvgJoinSize float64
+	Pct         float64
+	MSE         float64
+	Trials      int
+}
+
+// RunTable1 executes EXP-TAB1: all five sketching methods over both
+// synthetic distributions, mixing key generators, distribution parameters
+// m, and the treatments valid for each dataset — the same mixture the
+// paper's Table I aggregates over.
+func RunTable1(cfg Config) ([]Table1Row, error) {
+	cfg = cfg.normalized()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type cell struct {
+		ds  *synth.Dataset
+		kg  synth.KeyGen
+		tr  synth.Treatment
+		rng *rand.Rand
+	}
+	var cells []cell
+	// Trinomial: m sweep × both key processes × three treatments.
+	for i := 0; i < cfg.Trials; i++ {
+		m := Fig4M[i%len(Fig4M)]
+		ds := synth.GenTrinomial(m, cfg.Rows, rng)
+		kg := synth.KeyGen(i % 2)
+		tr := []synth.Treatment{synth.TreatDiscrete, synth.TreatMixture, synth.TreatDC}[i%3]
+		cells = append(cells, cell{ds, kg, tr, rng})
+	}
+	// CDUnif: m ~ Unif[2,1000] × both key processes × two treatments.
+	for i := 0; i < cfg.Trials; i++ {
+		ds := synth.GenCDUnif(2+rng.Intn(999), cfg.Rows, rng)
+		kg := synth.KeyGen(i % 2)
+		tr := []synth.Treatment{synth.TreatMixture, synth.TreatDC}[i%2]
+		cells = append(cells, cell{ds, kg, tr, rng})
+	}
+
+	type acc struct {
+		join, se float64
+		n        int
+	}
+	accs := map[string]map[core.Method]*acc{
+		"Trinomial": {}, "CDUnif": {},
+	}
+	for _, c := range cells {
+		name := "Trinomial"
+		if c.ds.YDiscrete == false {
+			name = "CDUnif"
+		}
+		for _, method := range core.Methods {
+			p, err := sketchTrial(c.ds, c.kg, c.tr, method, cfg, c.rng)
+			if err != nil {
+				return nil, err
+			}
+			a := accs[name][method]
+			if a == nil {
+				a = &acc{}
+				accs[name][method] = a
+			}
+			a.join += float64(p.JoinSize)
+			d := p.Estimate - p.TrueMI
+			a.se += d * d
+			a.n++
+		}
+	}
+	var rows []Table1Row
+	for _, name := range []string{"CDUnif", "Trinomial"} {
+		for _, method := range core.Methods {
+			a := accs[name][method]
+			if a == nil || a.n == 0 {
+				continue
+			}
+			rows = append(rows, Table1Row{
+				Dataset:     name,
+				Method:      method,
+				AvgJoinSize: a.join / float64(a.n),
+				Pct:         100 * a.join / float64(a.n) / float64(cfg.SketchSize),
+				MSE:         a.se / float64(a.n),
+				Trials:      a.n,
+			})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Dataset != rows[j].Dataset {
+			return rows[i].Dataset < rows[j].Dataset
+		}
+		return rows[i].Method < rows[j].Method
+	})
+	return rows, nil
+}
+
+// WriteTable1 renders Table I.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table I — MI estimate vs true MI, sketches of size n")
+	fmt.Fprintf(w, "%-10s %-7s %20s %8s %8s %7s\n",
+		"dataset", "sketch", "avg sketch join size", "%", "MSE", "trials")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-7s %20.1f %8.2f %8.2f %7d\n",
+			r.Dataset, r.Method, r.AvgJoinSize, r.Pct, r.MSE, r.Trials)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,467 @@
+// Package knn provides the nearest-neighbor machinery behind the
+// KSG-family mutual information estimators: a 2-D kd-tree with k-NN
+// queries under the Chebyshev (L∞ / max) norm, and sorted-array utilities
+// for 1-D neighbor distances and range counting.
+//
+// All KSG variants measure joint-space distances with the max norm, so
+// that is the only metric implemented; marginal counts reduce to 1-D
+// interval counting on sorted copies of each coordinate.
+package knn
+
+import (
+	"math"
+	"sort"
+)
+
+// Point is a point in the joint (x, y) space.
+type Point struct {
+	X, Y float64
+}
+
+// Chebyshev returns the L∞ distance between two points.
+func Chebyshev(a, b Point) float64 {
+	dx := math.Abs(a.X - b.X)
+	dy := math.Abs(a.Y - b.Y)
+	if dx > dy {
+		return dx
+	}
+	return dy
+}
+
+// Tree is a static 2-D kd-tree over a fixed point set. Queries exclude or
+// include the query point itself purely by index bookkeeping, so duplicate
+// coordinates are handled exactly (important for mixed discrete-continuous
+// data, where ties are the norm rather than the exception).
+type Tree struct {
+	pts  []Point // points in tree order
+	idx  []int   // original index of pts[i]
+	axis []byte  // split axis per node (0 = X, 1 = Y)
+}
+
+// Build constructs a kd-tree over pts. The input slice is not modified.
+func Build(pts []Point) *Tree {
+	n := len(pts)
+	t := &Tree{
+		pts:  make([]Point, n),
+		idx:  make([]int, n),
+		axis: make([]byte, n),
+	}
+	copy(t.pts, pts)
+	for i := range t.idx {
+		t.idx[i] = i
+	}
+	if n > 0 {
+		t.build(0, n, 0)
+	}
+	return t
+}
+
+// build arranges pts[lo:hi] into kd-tree order: the median element sits at
+// the midpoint, smaller elements (on the split axis) before it, larger
+// after. Depth selects the axis by spread rather than strict alternation,
+// which behaves far better on data with heavy ties in one coordinate.
+func (t *Tree) build(lo, hi, depth int) {
+	if hi-lo <= 1 {
+		if hi-lo == 1 {
+			t.axis[lo] = t.chooseAxis(lo, hi)
+		}
+		return
+	}
+	ax := t.chooseAxis(lo, hi)
+	mid := (lo + hi) / 2
+	t.nthElement(lo, hi, mid, ax)
+	t.axis[mid] = ax
+	t.build(lo, mid, depth+1)
+	t.build(mid+1, hi, depth+1)
+}
+
+// chooseAxis picks the coordinate with the larger spread in pts[lo:hi].
+func (t *Tree) chooseAxis(lo, hi int) byte {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i := lo; i < hi; i++ {
+		p := t.pts[i]
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if maxX-minX >= maxY-minY {
+		return 0
+	}
+	return 1
+}
+
+func (t *Tree) coord(i int, ax byte) float64 {
+	if ax == 0 {
+		return t.pts[i].X
+	}
+	return t.pts[i].Y
+}
+
+// nthElement partially sorts pts[lo:hi] so the element at position k is
+// the one that would be there in full sorted order on axis ax
+// (introselect via repeated partitioning with median-of-three pivots).
+func (t *Tree) nthElement(lo, hi, k int, ax byte) {
+	for hi-lo > 1 {
+		p := t.medianOfThree(lo, hi, ax)
+		i, j := lo, hi-1
+		for i <= j {
+			for t.coord(i, ax) < p {
+				i++
+			}
+			for t.coord(j, ax) > p {
+				j--
+			}
+			if i <= j {
+				t.swap(i, j)
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j + 1
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+func (t *Tree) medianOfThree(lo, hi int, ax byte) float64 {
+	a := t.coord(lo, ax)
+	b := t.coord((lo+hi)/2, ax)
+	c := t.coord(hi-1, ax)
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+func (t *Tree) swap(i, j int) {
+	t.pts[i], t.pts[j] = t.pts[j], t.pts[i]
+	t.idx[i], t.idx[j] = t.idx[j], t.idx[i]
+}
+
+// KNNDist returns the L∞ distance from q to its k-th nearest neighbor in
+// the tree, excluding the point whose original index is selfIdx (pass −1
+// to include every point). It panics if fewer than k eligible points
+// exist.
+func (t *Tree) KNNDist(q Point, k int, selfIdx int) float64 {
+	h := &distHeap{}
+	h.init(k)
+	t.knn(0, len(t.pts), q, k, selfIdx, h)
+	if h.size < k {
+		panic("knn: not enough points for k-NN query")
+	}
+	return h.top()
+}
+
+func (t *Tree) knn(lo, hi int, q Point, k, selfIdx int, h *distHeap) {
+	if hi <= lo {
+		return
+	}
+	mid := (lo + hi) / 2
+	if t.idx[mid] != selfIdx {
+		h.push(Chebyshev(q, t.pts[mid]))
+	}
+	if hi-lo == 1 {
+		return
+	}
+	ax := t.axis[mid]
+	var qc, mc float64
+	if ax == 0 {
+		qc, mc = q.X, t.pts[mid].X
+	} else {
+		qc, mc = q.Y, t.pts[mid].Y
+	}
+	near, farLo, farHi := 0, 0, 0
+	if qc <= mc {
+		near = 0
+		farLo, farHi = mid+1, hi
+	} else {
+		near = 1
+		farLo, farHi = lo, mid
+	}
+	if near == 0 {
+		t.knn(lo, mid, q, k, selfIdx, h)
+	} else {
+		t.knn(mid+1, hi, q, k, selfIdx, h)
+	}
+	// Visit the far side only if the splitting plane is closer than the
+	// current k-th best distance (or the heap is not yet full).
+	planeDist := math.Abs(qc - mc)
+	if h.size < k || planeDist <= h.top() {
+		t.knn(farLo, farHi, q, k, selfIdx, h)
+	}
+}
+
+// KNNIndices returns the original indices of the k nearest neighbors of q
+// (L∞ metric), excluding selfIdx, ordered from nearest to farthest. Ties
+// are broken arbitrarily but deterministically.
+func (t *Tree) KNNIndices(q Point, k int, selfIdx int) []int {
+	type cand struct {
+		d   float64
+		idx int
+	}
+	// Bounded max-heap on distance holding the k best candidates so far.
+	best := make([]cand, 0, k)
+	var visit func(lo, hi int)
+	push := func(c cand) {
+		if len(best) < k {
+			best = append(best, c)
+			i := len(best) - 1
+			for i > 0 {
+				p := (i - 1) / 2
+				if best[p].d >= best[i].d {
+					break
+				}
+				best[p], best[i] = best[i], best[p]
+				i = p
+			}
+			return
+		}
+		if c.d >= best[0].d {
+			return
+		}
+		best[0] = c
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			largest := i
+			if l < len(best) && best[l].d > best[largest].d {
+				largest = l
+			}
+			if r < len(best) && best[r].d > best[largest].d {
+				largest = r
+			}
+			if largest == i {
+				return
+			}
+			best[i], best[largest] = best[largest], best[i]
+			i = largest
+		}
+	}
+	visit = func(lo, hi int) {
+		if hi <= lo {
+			return
+		}
+		mid := (lo + hi) / 2
+		if t.idx[mid] != selfIdx {
+			push(cand{Chebyshev(q, t.pts[mid]), t.idx[mid]})
+		}
+		if hi-lo == 1 {
+			return
+		}
+		ax := t.axis[mid]
+		var qc, mc float64
+		if ax == 0 {
+			qc, mc = q.X, t.pts[mid].X
+		} else {
+			qc, mc = q.Y, t.pts[mid].Y
+		}
+		if qc <= mc {
+			visit(lo, mid)
+			if len(best) < k || math.Abs(qc-mc) <= best[0].d {
+				visit(mid+1, hi)
+			}
+		} else {
+			visit(mid+1, hi)
+			if len(best) < k || math.Abs(qc-mc) <= best[0].d {
+				visit(lo, mid)
+			}
+		}
+	}
+	visit(0, len(t.pts))
+	if len(best) < k {
+		panic("knn: not enough points for k-NN query")
+	}
+	sort.Slice(best, func(a, b int) bool { return best[a].d < best[b].d })
+	out := make([]int, k)
+	for i := range out {
+		out[i] = best[i].idx
+	}
+	return out
+}
+
+// CountWithin returns the number of tree points p with Chebyshev(q, p) ≤ r,
+// excluding original index selfIdx (−1 to include all).
+func (t *Tree) CountWithin(q Point, r float64, selfIdx int) int {
+	return t.countWithin(0, len(t.pts), q, r, selfIdx)
+}
+
+func (t *Tree) countWithin(lo, hi int, q Point, r float64, selfIdx int) int {
+	if hi <= lo {
+		return 0
+	}
+	mid := (lo + hi) / 2
+	count := 0
+	if t.idx[mid] != selfIdx && Chebyshev(q, t.pts[mid]) <= r {
+		count++
+	}
+	if hi-lo == 1 {
+		return count
+	}
+	ax := t.axis[mid]
+	var qc, mc float64
+	if ax == 0 {
+		qc, mc = q.X, t.pts[mid].X
+	} else {
+		qc, mc = q.Y, t.pts[mid].Y
+	}
+	if qc-r <= mc {
+		count += t.countWithin(lo, mid, q, r, selfIdx)
+	}
+	if qc+r >= mc {
+		count += t.countWithin(mid+1, hi, q, r, selfIdx)
+	}
+	return count
+}
+
+// distHeap is a bounded max-heap of the k smallest distances seen so far.
+type distHeap struct {
+	d    []float64
+	size int
+	cap  int
+}
+
+func (h *distHeap) init(k int) {
+	h.d = make([]float64, k)
+	h.size = 0
+	h.cap = k
+}
+
+func (h *distHeap) top() float64 { return h.d[0] }
+
+func (h *distHeap) push(x float64) {
+	if h.size < h.cap {
+		h.d[h.size] = x
+		h.size++
+		// Sift up.
+		i := h.size - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if h.d[parent] >= h.d[i] {
+				break
+			}
+			h.d[parent], h.d[i] = h.d[i], h.d[parent]
+			i = parent
+		}
+		return
+	}
+	if x >= h.d[0] {
+		return
+	}
+	// Replace max and sift down.
+	h.d[0] = x
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < h.size && h.d[l] > h.d[largest] {
+			largest = l
+		}
+		if r < h.size && h.d[r] > h.d[largest] {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		h.d[i], h.d[largest] = h.d[largest], h.d[i]
+		i = largest
+	}
+}
+
+// Sorted1D supports 1-D neighbor and interval-count queries over a fixed
+// multiset of values, backed by a sorted copy.
+type Sorted1D struct {
+	vals []float64
+}
+
+// NewSorted1D builds the structure from vals (input not modified).
+func NewSorted1D(vals []float64) *Sorted1D {
+	s := &Sorted1D{vals: append([]float64(nil), vals...)}
+	sort.Float64s(s.vals)
+	return s
+}
+
+// CountWithin returns |{v : |v − x| ≤ r}| minus excludeSelf occurrences of
+// the query value itself (pass 1 when x is a member of the multiset and
+// should not count itself, 0 otherwise).
+func (s *Sorted1D) CountWithin(x, r float64, excludeSelf int) int {
+	lo := sort.SearchFloat64s(s.vals, x-r)
+	hi := sort.SearchFloat64s(s.vals, math.Nextafter(x+r, math.Inf(1)))
+	c := hi - lo - excludeSelf
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// CountStrictlyWithin returns |{v : |v − x| < r}|, minus excludeSelf.
+func (s *Sorted1D) CountStrictlyWithin(x, r float64, excludeSelf int) int {
+	lo := sort.SearchFloat64s(s.vals, math.Nextafter(x-r, math.Inf(1)))
+	hi := sort.SearchFloat64s(s.vals, x+r)
+	c := hi - lo - excludeSelf
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// CountEqual returns the number of occurrences of x.
+func (s *Sorted1D) CountEqual(x float64) int {
+	lo := sort.SearchFloat64s(s.vals, x)
+	hi := sort.SearchFloat64s(s.vals, math.Nextafter(x, math.Inf(1)))
+	return hi - lo
+}
+
+// KNNDist returns the distance from x to its k-th nearest neighbor among
+// the stored values, excluding one occurrence of x itself when
+// excludeSelf is true. Implemented by expanding a window around the
+// insertion position of x.
+func (s *Sorted1D) KNNDist(x float64, k int, excludeSelf bool) float64 {
+	n := len(s.vals)
+	pos := sort.SearchFloat64s(s.vals, x)
+	lo, hi := pos-1, pos // candidates: vals[lo] below, vals[hi] at/above
+	skipped := false
+	best := math.NaN()
+	for found := 0; found < k; found++ {
+		for {
+			var dLo, dHi float64 = math.Inf(1), math.Inf(1)
+			if lo >= 0 {
+				dLo = x - s.vals[lo]
+			}
+			if hi < n {
+				dHi = s.vals[hi] - x
+			}
+			if math.IsInf(dLo, 1) && math.IsInf(dHi, 1) {
+				panic("knn: not enough values for 1-D k-NN query")
+			}
+			if dHi <= dLo {
+				if excludeSelf && !skipped && s.vals[hi] == x {
+					skipped = true
+					hi++
+					continue
+				}
+				best = dHi
+				hi++
+			} else {
+				best = dLo
+				lo--
+			}
+			break
+		}
+	}
+	return best
+}
+
+// Len returns the number of stored values.
+func (s *Sorted1D) Len() int { return len(s.vals) }

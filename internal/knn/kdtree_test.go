@@ -1,0 +1,330 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// bruteKNNDist is the O(n) reference for Tree.KNNDist.
+func bruteKNNDist(pts []Point, q Point, k, selfIdx int) float64 {
+	var ds []float64
+	for i, p := range pts {
+		if i == selfIdx {
+			continue
+		}
+		ds = append(ds, Chebyshev(q, p))
+	}
+	sort.Float64s(ds)
+	return ds[k-1]
+}
+
+// bruteCountWithin is the O(n) reference for Tree.CountWithin.
+func bruteCountWithin(pts []Point, q Point, r float64, selfIdx int) int {
+	c := 0
+	for i, p := range pts {
+		if i == selfIdx {
+			continue
+		}
+		if Chebyshev(q, p) <= r {
+			c++
+		}
+	}
+	return c
+}
+
+func randomPoints(rng *rand.Rand, n int, discrete bool) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		if discrete {
+			// Heavy ties: small integer grid, the hard case for kd-trees.
+			pts[i] = Point{X: float64(rng.Intn(5)), Y: float64(rng.Intn(5))}
+		} else {
+			pts[i] = Point{X: rng.NormFloat64(), Y: rng.NormFloat64()}
+		}
+	}
+	return pts
+}
+
+func TestChebyshev(t *testing.T) {
+	if Chebyshev(Point{0, 0}, Point{3, -4}) != 4 {
+		t.Error("Chebyshev wrong")
+	}
+	if Chebyshev(Point{1, 1}, Point{1, 1}) != 0 {
+		t.Error("identical points should have distance 0")
+	}
+}
+
+func TestKNNDistMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		discrete := trial%2 == 0
+		n := 20 + rng.Intn(200)
+		pts := randomPoints(rng, n, discrete)
+		tree := Build(pts)
+		for qi := 0; qi < 20; qi++ {
+			i := rng.Intn(n)
+			k := 1 + rng.Intn(5)
+			got := tree.KNNDist(pts[i], k, i)
+			want := bruteKNNDist(pts, pts[i], k, i)
+			if got != want {
+				t.Fatalf("trial %d: KNNDist(i=%d,k=%d) = %v, want %v (discrete=%v)",
+					trial, i, k, got, want, discrete)
+			}
+		}
+	}
+}
+
+func TestKNNDistIncludeAll(t *testing.T) {
+	// selfIdx = -1 includes the query's own point: distance to 1-NN of a
+	// member point is then 0.
+	pts := []Point{{1, 1}, {2, 2}, {3, 3}}
+	tree := Build(pts)
+	if d := tree.KNNDist(Point{2, 2}, 1, -1); d != 0 {
+		t.Errorf("got %v, want 0", d)
+	}
+}
+
+func TestKNNPanicsWhenTooFewPoints(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Build([]Point{{0, 0}, {1, 1}}).KNNDist(Point{0, 0}, 5, -1)
+}
+
+func TestCountWithinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		discrete := trial%2 == 0
+		n := 20 + rng.Intn(200)
+		pts := randomPoints(rng, n, discrete)
+		tree := Build(pts)
+		for qi := 0; qi < 20; qi++ {
+			i := rng.Intn(n)
+			r := rng.Float64() * 2
+			got := tree.CountWithin(pts[i], r, i)
+			want := bruteCountWithin(pts, pts[i], r, i)
+			if got != want {
+				t.Fatalf("trial %d: CountWithin(i=%d,r=%v) = %d, want %d",
+					trial, i, r, got, want)
+			}
+		}
+	}
+}
+
+func TestCountWithinZeroRadiusCountsTies(t *testing.T) {
+	pts := []Point{{1, 1}, {1, 1}, {1, 1}, {2, 2}}
+	tree := Build(pts)
+	if got := tree.CountWithin(Point{1, 1}, 0, 0); got != 2 {
+		t.Errorf("got %d duplicates, want 2", got)
+	}
+}
+
+func TestTreeProperty(t *testing.T) {
+	// Randomized agreement with brute force, via testing/quick.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		pts := randomPoints(rng, n, rng.Intn(2) == 0)
+		tree := Build(pts)
+		i := rng.Intn(n)
+		k := 1 + rng.Intn(3)
+		if tree.KNNDist(pts[i], k, i) != bruteKNNDist(pts, pts[i], k, i) {
+			return false
+		}
+		r := rng.Float64()
+		return tree.CountWithin(pts[i], r, i) == bruteCountWithin(pts, pts[i], r, i)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSorted1DCounts(t *testing.T) {
+	s := NewSorted1D([]float64{1, 2, 2, 3, 5})
+	if got := s.CountWithin(2, 1, 0); got != 4 { // 1,2,2,3
+		t.Errorf("CountWithin(2,1) = %d, want 4", got)
+	}
+	if got := s.CountWithin(2, 1, 1); got != 3 { // excluding one self
+		t.Errorf("CountWithin(2,1,excl) = %d, want 3", got)
+	}
+	if got := s.CountStrictlyWithin(2, 1, 0); got != 2 { // the two 2s
+		t.Errorf("CountStrictlyWithin(2,1) = %d, want 2", got)
+	}
+	if got := s.CountEqual(2); got != 2 {
+		t.Errorf("CountEqual(2) = %d, want 2", got)
+	}
+	if got := s.CountEqual(4); got != 0 {
+		t.Errorf("CountEqual(4) = %d, want 0", got)
+	}
+}
+
+func TestSorted1DKNNDist(t *testing.T) {
+	s := NewSorted1D([]float64{0, 1, 3, 6, 10})
+	// From 3 (a member, excluded): neighbors at distances 2 (1), 3 (0 and 6), 7 (10).
+	if got := s.KNNDist(3, 1, true); got != 2 {
+		t.Errorf("1-NN = %v, want 2", got)
+	}
+	if got := s.KNNDist(3, 2, true); got != 3 {
+		t.Errorf("2-NN = %v, want 3", got)
+	}
+	if got := s.KNNDist(3, 4, true); got != 7 {
+		t.Errorf("4-NN = %v, want 7", got)
+	}
+	// From a non-member without exclusion.
+	if got := s.KNNDist(4, 1, false); got != 1 {
+		t.Errorf("1-NN from 4 = %v, want 1 (value 3)", got)
+	}
+}
+
+func TestSorted1DKNNDistWithTies(t *testing.T) {
+	s := NewSorted1D([]float64{2, 2, 2, 5})
+	// From 2, excluding one self occurrence: two other 2s at distance 0.
+	if got := s.KNNDist(2, 1, true); got != 0 {
+		t.Errorf("1-NN = %v, want 0", got)
+	}
+	if got := s.KNNDist(2, 2, true); got != 0 {
+		t.Errorf("2-NN = %v, want 0", got)
+	}
+	if got := s.KNNDist(2, 3, true); got != 3 {
+		t.Errorf("3-NN = %v, want 3", got)
+	}
+}
+
+func TestSorted1DKNNMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(50)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(10)) // ties likely
+		}
+		s := NewSorted1D(vals)
+		i := rng.Intn(n)
+		k := 1 + rng.Intn(n-1)
+		got := s.KNNDist(vals[i], k, true)
+		// Brute force.
+		var ds []float64
+		skipped := false
+		for j, v := range vals {
+			if j != i {
+				ds = append(ds, math.Abs(v-vals[i]))
+			} else {
+				skipped = true
+			}
+		}
+		_ = skipped
+		sort.Float64s(ds)
+		return got == ds[k-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSorted1DPanicsTooFew(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSorted1D([]float64{1}).KNNDist(1, 1, true)
+}
+
+func BenchmarkTreeBuild10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randomPoints(rng, 10000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pts)
+	}
+}
+
+func BenchmarkTreeKNN10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randomPoints(rng, 10000, false)
+	tree := Build(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.KNNDist(pts[i%len(pts)], 3, i%len(pts))
+	}
+}
+
+// bruteKNNIndices is the O(n log n) reference for Tree.KNNIndices.
+func bruteKNNIndices(pts []Point, q Point, k, selfIdx int) []int {
+	type cand struct {
+		d   float64
+		idx int
+	}
+	var cs []cand
+	for i, p := range pts {
+		if i == selfIdx {
+			continue
+		}
+		cs = append(cs, cand{Chebyshev(q, p), i})
+	}
+	sort.Slice(cs, func(a, b int) bool { return cs[a].d < cs[b].d })
+	out := make([]int, k)
+	for i := range out {
+		out[i] = cs[i].idx
+	}
+	return out
+}
+
+func TestKNNIndicesMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		n := 20 + rng.Intn(150)
+		pts := randomPoints(rng, n, false) // continuous: distances unique a.s.
+		tree := Build(pts)
+		for q := 0; q < 10; q++ {
+			i := rng.Intn(n)
+			k := 1 + rng.Intn(6)
+			got := tree.KNNIndices(pts[i], k, i)
+			want := bruteKNNIndices(pts, pts[i], k, i)
+			if len(got) != len(want) {
+				t.Fatalf("len %d vs %d", len(got), len(want))
+			}
+			for j := range got {
+				// Distances must agree (indices may differ only under ties,
+				// which are measure-zero for continuous data).
+				gd := Chebyshev(pts[i], pts[got[j]])
+				wd := Chebyshev(pts[i], pts[want[j]])
+				if gd != wd {
+					t.Fatalf("trial %d: neighbor %d dist %v, want %v", trial, j, gd, wd)
+				}
+			}
+		}
+	}
+}
+
+func TestKNNIndicesWithTies(t *testing.T) {
+	// Duplicate points: the k indices must be distinct and exclude self.
+	pts := []Point{{1, 1}, {1, 1}, {1, 1}, {2, 2}, {3, 3}}
+	tree := Build(pts)
+	got := tree.KNNIndices(pts[0], 3, 0)
+	seen := map[int]bool{0: true}
+	for _, idx := range got {
+		if seen[idx] {
+			t.Fatalf("duplicate or self index in %v", got)
+		}
+		seen[idx] = true
+	}
+	// The two other copies of (1,1) must come first.
+	if Chebyshev(pts[0], pts[got[0]]) != 0 || Chebyshev(pts[0], pts[got[1]]) != 0 {
+		t.Errorf("ties should be nearest: %v", got)
+	}
+}
+
+func TestKNNIndicesPanicsTooFew(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Build([]Point{{0, 0}}).KNNIndices(Point{0, 0}, 1, 0)
+}

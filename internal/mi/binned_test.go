@@ -1,0 +1,125 @@
+package mi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"misketch/internal/stats"
+)
+
+func TestDiscretizeEqualWidth(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	labels := Discretize(xs, 2, BinEqualWidth)
+	for i, l := range labels {
+		want := "b0000"
+		if xs[i] >= 4.5 {
+			want = "b0001"
+		}
+		if l != want {
+			t.Errorf("x=%v -> %s, want %s", xs[i], l, want)
+		}
+	}
+	// Constant column: everything in one bin, no division by zero.
+	c := Discretize([]float64{5, 5, 5}, 4, BinEqualWidth)
+	if c[0] != c[1] || c[1] != c[2] {
+		t.Error("constant column should land in one bin")
+	}
+}
+
+func TestDiscretizeEqualFrequency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() // heavily skewed
+	}
+	labels := Discretize(xs, 4, BinEqualFrequency)
+	counts := map[string]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("got %d bins, want 4", len(counts))
+	}
+	for l, c := range counts {
+		if math.Abs(float64(c)-2500) > 150 {
+			t.Errorf("bin %s holds %d of 10000 (equal-frequency should balance)", l, c)
+		}
+	}
+}
+
+func TestDiscretizeErrors(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bins=0")
+		}
+	}()
+	Discretize([]float64{1}, 0, BinEqualWidth)
+}
+
+func TestBinnedMLERecoversGaussianMIWithGoodBinning(t *testing.T) {
+	// With generous samples and moderate bins, binning lands near truth.
+	rng := rand.New(rand.NewSource(2))
+	xs, ys := gaussianPair(40000, 0.8, rng)
+	truth := stats.BivariateNormalMI(0.8)
+	got := BinnedMLE(xs, ys, 16, BinEqualFrequency)
+	if math.Abs(got-truth) > 0.12 {
+		t.Errorf("BinnedMLE = %v, truth %v", got, truth)
+	}
+}
+
+// TestBinningBiasGrowsWithBins reproduces the pathology the paper cites
+// (Section II): on a small sample, the binned estimator's bias grows with
+// the number of bins — while MixedKSG on the same sample stays near the
+// truth. This is the motivation for join-compatible k-NN estimators.
+func TestBinningBiasGrowsWithBins(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 256 // a sketch-join-sized sample
+	truth := stats.BivariateNormalMI(0.6)
+	bias := func(bins int) float64 {
+		var sum float64
+		const trials = 30
+		for tr := 0; tr < trials; tr++ {
+			xs, ys := gaussianPair(n, 0.6, rng)
+			sum += BinnedMLE(xs, ys, bins, BinEqualFrequency) - truth
+		}
+		return sum / trials
+	}
+	b4, b16, b64 := bias(4), bias(16), bias(64)
+	if !(b64 > b16 && b16 > b4) {
+		t.Errorf("bias should grow with bins: 4->%.3f 16->%.3f 64->%.3f", b4, b16, b64)
+	}
+	// Eq. 6 scale check: with 64x64 bins and n=256, the bias is enormous.
+	if b64 < 1 {
+		t.Errorf("64-bin bias %.3f unexpectedly small", b64)
+	}
+	// The k-NN estimator on the identical sample size stays close.
+	var ksgSum float64
+	const trials = 30
+	for tr := 0; tr < trials; tr++ {
+		xs, ys := gaussianPair(n, 0.6, rng)
+		ksgSum += MixedKSG(xs, ys, 3) - truth
+	}
+	ksgBias := ksgSum / trials
+	if math.Abs(ksgBias) > 0.1 {
+		t.Errorf("MixedKSG bias %.3f should be small at n=%d", ksgBias, n)
+	}
+	if math.Abs(ksgBias) >= b16 {
+		t.Errorf("MixedKSG (%.3f) should beat 16-bin binning (%.3f)", ksgBias, b16)
+	}
+}
+
+func TestBinnedMLEPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	BinnedMLE([]float64{1}, []float64{1, 2}, 4, BinEqualWidth)
+}
+
+func TestBinStrategyString(t *testing.T) {
+	if BinEqualWidth.String() != "equal-width" || BinEqualFrequency.String() != "equal-frequency" {
+		t.Error("strategy names")
+	}
+}

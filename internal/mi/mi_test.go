@@ -1,0 +1,388 @@
+package mi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"misketch/internal/stats"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// gaussianPair draws n samples from a bivariate normal with correlation r.
+func gaussianPair(n int, r float64, rng *rand.Rand) (xs, ys []float64) {
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	c := math.Sqrt(1 - r*r)
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64()
+		xs[i] = x
+		ys[i] = r*x + c*rng.NormFloat64()
+	}
+	return xs, ys
+}
+
+// cdunifPair draws n samples from the paper's CDUnif distribution:
+// X ~ Unif{0..m-1}, Y | X ~ Unif[X, X+2].
+func cdunifPair(n, m int, rng *rand.Rand) (xs []float64, cs []string, ys []float64) {
+	xs = make([]float64, n)
+	cs = make([]string, n)
+	ys = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := rng.Intn(m)
+		xs[i] = float64(x)
+		cs[i] = fmt.Sprintf("%d", x)
+		ys[i] = float64(x) + 2*rng.Float64()
+	}
+	return xs, cs, ys
+}
+
+func TestMLEExactIndependence(t *testing.T) {
+	// A perfectly balanced product distribution has exactly zero MI.
+	var xs, ys []string
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			xs = append(xs, fmt.Sprintf("x%d", i))
+			ys = append(ys, fmt.Sprintf("y%d", j))
+		}
+	}
+	if got := MLE(xs, ys); !approxEq(got, 0, 1e-12) {
+		t.Errorf("MLE = %v, want 0", got)
+	}
+}
+
+func TestMLEIdenticalColumns(t *testing.T) {
+	// I(X;X) = H(X).
+	xs := []string{"a", "a", "b", "c", "c", "c"}
+	if got, want := MLE(xs, xs), stats.EntropyMLE(xs); !approxEq(got, want, 1e-12) {
+		t.Errorf("MLE(X,X) = %v, want H(X) = %v", got, want)
+	}
+}
+
+func TestMLEBijectionInvariance(t *testing.T) {
+	// MI is invariant under relabeling of either variable.
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	xs := make([]string, n)
+	ys := make([]string, n)
+	for i := 0; i < n; i++ {
+		v := rng.Intn(6)
+		xs[i] = fmt.Sprintf("x%d", v)
+		ys[i] = fmt.Sprintf("y%d", (v+rng.Intn(2))%6)
+	}
+	relabel := make([]string, n)
+	for i, x := range xs {
+		relabel[i] = "relabeled-" + x + "-suffix"
+	}
+	if !approxEq(MLE(xs, ys), MLE(relabel, ys), 1e-12) {
+		t.Error("MLE must be invariant under bijective relabeling")
+	}
+}
+
+func TestMLEKnownJoint(t *testing.T) {
+	// Hand-computed 2x2 joint: p(a,c)=0.5, p(b,d)=0.5 -> I = ln 2.
+	xs := []string{"a", "b", "a", "b"}
+	ys := []string{"c", "d", "c", "d"}
+	if got := MLE(xs, ys); !approxEq(got, math.Ln2, 1e-12) {
+		t.Errorf("MLE = %v, want ln2", got)
+	}
+}
+
+func TestMLENonMonotonic(t *testing.T) {
+	// MI detects non-monotonic dependence that correlation misses:
+	// y = (x mod 2) has zero linear correlation with x over 0..3 cycle but
+	// high MI.
+	var xs, ys []string
+	for i := 0; i < 400; i++ {
+		x := i % 4
+		xs = append(xs, fmt.Sprintf("%d", x))
+		ys = append(ys, fmt.Sprintf("%d", x%2))
+	}
+	if got := MLE(xs, ys); !approxEq(got, math.Ln2, 1e-12) {
+		t.Errorf("MLE = %v, want ln2", got)
+	}
+}
+
+func TestKSGGaussianMatchesClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, r := range []float64{0, 0.5, 0.9} {
+		want := stats.BivariateNormalMI(r)
+		var got float64
+		const trials = 5
+		for tr := 0; tr < trials; tr++ {
+			xs, ys := gaussianPair(3000, r, rng)
+			got += KSG(xs, ys, 3)
+		}
+		got /= trials
+		if !approxEq(got, want, 0.06) {
+			t.Errorf("KSG gaussian r=%g: got %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestKSGAffineInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xs, ys := gaussianPair(1000, 0.7, rng)
+	base := KSG(xs, ys, 3)
+	scaled := make([]float64, len(xs))
+	for i, x := range xs {
+		scaled[i] = 100*x - 42
+	}
+	// KSG is not exactly affine invariant (the max-norm ball changes
+	// shape), but it should be close.
+	if got := KSG(scaled, ys, 3); !approxEq(got, base, 0.12) {
+		t.Errorf("KSG affine: %v vs %v", got, base)
+	}
+}
+
+func TestMixedKSGGaussian(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, r := range []float64{0, 0.8} {
+		want := stats.BivariateNormalMI(r)
+		var got float64
+		const trials = 5
+		for tr := 0; tr < trials; tr++ {
+			xs, ys := gaussianPair(3000, r, rng)
+			got += MixedKSG(xs, ys, 3)
+		}
+		got /= trials
+		if !approxEq(got, want, 0.06) {
+			t.Errorf("MixedKSG gaussian r=%g: got %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestMixedKSGFullyDiscreteMatchesTruth(t *testing.T) {
+	// On purely discrete numeric data MixedKSG recovers the plug-in
+	// behavior (Gao et al., Sec. 4). Independent uniform pair: MI = 0.
+	rng := rand.New(rand.NewSource(10))
+	n := 4000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = float64(rng.Intn(4))
+		ys[i] = float64(rng.Intn(4))
+	}
+	if got := MixedKSG(xs, ys, 3); !approxEq(got, 0, 0.02) {
+		t.Errorf("MixedKSG independent discrete = %v, want ~0", got)
+	}
+	// Perfectly dependent: Y = X, MI = H(X) = ln 4.
+	if got := MixedKSG(xs, xs, 3); !approxEq(got, math.Log(4), 0.05) {
+		t.Errorf("MixedKSG(X,X) = %v, want ln4 = %v", got, math.Log(4))
+	}
+}
+
+func TestMixedKSGOnCDUnif(t *testing.T) {
+	// The benchmark distribution from the paper (and Gao et al.):
+	// I(X;Y) = ln m − (m−1) ln2 / m.
+	rng := rand.New(rand.NewSource(11))
+	for _, m := range []int{2, 5, 10} {
+		want := stats.CDUnifMI(m)
+		var got float64
+		const trials = 5
+		for tr := 0; tr < trials; tr++ {
+			xs, _, ys := cdunifPair(3000, m, rng)
+			got += MixedKSG(xs, ys, 3)
+		}
+		got /= trials
+		if !approxEq(got, want, 0.08) {
+			t.Errorf("MixedKSG CDUnif m=%d: got %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestDCKSGOnCDUnif(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, m := range []int{2, 5, 10} {
+		want := stats.CDUnifMI(m)
+		var got float64
+		const trials = 5
+		for tr := 0; tr < trials; tr++ {
+			_, cs, ys := cdunifPair(3000, m, rng)
+			got += DCKSG(cs, ys, 3)
+		}
+		got /= trials
+		if !approxEq(got, want, 0.08) {
+			t.Errorf("DCKSG CDUnif m=%d: got %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestDCKSGIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 3000
+	cs := make([]string, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cs[i] = fmt.Sprintf("c%d", rng.Intn(5))
+		ys[i] = rng.NormFloat64()
+	}
+	if got := DCKSG(cs, ys, 3); !approxEq(got, 0, 0.03) {
+		t.Errorf("DCKSG independent = %v, want ~0", got)
+	}
+}
+
+func TestDCKSGSingletonClasses(t *testing.T) {
+	// Classes with one member are excluded; all-singleton input yields 0.
+	cs := []string{"a", "b", "c", "d"}
+	ys := []float64{1, 2, 3, 4}
+	if got := DCKSG(cs, ys, 3); got != 0 {
+		t.Errorf("all-singleton DCKSG = %v, want 0", got)
+	}
+	// Small classes: k is reduced to class size - 1 without panicking.
+	cs2 := []string{"a", "a", "b", "b", "b"}
+	ys2 := []float64{1, 1.1, 5, 5.1, 5.2}
+	got := DCKSG(cs2, ys2, 10)
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("DCKSG small classes = %v", got)
+	}
+}
+
+func TestEstimatorConsistency(t *testing.T) {
+	// The error against truth must shrink as N grows (the property the
+	// paper's accuracy guarantees rest on).
+	rng := rand.New(rand.NewSource(14))
+	truth := stats.BivariateNormalMI(0.8)
+	errAt := func(n int) float64 {
+		var e float64
+		const trials = 6
+		for tr := 0; tr < trials; tr++ {
+			xs, ys := gaussianPair(n, 0.8, rng)
+			e += math.Abs(MixedKSG(xs, ys, 3) - truth)
+		}
+		return e / trials
+	}
+	small, large := errAt(100), errAt(3000)
+	if large >= small {
+		t.Errorf("error should shrink with N: err(100)=%v err(3000)=%v", small, large)
+	}
+}
+
+func TestEstimateDispatch(t *testing.T) {
+	numX := NumericColumn([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	numY := NumericColumn([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	catX := CategoricalColumn([]string{"a", "a", "b", "b", "a", "a", "b", "b"})
+	catY := CategoricalColumn([]string{"u", "u", "v", "v", "u", "u", "v", "v"})
+
+	if r := Estimate(catX, catY, 3); r.Estimator != EstMLE {
+		t.Errorf("cat-cat -> %s", r.Estimator)
+	}
+	if r := Estimate(numX, numY, 3); r.Estimator != EstMixedKSG {
+		t.Errorf("num-num -> %s", r.Estimator)
+	}
+	if r := Estimate(numX, catY, 3); r.Estimator != EstDCKSG {
+		t.Errorf("num-cat -> %s", r.Estimator)
+	}
+	if r := Estimate(catX, numY, 3); r.Estimator != EstDCKSG {
+		t.Errorf("cat-num -> %s", r.Estimator)
+	}
+}
+
+func TestEstimateClampsNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 20; trial++ {
+		xs := make([]float64, 50)
+		ys := make([]float64, 50)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		if r := Estimate(NumericColumn(xs), NumericColumn(ys), 3); r.MI < 0 {
+			t.Fatalf("Estimate returned negative MI %v", r.MI)
+		}
+	}
+}
+
+func TestEstimateTinySamples(t *testing.T) {
+	// Samples smaller than k+1 yield 0 rather than panicking — sketch
+	// joins can be arbitrarily small.
+	r := Estimate(NumericColumn([]float64{1, 2}), NumericColumn([]float64{1, 2}), 3)
+	if r.MI != 0 {
+		t.Errorf("tiny sample MI = %v, want 0", r.MI)
+	}
+	r2 := Estimate(CategoricalColumn(nil), CategoricalColumn(nil), 3)
+	if r2.MI != 0 {
+		t.Errorf("empty MLE = %v", r2.MI)
+	}
+}
+
+func TestPerturbBreaksTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i % 3)
+	}
+	p := Perturb(xs, 1e-6, rng)
+	seen := map[float64]bool{}
+	for _, v := range p {
+		if seen[v] {
+			t.Fatal("perturbed values should be distinct")
+		}
+		seen[v] = true
+	}
+	// Perturbation of low magnitude must not change the underlying MI:
+	// with Y = X (3 classes) the truth is H(X) = ln 3 both before and
+	// after. The estimator regime switches from plug-in (ties) to k-NN
+	// (continuous clusters), so allow its known small-k bias, but both
+	// estimates must stay near the truth.
+	ys := make([]float64, len(xs))
+	for i := range ys {
+		ys[i] = xs[i] // perfectly dependent
+	}
+	truth := math.Log(3)
+	before := MixedKSG(xs, ys, 3)
+	after := MixedKSG(p, ys, 3)
+	if !approxEq(before, truth, 0.1) {
+		t.Errorf("pre-perturbation MI %v too far from ln3", before)
+	}
+	if !approxEq(after, truth, 0.35) {
+		t.Errorf("post-perturbation MI %v too far from ln3", after)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MLE mismatch":    func() { MLE([]string{"a"}, []string{"a", "b"}) },
+		"KSG mismatch":    func() { KSG([]float64{1}, []float64{1, 2}, 3) },
+		"KSG bad k":       func() { KSG([]float64{1, 2, 3, 4}, []float64{1, 2, 3, 4}, 0) },
+		"DCKSG mismatch":  func() { DCKSG([]string{"a"}, []float64{1, 2}, 3) },
+		"DCKSG bad k":     func() { DCKSG([]string{"a", "b"}, []float64{1, 2}, -1) },
+		"Estimate length": func() { Estimate(NumericColumn([]float64{1}), NumericColumn([]float64{1, 2}), 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMLEBiasMatchesEq6(t *testing.T) {
+	// For independent uniform discrete variables the MLE MI bias should
+	// track (mx + my - mxy - 1)/(2N) from Eq. 6 of the paper.
+	rng := rand.New(rand.NewSource(17))
+	const n, m, trials = 500, 10, 300
+	var est float64
+	for tr := 0; tr < trials; tr++ {
+		xs := make([]string, n)
+		ys := make([]string, n)
+		for i := 0; i < n; i++ {
+			xs[i] = fmt.Sprintf("%d", rng.Intn(m))
+			ys[i] = fmt.Sprintf("%d", rng.Intn(m))
+		}
+		est += MLE(xs, ys)
+	}
+	est /= trials
+	// Eq. 6 states I − E[Î] ≈ (mX + mY − mXY − 1)/(2N); with I = 0 the
+	// mean estimate is the negative of that quantity (an overestimate,
+	// since mXY ≫ mX + mY here).
+	predicted := -stats.MLEBiasApprox(m, m, m*m, n)
+	if !approxEq(est, predicted, 0.03) {
+		t.Errorf("observed MLE bias %v, Eq.6 predicts %v", est, predicted)
+	}
+}

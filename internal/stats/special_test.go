@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDigammaKnownValues(t *testing.T) {
+	const gamma = 0.5772156649015329 // Euler–Mascheroni
+	cases := []struct {
+		x, want float64
+	}{
+		{1, -gamma},
+		{2, 1 - gamma},
+		{3, 1.5 - gamma},
+		{4, 1 + 0.5 + 1.0/3 - gamma},
+		{0.5, -gamma - 2*math.Ln2},
+		{10, 2.251752589066721},
+		{100, 4.600161852738087},
+		{1e6, math.Log(1e6) - 0.5/1e6 - 1.0/12e12}, // asymptotic
+	}
+	for _, c := range cases {
+		got := Digamma(c.x)
+		if !approxEq(got, c.want, 1e-10) {
+			t.Errorf("Digamma(%g) = %.15f, want %.15f", c.x, got, c.want)
+		}
+	}
+}
+
+func TestDigammaRecurrence(t *testing.T) {
+	// ψ(x+1) = ψ(x) + 1/x must hold across the shift threshold.
+	f := func(seed uint8) bool {
+		x := 0.1 + float64(seed)/16.0 // 0.1 .. ~16
+		return approxEq(Digamma(x+1), Digamma(x)+1/x, 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDigammaPoles(t *testing.T) {
+	for _, x := range []float64{0, -1, -2} {
+		if !math.IsNaN(Digamma(x)) {
+			t.Errorf("Digamma(%g) should be NaN at pole", x)
+		}
+	}
+}
+
+func TestDigammaReflection(t *testing.T) {
+	// Negative non-integer arguments via reflection.
+	// ψ(-0.5) = 2 - γ - 2 ln 2 ≈ 0.03648997397857652
+	if !approxEq(Digamma(-0.5), 0.03648997397857652, 1e-10) {
+		t.Errorf("Digamma(-0.5) = %v", Digamma(-0.5))
+	}
+}
+
+func TestHarmonicDiff(t *testing.T) {
+	// ψ(n) − ψ(1) = H_{n-1}
+	h := 0.0
+	for n := 2; n <= 200; n++ {
+		h += 1 / float64(n-1)
+		if !approxEq(HarmonicDiff(n, 1), h, 1e-9) {
+			t.Fatalf("HarmonicDiff(%d,1) = %v, want %v", n, HarmonicDiff(n, 1), h)
+		}
+	}
+	if HarmonicDiff(5, 5) != 0 {
+		t.Error("HarmonicDiff(n,n) should be 0")
+	}
+	if !approxEq(HarmonicDiff(3, 7), -HarmonicDiff(7, 3), 1e-12) {
+		t.Error("HarmonicDiff should be antisymmetric")
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 0},
+		{5, 0, 0},
+		{5, 5, 0},
+		{5, 2, math.Log(10)},
+		{10, 3, math.Log(120)},
+		{52, 5, math.Log(2598960)},
+	}
+	for _, c := range cases {
+		if !approxEq(LogChoose(c.n, c.k), c.want, 1e-9) {
+			t.Errorf("LogChoose(%d,%d) = %v, want %v", c.n, c.k, LogChoose(c.n, c.k), c.want)
+		}
+	}
+	if !math.IsInf(LogChoose(3, 5), -1) || !math.IsInf(LogChoose(3, -1), -1) {
+		t.Error("out-of-range LogChoose should be -Inf")
+	}
+}
+
+func TestLogMultinomialMatchesChoose(t *testing.T) {
+	// Two-cell multinomial coefficient equals the binomial coefficient.
+	f := func(a, b uint8) bool {
+		n, k := int(a%30), int(b%30)
+		return approxEq(LogMultinomial(k, n), LogChoose(n+k, k), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialPMFLogSumsToOne(t *testing.T) {
+	for _, p := range []float64{0.15, 0.5, 0.85} {
+		for _, n := range []int{1, 10, 100} {
+			total := 0.0
+			for k := 0; k <= n; k++ {
+				total += math.Exp(BinomialPMFLog(n, k, p))
+			}
+			if !approxEq(total, 1, 1e-9) {
+				t.Errorf("Binomial(%d,%g) pmf sums to %v", n, p, total)
+			}
+		}
+	}
+}
+
+func TestBinomialEntropyKnown(t *testing.T) {
+	// Binomial(1, p) is Bernoulli(p): H = −p ln p − (1−p) ln(1−p).
+	p := 0.3
+	want := -p*math.Log(p) - (1-p)*math.Log(1-p)
+	if !approxEq(BinomialEntropy(1, p), want, 1e-12) {
+		t.Errorf("BinomialEntropy(1,0.3) = %v, want %v", BinomialEntropy(1, p), want)
+	}
+	// Degenerate p.
+	if BinomialEntropy(10, 0) != 0 || BinomialEntropy(10, 1) != 0 {
+		t.Error("degenerate binomial entropy should be 0")
+	}
+	// Gaussian approximation for large n: H ≈ ½ ln(2πe·np(1−p)).
+	n, pp := 2000, 0.5
+	approx := 0.5 * math.Log(2*math.Pi*math.E*float64(n)*pp*(1-pp))
+	if !approxEq(BinomialEntropy(n, pp), approx, 1e-3) {
+		t.Errorf("BinomialEntropy(%d,%g) = %v, gaussian approx %v", n, pp, BinomialEntropy(n, pp), approx)
+	}
+}
+
+func TestTrinomialJointEntropySmall(t *testing.T) {
+	// m=1: the joint is a categorical over {(1,0),(0,1),(0,0)} with probs
+	// p1, p2, p3 — entropy is the categorical entropy.
+	p1, p2 := 0.2, 0.3
+	p3 := 1 - p1 - p2
+	want := -(p1*math.Log(p1) + p2*math.Log(p2) + p3*math.Log(p3))
+	if !approxEq(TrinomialJointEntropy(1, p1, p2), want, 1e-12) {
+		t.Errorf("TrinomialJointEntropy(1) = %v, want %v", TrinomialJointEntropy(1, p1, p2), want)
+	}
+}
+
+func TestTrinomialMIProperties(t *testing.T) {
+	// MI is nonnegative and grows with the (negative) correlation strength.
+	mi1 := TrinomialMI(64, 0.2, 0.2)
+	mi2 := TrinomialMI(64, 0.45, 0.45)
+	if mi1 < 0 || mi2 < 0 {
+		t.Fatalf("MI must be nonnegative: %v %v", mi1, mi2)
+	}
+	// Larger p1,p2 -> stronger negative correlation -> larger MI.
+	if mi2 <= mi1 {
+		t.Errorf("expected MI(0.45,0.45)=%v > MI(0.2,0.2)=%v", mi2, mi1)
+	}
+	// MI should roughly match the bivariate-normal proxy for moderate m.
+	r := TrinomialCorrelation(0.45, 0.45)
+	proxy := BivariateNormalMI(r)
+	got := TrinomialMI(256, 0.45, 0.45)
+	if math.Abs(got-proxy) > 0.12*proxy+0.05 {
+		t.Errorf("trinomial MI %v too far from normal proxy %v", got, proxy)
+	}
+}
+
+func TestCorrelationForMIInvertsBivariateNormalMI(t *testing.T) {
+	f := func(seed uint8) bool {
+		mi := float64(seed%35) / 10.0 // 0..3.4
+		r := CorrelationForMI(mi)
+		return approxEq(BivariateNormalMI(r), mi, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveTrinomialP2(t *testing.T) {
+	// The solved p2 must reproduce the target correlation magnitude.
+	f := func(a, b uint8) bool {
+		p1 := 0.15 + 0.7*float64(a)/255
+		r := 0.1 + 0.88*float64(b)/255
+		p2 := SolveTrinomialP2(p1, r)
+		if p2 <= 0 || p2 >= 1 {
+			return false
+		}
+		got := math.Abs(TrinomialCorrelation(p1, p2))
+		return approxEq(got, r, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDUnifMI(t *testing.T) {
+	// m=2: ln 2 − (1/2) ln 2 = (1/2) ln 2.
+	if !approxEq(CDUnifMI(2), 0.5*math.Ln2, 1e-12) {
+		t.Errorf("CDUnifMI(2) = %v", CDUnifMI(2))
+	}
+	// Monotone increasing in m.
+	prev := CDUnifMI(2)
+	for m := 3; m <= 1000; m *= 2 {
+		cur := CDUnifMI(m)
+		if cur <= prev {
+			t.Fatalf("CDUnifMI not increasing at m=%d", m)
+		}
+		prev = cur
+	}
+	// Paper: m=256 gives I ≈ 4.85.
+	if !approxEq(CDUnifMI(256), 4.85, 0.01) {
+		t.Errorf("CDUnifMI(256) = %v, paper says ≈4.85", CDUnifMI(256))
+	}
+	// Paper: m ∈ [2,1000] gives MI up to ≈6.2.
+	if !approxEq(CDUnifMI(1000), 6.2, 0.02) {
+		t.Errorf("CDUnifMI(1000) = %v, paper says ≈6.2", CDUnifMI(1000))
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.95, 1.6448536269514722},
+		{0.05, -1.6448536269514722},
+		{0.001, -3.090232306167813},
+		{0.999, 3.090232306167813},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); !approxEq(got, c.want, 1e-8) {
+			t.Errorf("NormalQuantile(%g) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("boundary quantiles should be infinite")
+	}
+	// Symmetry property.
+	f := func(seed uint8) bool {
+		p := 0.001 + 0.998*float64(seed)/255
+		return approxEq(NormalQuantile(p), -NormalQuantile(1-p), 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

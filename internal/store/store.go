@@ -1,0 +1,252 @@
+// Package store persists sketches on disk and serves data-discovery
+// queries over them. It is the system layer the paper's workflow implies:
+// sketches are built once per (table, key column, value column) triple at
+// ingestion time, stored next to the dataset catalog, and ranking queries
+// ("which candidate features carry information about my target?") run
+// against the stored sketches alone — no source data access, no joins.
+package store
+
+import (
+	"encoding/base32"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"misketch/internal/core"
+	"misketch/internal/mi"
+)
+
+// Store is a directory of serialized sketches with an in-memory cache.
+// It is safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu    sync.RWMutex
+	cache map[string]*core.Sketch
+}
+
+// sketchExt is the file extension of stored sketches.
+const sketchExt = ".misk"
+
+// Open opens (creating if necessary) a sketch store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	return &Store{dir: dir, cache: make(map[string]*core.Sketch)}, nil
+}
+
+// encodeName maps an arbitrary sketch name to a filesystem-safe filename.
+// Base32 keeps names reversible (List decodes them back).
+func encodeName(name string) string {
+	return base32.StdEncoding.WithPadding('-').EncodeToString([]byte(name)) + sketchExt
+}
+
+func decodeName(file string) (string, bool) {
+	if !strings.HasSuffix(file, sketchExt) {
+		return "", false
+	}
+	raw, err := base32.StdEncoding.WithPadding('-').DecodeString(strings.TrimSuffix(file, sketchExt))
+	if err != nil {
+		return "", false
+	}
+	return string(raw), true
+}
+
+// Put persists a sketch under the given name (conventionally
+// "table.csv#column@key"), overwriting any previous version.
+func (s *Store) Put(name string, sk *core.Sketch) error {
+	if name == "" {
+		return fmt.Errorf("store: empty sketch name")
+	}
+	path := filepath.Join(s.dir, encodeName(name))
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: creating %s: %w", tmp, err)
+	}
+	if _, err := sk.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: committing %s: %w", name, err)
+	}
+	s.mu.Lock()
+	s.cache[name] = sk
+	s.mu.Unlock()
+	return nil
+}
+
+// Get loads the named sketch (from cache when warm).
+func (s *Store) Get(name string) (*core.Sketch, error) {
+	s.mu.RLock()
+	sk, ok := s.cache[name]
+	s.mu.RUnlock()
+	if ok {
+		return sk, nil
+	}
+	f, err := os.Open(filepath.Join(s.dir, encodeName(name)))
+	if err != nil {
+		return nil, fmt.Errorf("store: no sketch %q: %w", name, err)
+	}
+	defer f.Close()
+	sk, err = core.ReadSketch(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %q: %w", name, err)
+	}
+	s.mu.Lock()
+	s.cache[name] = sk
+	s.mu.Unlock()
+	return sk, nil
+}
+
+// Delete removes the named sketch from disk and cache.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	delete(s.cache, name)
+	s.mu.Unlock()
+	err := os.Remove(filepath.Join(s.dir, encodeName(name)))
+	if os.IsNotExist(err) {
+		return fmt.Errorf("store: no sketch %q", name)
+	}
+	return err
+}
+
+// List returns the names of all stored sketches, sorted.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing %s: %w", s.dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if name, ok := decodeName(e.Name()); ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// RankedSketch is one result of a discovery query.
+type RankedSketch struct {
+	Name      string
+	MI        float64
+	Estimator mi.Estimator
+	JoinSize  int
+}
+
+// Rank estimates MI between the train sketch and every stored candidate
+// sketch (optionally restricted to names with the given prefix), dropping
+// candidates whose sketch join has at most minJoinSize samples, and
+// returns the rest ordered by decreasing MI. Candidates built with a
+// different hash seed are skipped (they cannot be joined) and reported in
+// the skipped list. Estimation fans out across GOMAXPROCS workers; the
+// result order is deterministic regardless.
+func (s *Store) Rank(train *core.Sketch, prefix string, minJoinSize, k int) (ranked []RankedSketch, skipped []string, err error) {
+	names, err := s.List()
+	if err != nil {
+		return nil, nil, err
+	}
+	var eligible []string
+	for _, name := range names {
+		if strings.HasPrefix(name, prefix) {
+			eligible = append(eligible, name)
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(eligible) {
+		workers = len(eligible)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+		next     int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(eligible) {
+					return
+				}
+				name := eligible[i]
+				cand, err := s.Get(name)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if cand.Seed != train.Seed || cand.Role != core.RoleCandidate {
+					mu.Lock()
+					skipped = append(skipped, name)
+					mu.Unlock()
+					continue
+				}
+				r, err := core.EstimateMI(train, cand, k)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("store: estimating %q: %w", name, err)
+					}
+					mu.Unlock()
+					return
+				}
+				if r.N <= minJoinSize {
+					continue
+				}
+				mu.Lock()
+				ranked = append(ranked, RankedSketch{Name: name, MI: r.MI, Estimator: r.Estimator, JoinSize: r.N})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].MI != ranked[j].MI {
+			return ranked[i].MI > ranked[j].MI
+		}
+		return ranked[i].Name < ranked[j].Name
+	})
+	sort.Strings(skipped)
+	return ranked, skipped, nil
+}
+
+// Len returns the number of stored sketches.
+func (s *Store) Len() (int, error) {
+	names, err := s.List()
+	if err != nil {
+		return 0, err
+	}
+	return len(names), nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }

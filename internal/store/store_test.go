@@ -1,0 +1,224 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"misketch/internal/core"
+	"misketch/internal/mi"
+	"misketch/internal/table"
+)
+
+func buildSketch(t *testing.T, role core.Role, seed uint32, f func(g int) float64) *core.Sketch {
+	t.Helper()
+	const groups = 400
+	var keys []string
+	var vals []float64
+	if role == core.RoleTrain {
+		rng := rand.New(rand.NewSource(int64(seed) + 7))
+		for i := 0; i < 5000; i++ {
+			g := rng.Intn(groups)
+			keys = append(keys, fmt.Sprintf("g%d", g))
+			vals = append(vals, f(g))
+		}
+	} else {
+		for g := 0; g < groups; g++ {
+			keys = append(keys, fmt.Sprintf("g%d", g))
+			vals = append(vals, f(g))
+		}
+	}
+	tb := table.New(table.NewStringColumn("k", keys), table.NewFloatColumn("v", vals))
+	s, err := core.Build(tb, "k", "v", role, core.Options{Method: core.TUPSK, Size: 512, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g) })
+	if err := st.Put("tables/my table.csv#col@key", sk); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get("tables/my table.csv#col@key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != sk.Len() || got.Seed != sk.Seed {
+		t.Error("round trip mismatch")
+	}
+	// Cold read (fresh store handle, no cache).
+	st2, err := Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := st2.Get("tables/my table.csv#col@key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Len() != sk.Len() {
+		t.Error("cold read mismatch")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	if _, err := st.Get("nope"); err == nil {
+		t.Error("expected error for missing sketch")
+	}
+}
+
+func TestPutEmptyNameRejected(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	if err := st.Put("", &core.Sketch{Method: core.TUPSK}); err == nil {
+		t.Error("empty name should be rejected")
+	}
+}
+
+func TestListAndDelete(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	sk := buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g) })
+	for _, name := range []string{"b#x", "a#y", "c#z"} {
+		if err := st.Put(name, sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != "a#y" || names[2] != "c#z" {
+		t.Errorf("List = %v", names)
+	}
+	if err := st.Delete("b#x"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := st.Len(); n != 2 {
+		t.Errorf("Len = %d after delete", n)
+	}
+	if err := st.Delete("b#x"); err == nil {
+		t.Error("double delete should error")
+	}
+	// Deleted sketches are not served from cache.
+	if _, err := st.Get("b#x"); err == nil {
+		t.Error("deleted sketch should be gone")
+	}
+}
+
+func TestListIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir)
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "subdir"+sketchExt), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	names, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Errorf("List should ignore foreign entries: %v", names)
+	}
+}
+
+func TestRankOrdersByMI(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	train := buildSketch(t, core.RoleTrain, 0, func(g int) float64 { return float64(g % 5) })
+	rng := rand.New(rand.NewSource(9))
+	st.Put("cand/exact", buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g % 5) }))
+	st.Put("cand/noisy", buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g%5) + 3*rng.NormFloat64() }))
+	st.Put("cand/noise", buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return rng.NormFloat64() }))
+	st.Put("other/unrelated", buildSketch(t, core.RoleCandidate, 99, func(g int) float64 { return float64(g) })) // wrong seed
+
+	ranked, skipped, err := st.Rank(train, "cand/", 100, mi.DefaultK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	if ranked[0].Name != "cand/exact" {
+		t.Errorf("top = %s", ranked[0].Name)
+	}
+	if ranked[2].Name != "cand/noise" {
+		t.Errorf("bottom = %s", ranked[2].Name)
+	}
+	if len(skipped) != 0 {
+		t.Errorf("prefix filter should exclude the foreign-seed sketch before skipping: %v", skipped)
+	}
+
+	// Without the prefix, the wrong-seed sketch is skipped, not an error.
+	_, skipped, err = st.Rank(train, "", 100, mi.DefaultK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 1 || skipped[0] != "other/unrelated" {
+		t.Errorf("skipped = %v", skipped)
+	}
+}
+
+func TestRankSkipsTrainRoleSketches(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	train := buildSketch(t, core.RoleTrain, 0, func(g int) float64 { return float64(g % 5) })
+	st.Put("a-train-sketch", train)
+	_, skipped, err := st.Rank(train, "", 0, mi.DefaultK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 1 {
+		t.Errorf("train-role sketches are not candidates: %v", skipped)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	sk := buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g) })
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("w%d", w)
+			for i := 0; i < 20; i++ {
+				if err := st.Put(name, sk); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := st.Get(name); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n, _ := st.Len(); n != 8 {
+		t.Errorf("Len = %d", n)
+	}
+}
+
+func TestNameEncodingRoundTrip(t *testing.T) {
+	for _, name := range []string{"simple", "with/slash", "sp ace", "uni-cödé#x@y", "..", "CON"} {
+		f := encodeName(name)
+		if filepath.Base(f) != f {
+			t.Errorf("%q encodes to path-traversing %q", name, f)
+		}
+		back, ok := decodeName(f)
+		if !ok || back != name {
+			t.Errorf("%q -> %q -> %q (%v)", name, f, back, ok)
+		}
+	}
+	if _, ok := decodeName("not-base32!!!" + sketchExt); ok {
+		t.Error("garbage filename should not decode")
+	}
+}

@@ -1,0 +1,294 @@
+// Package synth implements the paper's synthetic benchmark (Section V-A):
+// generators that draw a post-join column pair (X, Y) from analytic
+// distributions with known mutual information, and decomposition of that
+// pair into a joinable (train, candidate) table pair under two contrasting
+// key-generation processes:
+//
+//   - KeyInd: unique sequential join keys, a one-to-one relationship with
+//     maximum independence between keys and values.
+//   - KeyDep: the join key equals the X value, a many-to-one relationship
+//     with maximal key–feature dependence (only applicable to discrete X).
+//
+// Two distributions are provided, matching the paper:
+//
+//   - Trinomial: (X, Y) are the first two counts of Multinomial(m,
+//     ⟨p1,p2⟩). Parameters are chosen via the bivariate-normal
+//     approximation to hit a target MI; the reported true MI is computed
+//     exactly from the open-form trinomial entropy.
+//   - CDUnif: X ~ Unif{0..m−1}, Y | X ~ Unif[X, X+2], with closed-form
+//     MI = ln m − (m−1)·ln 2/m.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"misketch/internal/mi"
+	"misketch/internal/stats"
+	"misketch/internal/table"
+)
+
+// Dataset is a generated post-join sample with its analytically known MI.
+type Dataset struct {
+	// Name describes the generator and parameters.
+	Name string
+	// TrueMI is the exact mutual information of the generating
+	// distribution, in nats.
+	TrueMI float64
+	// X and Y are the post-join feature and target samples. Discrete
+	// variables hold integer-valued floats.
+	X, Y []float64
+	// XDiscrete/YDiscrete record which marginals are discrete.
+	XDiscrete, YDiscrete bool
+	// M is the distinct-value parameter of the generator.
+	M int
+	// P1, P2 are the trinomial cell probabilities (zero for CDUnif).
+	P1, P2 float64
+}
+
+// TrinomialParams holds generator parameters chosen for a target MI.
+type TrinomialParams struct {
+	P1, P2 float64
+	// TargetMI is the MI requested via the bivariate-normal proxy.
+	TargetMI float64
+}
+
+// ChooseTrinomialParams draws distribution parameters using the paper's
+// algorithm: target MI ~ Unif(0, 3.5), equivalent correlation
+// r = sqrt(1 − exp(−2·MI)), p1 ~ Unif(0.15, 0.85), and p2 solved from the
+// trinomial correlation formula, retrying until p2 ∈ [0.15, 0.85].
+func ChooseTrinomialParams(rng *rand.Rand) TrinomialParams {
+	for {
+		target := rng.Float64() * 3.5
+		r := stats.CorrelationForMI(target)
+		p1 := 0.15 + 0.7*rng.Float64()
+		p2 := stats.SolveTrinomialP2(p1, r)
+		if p2 < 0.15 || p2 > 0.85 || p1+p2 >= 0.999 {
+			continue
+		}
+		return TrinomialParams{P1: p1, P2: p2, TargetMI: target}
+	}
+}
+
+// GenTrinomial draws n post-join samples from Trinomial(m, ⟨p1,p2⟩) with
+// parameters chosen by ChooseTrinomialParams, and computes the exact MI.
+func GenTrinomial(m, n int, rng *rand.Rand) *Dataset {
+	p := ChooseTrinomialParams(rng)
+	return GenTrinomialWithParams(m, n, p.P1, p.P2, rng)
+}
+
+// GenTrinomialWithParams draws n samples of the first two counts of
+// Multinomial(m, ⟨p1,p2⟩) using the binomial decomposition
+// X ~ Bin(m, p1), Y | X ~ Bin(m−X, p2/(1−p1)).
+func GenTrinomialWithParams(m, n int, p1, p2 float64, rng *rand.Rand) *Dataset {
+	d := &Dataset{
+		Name:      fmt.Sprintf("Trinomial(m=%d)", m),
+		TrueMI:    stats.TrinomialMI(m, p1, p2),
+		X:         make([]float64, n),
+		Y:         make([]float64, n),
+		XDiscrete: true,
+		YDiscrete: true,
+		M:         m,
+		P1:        p1,
+		P2:        p2,
+	}
+	bx := newBinomialSampler(m, p1)
+	q := p2 / (1 - p1)
+	// Y | X=x needs Binomial(m−x, q); cache samplers per remaining count.
+	cache := map[int]*binomialSampler{}
+	for i := 0; i < n; i++ {
+		x := bx.sample(rng)
+		by, ok := cache[m-x]
+		if !ok {
+			by = newBinomialSampler(m-x, q)
+			cache[m-x] = by
+		}
+		d.X[i] = float64(x)
+		d.Y[i] = float64(by.sample(rng))
+	}
+	return d
+}
+
+// GenCDUnif draws n samples of the paper's CDUnif distribution with
+// parameter m: X ~ Unif{0..m−1}, Y | X ~ Unif[X, X+2].
+func GenCDUnif(m, n int, rng *rand.Rand) *Dataset {
+	d := &Dataset{
+		Name:      fmt.Sprintf("CDUnif(m=%d)", m),
+		TrueMI:    stats.CDUnifMI(m),
+		X:         make([]float64, n),
+		Y:         make([]float64, n),
+		XDiscrete: true,
+		YDiscrete: false,
+		M:         m,
+	}
+	for i := 0; i < n; i++ {
+		x := rng.Intn(m)
+		d.X[i] = float64(x)
+		d.Y[i] = float64(x) + 2*rng.Float64()
+	}
+	return d
+}
+
+// binomialSampler samples Binomial(n, p) by inverse-CDF lookup.
+type binomialSampler struct {
+	cdf []float64
+}
+
+func newBinomialSampler(n int, p float64) *binomialSampler {
+	cdf := make([]float64, n+1)
+	acc := 0.0
+	for k := 0; k <= n; k++ {
+		acc += pmfExp(n, k, p)
+		cdf[k] = acc
+	}
+	cdf[n] = 1 // absorb floating-point shortfall
+	return &binomialSampler{cdf: cdf}
+}
+
+func pmfExp(n, k int, p float64) float64 {
+	lp := stats.BinomialPMFLog(n, k, p)
+	if lp < -745 { // exp underflows
+		return 0
+	}
+	return math.Exp(lp)
+}
+
+func (b *binomialSampler) sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(b.cdf, u)
+}
+
+// KeyGen selects the key-generation process used to decompose a dataset
+// into joinable tables.
+type KeyGen int
+
+const (
+	// KeyInd gives every row a unique sequential key (one-to-one join).
+	KeyInd KeyGen = iota
+	// KeyDep sets the key equal to the X value (many-to-one join),
+	// simulating strong key–feature dependence.
+	KeyDep
+)
+
+// String returns "KeyInd" or "KeyDep".
+func (k KeyGen) String() string {
+	if k == KeyInd {
+		return "KeyInd"
+	}
+	return "KeyDep"
+}
+
+// Treatment selects how the generated integer-valued data is typed, which
+// in turn selects the MI estimator (Section V-A "Distribution
+// Parameters"): discrete–discrete (MLE), mixture–mixture (MixedKSG), or
+// discrete–continuous (DC-KSG, with the Y marginal perturbed by
+// low-magnitude Gaussian noise when it is discrete).
+type Treatment int
+
+const (
+	// TreatDiscrete types both columns as strings → MLE.
+	TreatDiscrete Treatment = iota
+	// TreatMixture types both columns as floats → MixedKSG.
+	TreatMixture
+	// TreatDC types X as string and Y as (perturbed) float → DC-KSG.
+	TreatDC
+)
+
+// String names the treatment after its estimator.
+func (t Treatment) String() string {
+	switch t {
+	case TreatDiscrete:
+		return "MLE"
+	case TreatMixture:
+		return "Mixed-KSG"
+	default:
+		return "DC-KSG"
+	}
+}
+
+// Estimator returns the mi estimator the treatment induces.
+func (t Treatment) Estimator() mi.Estimator {
+	switch t {
+	case TreatDiscrete:
+		return mi.EstMLE
+	case TreatMixture:
+		return mi.EstMixedKSG
+	default:
+		return mi.EstDCKSG
+	}
+}
+
+// perturbSigma is the noise magnitude used to break ties when a discrete
+// marginal must be treated as continuous. It is far below the unit grid
+// spacing of the generated integer data, so the underlying MI is
+// unchanged.
+const perturbSigma = 1e-6
+
+// Tables decomposes the dataset into a (train, candidate) pair joinable on
+// column "k", with value columns typed per the treatment: the train table
+// carries target column "y" and the candidate table feature column "x".
+// Joining them (many-to-one, on k) recovers exactly the generated (X, Y)
+// pairs.
+func (d *Dataset) Tables(kg KeyGen, tr Treatment, rng *rand.Rand) (train, cand *table.Table, err error) {
+	n := len(d.X)
+	if kg == KeyDep && !d.XDiscrete {
+		return nil, nil, fmt.Errorf("synth: KeyDep requires a discrete X")
+	}
+	if tr == TreatDiscrete && !(d.XDiscrete && d.YDiscrete) {
+		return nil, nil, fmt.Errorf("synth: the discrete treatment requires discrete X and Y")
+	}
+
+	keys := make([]string, n)
+	switch kg {
+	case KeyInd:
+		for i := range keys {
+			keys[i] = fmt.Sprintf("r%d", i)
+		}
+	case KeyDep:
+		for i := range keys {
+			keys[i] = fmt.Sprintf("v%d", int(d.X[i]))
+		}
+	}
+
+	// Candidate side: one row per key (KeyDep dedupes X values; KeyInd
+	// keeps all rows since keys are unique).
+	candKeys := keys
+	candX := d.X
+	if kg == KeyDep {
+		seen := map[string]bool{}
+		candKeys = candKeys[:0:0]
+		candX = candX[:0:0]
+		for i, k := range keys {
+			if !seen[k] {
+				seen[k] = true
+				candKeys = append(candKeys, k)
+				candX = append(candX, d.X[i])
+			}
+		}
+	}
+
+	yCol := d.typedColumn("y", d.Y, d.YDiscrete, tr == TreatDiscrete, tr == TreatDC, rng)
+	xCol := d.typedColumn("x", candX, d.XDiscrete, tr != TreatMixture, false, rng)
+	train = table.New(table.NewStringColumn("k", keys), yCol)
+	cand = table.New(table.NewStringColumn("k", append([]string(nil), candKeys...)), xCol)
+	return train, cand, nil
+}
+
+// typedColumn renders vals as a string column (asString) or a float
+// column, optionally perturbing discrete values into a continuous marginal.
+func (d *Dataset) typedColumn(name string, vals []float64, discrete, asString, perturb bool, rng *rand.Rand) *table.Column {
+	if asString && discrete {
+		strs := make([]string, len(vals))
+		for i, v := range vals {
+			strs[i] = fmt.Sprintf("%d", int(v))
+		}
+		return table.NewStringColumn(name, strs)
+	}
+	out := append([]float64(nil), vals...)
+	if perturb && discrete {
+		out = mi.Perturb(out, perturbSigma, rng)
+	}
+	return table.NewFloatColumn(name, out)
+}

@@ -1,0 +1,290 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"misketch/internal/mi"
+	"misketch/internal/stats"
+	"misketch/internal/table"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestChooseTrinomialParamsRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		p := ChooseTrinomialParams(rng)
+		if p.P1 < 0.15 || p.P1 > 0.85 || p.P2 < 0.15 || p.P2 > 0.85 {
+			t.Fatalf("parameters out of range: %+v", p)
+		}
+		if p.P1+p.P2 >= 1 {
+			t.Fatalf("p1+p2 = %v >= 1", p.P1+p.P2)
+		}
+		if p.TargetMI < 0 || p.TargetMI > 3.5 {
+			t.Fatalf("target MI out of range: %v", p.TargetMI)
+		}
+		// The solved p2 must reproduce the target correlation.
+		r := stats.CorrelationForMI(p.TargetMI)
+		if !approxEq(math.Abs(stats.TrinomialCorrelation(p.P1, p.P2)), r, 1e-9) {
+			t.Fatalf("correlation mismatch for %+v", p)
+		}
+	}
+}
+
+func TestTrinomialProxyTracksExactMI(t *testing.T) {
+	// For large m the exact trinomial MI should approach the
+	// bivariate-normal proxy used to choose parameters (CLT).
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10; i++ {
+		p := ChooseTrinomialParams(rng)
+		exact := stats.TrinomialMI(512, p.P1, p.P2)
+		if math.Abs(exact-p.TargetMI) > 0.15+0.1*p.TargetMI {
+			t.Errorf("m=512 exact MI %v far from target %v (p=%+v)", exact, p.TargetMI, p)
+		}
+	}
+}
+
+func TestGenTrinomialMarginals(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const m, n = 64, 20000
+	const p1, p2 = 0.3, 0.4
+	d := GenTrinomialWithParams(m, n, p1, p2, rng)
+	if len(d.X) != n || len(d.Y) != n {
+		t.Fatal("wrong sample count")
+	}
+	// Marginal means: E[X] = m·p1, E[Y] = m·p2.
+	if !approxEq(stats.Mean(d.X), m*p1, 0.5) {
+		t.Errorf("mean X = %v, want %v", stats.Mean(d.X), m*p1)
+	}
+	if !approxEq(stats.Mean(d.Y), m*p2, 0.5) {
+		t.Errorf("mean Y = %v, want %v", stats.Mean(d.Y), m*p2)
+	}
+	// Marginal variances: m·p(1−p).
+	if !approxEq(stats.Variance(d.X), m*p1*(1-p1), 1.5) {
+		t.Errorf("var X = %v, want %v", stats.Variance(d.X), m*p1*(1-p1))
+	}
+	// Correlation matches the trinomial closed form.
+	wantR := stats.TrinomialCorrelation(p1, p2)
+	if gotR := stats.Pearson(d.X, d.Y); !approxEq(gotR, wantR, 0.03) {
+		t.Errorf("corr = %v, want %v", gotR, wantR)
+	}
+	// Support check: X + Y <= m, values nonnegative.
+	for i := range d.X {
+		if d.X[i] < 0 || d.Y[i] < 0 || d.X[i]+d.Y[i] > m {
+			t.Fatalf("support violated at %d: x=%v y=%v", i, d.X[i], d.Y[i])
+		}
+	}
+}
+
+func TestGenTrinomialEmpiricalMIMatchesExact(t *testing.T) {
+	// The MLE estimate on a large sample must match the analytic MI —
+	// this is the Section V-B1 sanity check in miniature.
+	rng := rand.New(rand.NewSource(4))
+	d := GenTrinomialWithParams(16, 30000, 0.45, 0.45, rng)
+	xs := make([]string, len(d.X))
+	ys := make([]string, len(d.Y))
+	for i := range xs {
+		xs[i] = fmt.Sprintf("%d", int(d.X[i]))
+		ys[i] = fmt.Sprintf("%d", int(d.Y[i]))
+	}
+	got := mi.MLE(xs, ys)
+	if !approxEq(got, d.TrueMI, 0.03) {
+		t.Errorf("empirical MI %v vs exact %v", got, d.TrueMI)
+	}
+}
+
+func TestGenCDUnif(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const m, n = 10, 20000
+	d := GenCDUnif(m, n, rng)
+	if !approxEq(d.TrueMI, stats.CDUnifMI(m), 1e-12) {
+		t.Error("TrueMI mismatch")
+	}
+	if d.XDiscrete != true || d.YDiscrete != false {
+		t.Error("type flags wrong")
+	}
+	for i := range d.X {
+		x := d.X[i]
+		if x != math.Trunc(x) || x < 0 || x >= m {
+			t.Fatalf("X out of support: %v", x)
+		}
+		if d.Y[i] < x || d.Y[i] > x+2 {
+			t.Fatalf("Y out of conditional support: x=%v y=%v", x, d.Y[i])
+		}
+	}
+	// Empirical MI via MixedKSG should approach the closed form.
+	got := mi.MixedKSG(d.X[:5000], d.Y[:5000], 3)
+	if !approxEq(got, d.TrueMI, 0.1) {
+		t.Errorf("empirical MI %v vs exact %v", got, d.TrueMI)
+	}
+}
+
+func TestBinomialSamplerDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	b := newBinomialSampler(20, 0.25)
+	const n = 50000
+	counts := make([]int, 21)
+	for i := 0; i < n; i++ {
+		counts[b.sample(rng)]++
+	}
+	for k := 0; k <= 20; k++ {
+		want := float64(n) * pmfExp(20, k, 0.25)
+		if want < 50 {
+			continue // skip tail bins with tiny expectation
+		}
+		if math.Abs(float64(counts[k])-want) > 5*math.Sqrt(want) {
+			t.Errorf("bin %d: got %d, want about %.0f", k, counts[k], want)
+		}
+	}
+}
+
+func TestTablesKeyIndRecoversJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := GenTrinomialWithParams(16, 500, 0.3, 0.4, rng)
+	for _, tr := range []Treatment{TreatDiscrete, TreatMixture, TreatDC} {
+		train, cand, err := d.Tables(KeyInd, tr, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if train.NumRows() != 500 || cand.NumRows() != 500 {
+			t.Fatalf("%v: row counts %d/%d", tr, train.NumRows(), cand.NumRows())
+		}
+		joined, err := table.AugmentationJoin(train, "k", cand, "k", "x", table.AggFirst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if joined.NumRows() != 500 {
+			t.Fatalf("%v: join rows = %d", tr, joined.NumRows())
+		}
+		// The joined x must reproduce d.X row-for-row (up to typing).
+		xc := joined.MustColumn("x")
+		for i := 0; i < 500; i++ {
+			want := d.X[i]
+			var got float64
+			if xc.Kind == table.KindString {
+				fmt.Sscanf(xc.Str[i], "%f", &got)
+			} else {
+				got = xc.Num[i]
+			}
+			if math.Abs(got-want) > 1e-3 {
+				t.Fatalf("%v: row %d x=%v want %v", tr, i, got, want)
+			}
+		}
+	}
+}
+
+func TestTablesKeyDepManyToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := GenTrinomialWithParams(16, 1000, 0.3, 0.4, rng)
+	train, cand, err := d.Tables(KeyDep, TreatDiscrete, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidate has one row per distinct X value.
+	distinct := map[float64]bool{}
+	for _, x := range d.X {
+		distinct[x] = true
+	}
+	if cand.NumRows() != len(distinct) {
+		t.Fatalf("cand rows = %d, want %d distinct", cand.NumRows(), len(distinct))
+	}
+	// Join recovers the pairs exactly.
+	joined, err := table.AugmentationJoin(train, "k", cand, "k", "x", table.AggFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.NumRows() != 1000 {
+		t.Fatalf("join rows = %d", joined.NumRows())
+	}
+	xs := joined.MustColumn("x").Str
+	ys := joined.MustColumn("y").Str
+	for i := 0; i < 1000; i++ {
+		if xs[i] != fmt.Sprintf("%d", int(d.X[i])) {
+			t.Fatalf("row %d x=%q want %d", i, xs[i], int(d.X[i]))
+		}
+		if ys[i] != fmt.Sprintf("%d", int(d.Y[i])) {
+			t.Fatalf("row %d y=%q want %d", i, ys[i], int(d.Y[i]))
+		}
+	}
+}
+
+func TestTablesTypesPerTreatment(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := GenTrinomialWithParams(16, 100, 0.3, 0.4, rng)
+	cases := []struct {
+		tr    Treatment
+		yKind table.Kind
+		xKind table.Kind
+	}{
+		{TreatDiscrete, table.KindString, table.KindString},
+		{TreatMixture, table.KindFloat, table.KindFloat},
+		{TreatDC, table.KindFloat, table.KindString},
+	}
+	for _, c := range cases {
+		train, cand, err := d.Tables(KeyInd, c.tr, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if train.MustColumn("y").Kind != c.yKind {
+			t.Errorf("%v: y kind = %v", c.tr, train.MustColumn("y").Kind)
+		}
+		if cand.MustColumn("x").Kind != c.xKind {
+			t.Errorf("%v: x kind = %v", c.tr, cand.MustColumn("x").Kind)
+		}
+	}
+}
+
+func TestTreatDCPerturbsDiscreteY(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := GenTrinomialWithParams(16, 2000, 0.3, 0.4, rng)
+	train, _, err := d.Tables(KeyInd, TreatDC, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := train.MustColumn("y").Num
+	seen := map[float64]bool{}
+	for _, v := range y {
+		if seen[v] {
+			t.Fatal("perturbed Y has ties")
+		}
+		seen[v] = true
+	}
+	// CDUnif's Y is already continuous: no perturbation applied.
+	d2 := GenCDUnif(5, 100, rng)
+	train2, _, err := d2.Tables(KeyInd, TreatDC, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range train2.MustColumn("y").Num {
+		if v != d2.Y[i] {
+			t.Fatal("continuous Y should pass through unperturbed")
+		}
+	}
+}
+
+func TestTablesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cont := &Dataset{X: []float64{0.5}, Y: []float64{1}, XDiscrete: false, YDiscrete: false}
+	if _, _, err := cont.Tables(KeyDep, TreatMixture, rng); err == nil {
+		t.Error("KeyDep with continuous X should error")
+	}
+	cd := GenCDUnif(4, 10, rng)
+	if _, _, err := cd.Tables(KeyInd, TreatDiscrete, rng); err == nil {
+		t.Error("discrete treatment with continuous Y should error")
+	}
+}
+
+func TestKeyGenAndTreatmentStrings(t *testing.T) {
+	if KeyInd.String() != "KeyInd" || KeyDep.String() != "KeyDep" {
+		t.Error("KeyGen strings")
+	}
+	if TreatDiscrete.String() != "MLE" || TreatMixture.String() != "Mixed-KSG" || TreatDC.String() != "DC-KSG" {
+		t.Error("Treatment strings")
+	}
+	if TreatDiscrete.Estimator() != mi.EstMLE || TreatDC.Estimator() != mi.EstDCKSG {
+		t.Error("Treatment estimators")
+	}
+}

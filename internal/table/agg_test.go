@@ -1,0 +1,191 @@
+package table
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestPaperExample2 reproduces Example 2 from Section III-B of the paper:
+// K_Y = [a,a,b,c], K_Z = [a,b,b,b,c,c,c], Z = [1,2,2,5,0,3,3].
+// AVG  -> X = [1,1,3,2]; MODE -> X = [1,1,2,3]; COUNT -> X = [1,1,3,3].
+func TestPaperExample2(t *testing.T) {
+	train := New(strCol("ky", "a", "a", "b", "c"), numCol("y", 0, 0, 0, 0))
+	cand := New(
+		strCol("kz", "a", "b", "b", "b", "c", "c", "c"),
+		numCol("z", 1, 2, 2, 5, 0, 3, 3),
+	)
+	cases := []struct {
+		agg  AggFunc
+		want []float64
+	}{
+		{AggAvg, []float64{1, 1, 3, 2}},
+		{AggMode, []float64{1, 1, 2, 3}},
+		{AggCount, []float64{1, 1, 3, 3}},
+	}
+	for _, c := range cases {
+		j, err := AugmentationJoin(train, "ky", cand, "kz", "z", c.agg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.agg, err)
+		}
+		if j.NumRows() != 4 {
+			t.Fatalf("%s: rows = %d", c.agg, j.NumRows())
+		}
+		if !Float64sEqualNaN(j.Column("z").Num, c.want) {
+			t.Errorf("%s: X = %v, want %v", c.agg, j.Column("z").Num, c.want)
+		}
+	}
+}
+
+func TestAggregateNumeric(t *testing.T) {
+	tb := New(
+		strCol("k", "a", "a", "a", "b"),
+		numCol("v", 1, 2, 9, 5),
+	)
+	cases := []struct {
+		agg  AggFunc
+		want []float64
+	}{
+		{AggAvg, []float64{4, 5}},
+		{AggSum, []float64{12, 5}},
+		{AggCount, []float64{3, 1}},
+		{AggMin, []float64{1, 5}},
+		{AggMax, []float64{9, 5}},
+		{AggMedian, []float64{2, 5}},
+		{AggFirst, []float64{1, 5}},
+	}
+	for _, c := range cases {
+		out, err := Aggregate(tb, "k", "v", c.agg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.agg, err)
+		}
+		if !reflect.DeepEqual(out.Column("k").Str, []string{"a", "b"}) {
+			t.Fatalf("%s: keys = %v", c.agg, out.Column("k").Str)
+		}
+		if !Float64sEqualNaN(out.Column("v").Num, c.want) {
+			t.Errorf("%s: vals = %v, want %v", c.agg, out.Column("v").Num, c.want)
+		}
+	}
+}
+
+func TestAggregateMedianEven(t *testing.T) {
+	tb := New(strCol("k", "a", "a", "a", "a"), numCol("v", 4, 1, 3, 2))
+	out, err := Aggregate(tb, "k", "v", AggMedian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Column("v").Num[0] != 2.5 {
+		t.Errorf("median = %v, want 2.5", out.Column("v").Num[0])
+	}
+}
+
+func TestAggregateStringModeAndExtremes(t *testing.T) {
+	tb := New(
+		strCol("k", "a", "a", "a", "b"),
+		strCol("v", "x", "y", "x", "z"),
+	)
+	out, err := Aggregate(tb, "k", "v", AggMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Column("v").Str, []string{"x", "z"}) {
+		t.Errorf("mode = %v", out.Column("v").Str)
+	}
+	mn, _ := Aggregate(tb, "k", "v", AggMin)
+	if !reflect.DeepEqual(mn.Column("v").Str, []string{"x", "z"}) {
+		t.Errorf("min = %v", mn.Column("v").Str)
+	}
+	mx, _ := Aggregate(tb, "k", "v", AggMax)
+	if !reflect.DeepEqual(mx.Column("v").Str, []string{"y", "z"}) {
+		t.Errorf("max = %v", mx.Column("v").Str)
+	}
+}
+
+func TestAggregateModeTieBreaksFirstSeen(t *testing.T) {
+	tb := New(strCol("k", "a", "a"), strCol("v", "q", "p"))
+	out, _ := Aggregate(tb, "k", "v", AggMode)
+	if out.Column("v").Str[0] != "q" {
+		t.Errorf("mode tie should keep first-seen, got %q", out.Column("v").Str[0])
+	}
+}
+
+func TestAggregateRejectsArithmeticOnStrings(t *testing.T) {
+	tb := New(strCol("k", "a"), strCol("v", "x"))
+	for _, agg := range []AggFunc{AggAvg, AggSum, AggMedian} {
+		if _, err := Aggregate(tb, "k", "v", agg); err == nil {
+			t.Errorf("%s on strings should fail", agg)
+		}
+	}
+}
+
+func TestAggregateNullHandling(t *testing.T) {
+	tb := New(
+		strCol("k", "a", "a", "b", "", "c"),
+		numCol("v", 1, math.NaN(), math.NaN(), 9, 5),
+	)
+	out, err := Aggregate(tb, "k", "v", AggAvg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NULL key row dropped; group b has only NULLs -> NULL avg.
+	if !reflect.DeepEqual(out.Column("k").Str, []string{"a", "b", "c"}) {
+		t.Fatalf("keys = %v", out.Column("k").Str)
+	}
+	v := out.Column("v").Num
+	if v[0] != 1 || !math.IsNaN(v[1]) || v[2] != 5 {
+		t.Errorf("avg = %v", v)
+	}
+	// COUNT of an all-NULL group is 0, not NULL.
+	cnt, _ := Aggregate(tb, "k", "v", AggCount)
+	if cnt.Column("v").Num[1] != 0 {
+		t.Errorf("count = %v", cnt.Column("v").Num)
+	}
+}
+
+func TestAggregateMissingColumns(t *testing.T) {
+	tb := New(strCol("k", "a"))
+	if _, err := Aggregate(tb, "k", "missing", AggAvg); err == nil {
+		t.Error("expected error")
+	}
+	if _, err := Aggregate(tb, "missing", "k", AggAvg); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestOutputKind(t *testing.T) {
+	cases := []struct {
+		agg  AggFunc
+		in   Kind
+		want Kind
+		ok   bool
+	}{
+		{AggCount, KindString, KindFloat, true},
+		{AggCount, KindFloat, KindFloat, true},
+		{AggMode, KindString, KindString, true},
+		{AggFirst, KindFloat, KindFloat, true},
+		{AggAvg, KindFloat, KindFloat, true},
+		{AggAvg, KindString, KindFloat, false},
+		{AggMin, KindString, KindString, true},
+		{AggFunc("bogus"), KindFloat, KindFloat, false},
+	}
+	for _, c := range cases {
+		got, ok := c.agg.OutputKind(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("OutputKind(%s, %s) = (%v,%v)", c.agg, c.in, got, ok)
+		}
+	}
+}
+
+// The paper's note: with AGG=COUNT the feature depends only on the key
+// frequency distribution, so two candidate tables with identical key
+// frequencies yield identical features regardless of Z values.
+func TestCountDependsOnlyOnKeyFrequencies(t *testing.T) {
+	train := New(strCol("ky", "a", "b"), numCol("y", 0, 0))
+	cand1 := New(strCol("kz", "a", "a", "b"), numCol("z", 1, 2, 3))
+	cand2 := New(strCol("kz", "a", "a", "b"), numCol("z", 99, -5, 0))
+	j1, _ := AugmentationJoin(train, "ky", cand1, "kz", "z", AggCount)
+	j2, _ := AugmentationJoin(train, "ky", cand2, "kz", "z", AggCount)
+	if !Float64sEqualNaN(j1.Column("z").Num, j2.Column("z").Num) {
+		t.Error("COUNT features should be identical")
+	}
+}

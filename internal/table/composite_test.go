@@ -1,0 +1,119 @@
+package table
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestWithCompositeKeyBasic(t *testing.T) {
+	tb := New(
+		strCol("date", "2017-01-01", "2017-01-02"),
+		strCol("zip", "11201", "10011"),
+		numCol("y", 1, 2),
+	)
+	out, err := WithCompositeKey(tb, "ck", []string{"date", "zip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumCols() != 4 {
+		t.Fatalf("cols = %d", out.NumCols())
+	}
+	ck := out.MustColumn("ck")
+	if ck.Str[0] != "2017-01-01\x1f11201" {
+		t.Errorf("ck[0] = %q", ck.Str[0])
+	}
+	// Original table unchanged.
+	if tb.NumCols() != 3 {
+		t.Error("input table mutated")
+	}
+}
+
+func TestWithCompositeKeyNoAmbiguity(t *testing.T) {
+	// ("ab","c") and ("a","bc") must produce different composite keys.
+	tb := New(strCol("a", "ab", "a"), strCol("b", "c", "bc"))
+	out, err := WithCompositeKey(tb, "ck", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := out.MustColumn("ck")
+	if ck.Str[0] == ck.Str[1] {
+		t.Error("composite keys collide")
+	}
+}
+
+func TestWithCompositeKeyNullPropagation(t *testing.T) {
+	tb := New(
+		strCol("a", "x", "", "z"),
+		numCol("b", 1, 2, math.NaN()),
+	)
+	out, err := WithCompositeKey(tb, "ck", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := out.MustColumn("ck")
+	if ck.IsNull(0) {
+		t.Error("row 0 should have a key")
+	}
+	if !ck.IsNull(1) || !ck.IsNull(2) {
+		t.Error("NULL parts must produce NULL composite keys")
+	}
+}
+
+func TestWithCompositeKeyNumericParts(t *testing.T) {
+	tb := New(numCol("a", 1.5, 2), numCol("b", 3, 4))
+	out, err := WithCompositeKey(tb, "ck", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.MustColumn("ck").Str; !reflect.DeepEqual(got, []string{"1.5\x1f3", "2\x1f4"}) {
+		t.Errorf("ck = %q", got)
+	}
+}
+
+func TestWithCompositeKeyErrors(t *testing.T) {
+	tb := New(strCol("a", "x"))
+	if _, err := WithCompositeKey(tb, "ck", nil); err == nil {
+		t.Error("empty column list should error")
+	}
+	if _, err := WithCompositeKey(tb, "ck", []string{"missing"}); err == nil {
+		t.Error("missing column should error")
+	}
+	if _, err := WithCompositeKey(tb, "a", []string{"a"}); err == nil {
+		t.Error("name collision should error")
+	}
+}
+
+func TestCompositeKeyJoinEquivalence(t *testing.T) {
+	// Joining on the composite key must equal pair-wise key matching.
+	left := New(
+		strCol("d", "m", "m", "t", "t"),
+		strCol("z", "1", "2", "1", "2"),
+		numCol("y", 10, 20, 30, 40),
+	)
+	right := New(
+		strCol("d", "m", "t"),
+		strCol("z", "2", "1"),
+		numCol("x", 200, 300),
+	)
+	l2, err := WithCompositeKey(left, "ck", []string{"d", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := WithCompositeKey(right, "ck", []string{"d", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := LeftJoin(l2, r2, "ck", "ck", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 2 {
+		t.Fatalf("rows = %d", j.NumRows())
+	}
+	y := j.MustColumn("y").Num
+	x := j.MustColumn("x").Num
+	if !(y[0] == 20 && x[0] == 200 && y[1] == 30 && x[1] == 300) {
+		t.Errorf("joined rows wrong: y=%v x=%v", y, x)
+	}
+}

@@ -1,0 +1,118 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV parses a CSV stream with a header row into a Table, inferring
+// each column's kind: a column is numeric if every non-empty cell parses
+// as a float64, otherwise it is a string column. Empty cells become NULLs.
+// This plays the role of Tablesaw's type inference in the paper's
+// real-data pipeline.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	raw := make([][]string, len(header))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading CSV row: %w", err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("table: CSV row has %d fields, header has %d", len(rec), len(header))
+		}
+		for i, v := range rec {
+			raw[i] = append(raw[i], v)
+		}
+	}
+	cols := make([]*Column, len(header))
+	for i, name := range header {
+		cols[i] = inferColumn(strings.TrimSpace(name), raw[i])
+	}
+	return New(cols...), nil
+}
+
+// inferColumn decides the kind of a raw string column and converts it.
+func inferColumn(name string, vals []string) *Column {
+	numeric := false
+	allNumeric := true
+	for _, v := range vals {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			continue
+		}
+		if _, err := strconv.ParseFloat(v, 64); err != nil {
+			allNumeric = false
+			break
+		}
+		numeric = true
+	}
+	if numeric && allNumeric {
+		nums := make([]float64, len(vals))
+		for i, v := range vals {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				nums[i] = math.NaN()
+				continue
+			}
+			nums[i], _ = strconv.ParseFloat(v, 64)
+		}
+		return NewFloatColumn(name, nums)
+	}
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = strings.TrimSpace(v)
+	}
+	return NewStringColumn(name, out)
+}
+
+// WriteCSV writes the table as CSV with a header row. NULLs are written
+// as empty cells. A NULL row of a single-column table is written as a
+// quoted empty string rather than a blank line, which csv readers
+// (including ours) would otherwise skip, breaking round trips.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	writeRecord := func(rec []string) error {
+		if len(rec) == 1 && rec[0] == "" {
+			// encoding/csv renders a lone empty field as a blank line,
+			// which readers skip; force an explicitly quoted empty field.
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return err
+			}
+			_, err := io.WriteString(w, "\"\"\n")
+			return err
+		}
+		return cw.Write(rec)
+	}
+	if err := writeRecord(t.ColumnNames()); err != nil {
+		return err
+	}
+	row := make([]string, t.NumCols())
+	for i := 0; i < t.NumRows(); i++ {
+		for j, c := range t.cols {
+			if c.IsNull(i) {
+				row[j] = ""
+			} else {
+				row[j] = c.StringAt(i)
+			}
+		}
+		if err := writeRecord(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,112 @@
+package misketch
+
+import (
+	"io"
+	"math/rand"
+	"os"
+
+	"misketch/internal/core"
+	"misketch/internal/mi"
+	"misketch/internal/store"
+	"misketch/internal/table"
+)
+
+// This file exposes the system-level features around the core estimate
+// pipeline: streaming sketch construction, sketch persistence, the
+// on-disk discovery store, composite join keys, and confidence intervals.
+
+// StreamBuilder builds a sketch from a stream of (key, value) rows in one
+// pass without materializing the table — the ingestion-time mode for
+// production pipelines. PRISK is not streamable.
+type StreamBuilder = core.StreamBuilder
+
+// Role distinguishes the two join sides when streaming.
+type Role = core.Role
+
+// The two sketch roles.
+const (
+	RoleTrain     = core.RoleTrain
+	RoleCandidate = core.RoleCandidate
+)
+
+// NewStreamBuilder returns a one-pass sketch builder; numeric selects the
+// value kind. Feed rows with AddNum/AddStr and call Sketch to snapshot.
+func NewStreamBuilder(role Role, numeric bool, opt Options) (*StreamBuilder, error) {
+	return core.NewStreamBuilder(role, numeric, normalizeOptions(opt))
+}
+
+// WriteSketch serializes a sketch to w in the versioned binary format.
+func WriteSketch(w io.Writer, s *Sketch) error {
+	_, err := s.WriteTo(w)
+	return err
+}
+
+// ReadSketch deserializes a sketch written by WriteSketch.
+func ReadSketch(r io.Reader) (*Sketch, error) {
+	return core.ReadSketch(r)
+}
+
+// SaveSketch writes a sketch to a file.
+func SaveSketch(path string, s *Sketch) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := s.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSketch reads a sketch from a file.
+func LoadSketch(path string) (*Sketch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.ReadSketch(f)
+}
+
+// Store is a directory of persisted sketches serving discovery queries;
+// see OpenStore.
+type Store = store.Store
+
+// RankedSketch is one result of a Store discovery query.
+type RankedSketch = store.RankedSketch
+
+// OpenStore opens (creating if necessary) a sketch store rooted at dir.
+// Typical usage: at ingestion time, SketchCandidate every column of every
+// dataset and Put it; at query time, SketchTrain the user's table and
+// Rank against the store.
+func OpenStore(dir string) (*Store, error) {
+	return store.Open(dir)
+}
+
+// WithCompositeKey returns a copy of t extended with a string key column
+// concatenating the given columns — multi-attribute join keys from the
+// paper's problem statement. Sketch the result on the new column:
+//
+//	t2, _ := misketch.WithCompositeKey(t, "_key", []string{"date", "zip"})
+//	s, _ := misketch.SketchTrain(t2, "_key", "target", misketch.Options{})
+func WithCompositeKey(t *Table, name string, cols []string) (*Table, error) {
+	return table.WithCompositeKey(t, name, cols)
+}
+
+// Interval is a two-sided confidence interval around an MI estimate.
+type Interval = mi.Interval
+
+// EstimateMIWithCI is EstimateMI plus a subsampling confidence interval
+// at the given level (e.g. 0.95), computed from reps half-size
+// subsamples of the sketch join. Width shrinks at roughly a square-root
+// rate in the sketch join size, per the error bounds the paper cites.
+func EstimateMIWithCI(train, cand *Sketch, reps int, level float64, seed int64) (Result, Interval, error) {
+	js, err := core.Join(train, cand)
+	if err != nil {
+		return Result{}, Interval{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res, ci := mi.EstimateWithCI(js.Y, js.X, DefaultK, reps, level, rng)
+	return res, ci, nil
+}
