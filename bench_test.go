@@ -10,6 +10,7 @@ package misketch
 // join) follow, backing the Section V-D performance discussion.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -286,6 +287,95 @@ func BenchmarkAblationTupleVsKeyHashing(b *testing.B) {
 			b.ReportMetric(float64(joinTotal)/float64(b.N), "join-size")
 		})
 	}
+}
+
+// --- Store-scale discovery benches ----------------------------------------
+
+// benchStore fills a store with nCand small candidate sketches (plus a
+// decoy population excluded by prefix) and returns it with a matching
+// train sketch. Streaming builders keep setup time proportional to the
+// candidate count, not to table materialization.
+func benchStore(b *testing.B, dir string, nCand int, opt OpenStoreOptions) (*Store, *Sketch) {
+	b.Helper()
+	st, err := OpenStoreWithOptions(dir, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	sopt := Options{Size: 256}
+	tb, err := NewStreamBuilder(RoleTrain, true, sopt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		tb.AddNum(fmt.Sprintf("g%d", rng.Intn(400)), rng.NormFloat64())
+	}
+	train := tb.Sketch()
+	for c := 0; c < nCand; c++ {
+		cb, err := NewStreamBuilder(RoleCandidate, true, sopt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for g := 0; g < 400; g++ {
+			cb.AddNum(fmt.Sprintf("g%d", g), float64(g%7)+rng.NormFloat64())
+		}
+		if err := st.Put(fmt.Sprintf("bench/t%04d#x", c), cb.Sketch()); err != nil {
+			b.Fatal(err)
+		}
+		// A decoy the prefix filter must exclude without reading it.
+		if c%4 == 0 {
+			if err := st.Put(fmt.Sprintf("decoy/t%04d#x", c), cb.Sketch()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return st, train
+}
+
+// BenchmarkStoreRank measures a discovery query over a store of 1000+
+// prebuilt candidate sketches — the deployment path (catalog of
+// pre-built sketches, MI ranking on demand). "top10" exercises the
+// manifest-filtered, bounded-heap top-K path; "all" ranks and sorts
+// everything; "top10-cold" reopens the store each iteration, so the
+// manifest open plus uncached reads are inside the measurement.
+func BenchmarkStoreRank(b *testing.B) {
+	const nCand = 1000
+	dir := b.TempDir()
+	st, train := benchStore(b, dir, nCand, OpenStoreOptions{})
+	ctx := context.Background()
+
+	b.Run("top10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ranked, _, err := st.RankContext(ctx, train, "bench/", 50, DefaultK, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(ranked) != 10 {
+				b.Fatalf("ranked = %d", len(ranked))
+			}
+		}
+	})
+	b.Run("all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := st.RankContext(ctx, train, "bench/", 50, DefaultK, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("top10-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cold, err := OpenStore(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := cold.RankContext(ctx, train, "bench/", 50, DefaultK, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationAggregation isolates design choice 3: the cost of the

@@ -17,14 +17,27 @@
 // Compare the sketch estimate against the exact full-join computation:
 //
 //	misketch estimate -full ...
+//
+// Maintain an on-disk sketch store (sharded, manifest-indexed): bulk
+// ingest every column of every CSV in a directory through a parallel
+// StreamBuilder pool, then answer discovery queries against it:
+//
+//	misketch store ingest -store ./sketches -key date ./candidates
+//	misketch store rank   -store ./sketches -train taxi.csv -train-key date -target num_trips
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
 
 	"misketch"
 	"misketch/internal/table"
@@ -40,9 +53,11 @@ func main() {
 		runEstimate(os.Args[2:])
 	case "rank":
 		runRank(os.Args[2:])
-	case "sketch":
-		runSketch(os.Args[2:])
-	case "store-rank":
+	case "store":
+		runStore(os.Args[2:])
+	case "sketch": // legacy spelling of "store ingest" over explicit files
+		runStoreIngest(os.Args[2:])
+	case "store-rank": // legacy spelling of "store rank"
 		runStoreRank(os.Args[2:])
 	default:
 		usage()
@@ -52,10 +67,34 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  misketch estimate   -train FILE -train-key COL -target COL -cand FILE -cand-key COL -feature COL [flags]
-  misketch rank       -train FILE -train-key COL -target COL [flags] CANDIDATE_DIR
-  misketch sketch     -store DIR -key COL [flags] CSV_FILE...        (ingest: sketch every column)
-  misketch store-rank -store DIR -train FILE -train-key COL -target COL [flags]`)
+  misketch estimate      -train FILE -train-key COL -target COL -cand FILE -cand-key COL -feature COL [flags]
+  misketch rank          -train FILE -train-key COL -target COL [flags] CANDIDATE_DIR
+  misketch store ingest  -store DIR -key COL [-workers N] [flags] CSV_OR_DIR...
+  misketch store rank    -store DIR -train FILE -train-key COL -target COL [flags]
+  misketch store ls      -store DIR
+  misketch store rebuild -store DIR
+  (legacy aliases: "sketch" = store ingest, "store-rank" = store rank)`)
+}
+
+// runStore dispatches the store subcommand family.
+func runStore(args []string) {
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "ingest":
+		runStoreIngest(args[1:])
+	case "rank":
+		runStoreRank(args[1:])
+	case "ls":
+		runStoreLs(args[1:])
+	case "rebuild":
+		runStoreRebuild(args[1:])
+	default:
+		usage()
+		os.Exit(2)
+	}
 }
 
 // commonFlags registers the flags shared by both subcommands.
@@ -215,61 +254,156 @@ func die(err error) {
 	}
 }
 
-// runSketch ingests CSV files into a sketch store: every non-key column
-// of every file gets a candidate sketch persisted under "file#column".
-func runSketch(args []string) {
-	fs := flag.NewFlagSet("sketch", flag.ExitOnError)
+// runStoreIngest bulk-ingests CSV files into a sketch store: every
+// non-key column of every file gets a candidate sketch persisted under
+// "file#column@key". Files fan out across a worker pool, and each column
+// is sketched in one streaming pass (StreamBuilder), which avoids the
+// per-column aggregate-table materialization of the batch path. (Each
+// CSV is still loaded as a table once per file; up to -workers tables
+// are resident at a time.) Exits non-zero if any store write failed;
+// unreadable files and files without the key column are skipped with a
+// warning, as before.
+func runStoreIngest(args []string) {
+	fs := flag.NewFlagSet("store ingest", flag.ExitOnError)
 	storeDir := fs.String("store", "", "sketch store directory")
 	key := fs.String("key", "", "join-key column name (must exist in each file)")
 	size := fs.Int("sketch", misketch.DefaultSketchSize, "sketch size n")
 	agg := fs.String("agg", "first", "aggregation for repeated keys")
 	seed := fs.Uint("seed", 0, "hash seed (0 = default)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel ingestion workers")
+	shards := fs.Int("shards", 0, "directory fan-out for a newly created store (0 = default)")
 	die(fs.Parse(args))
 	requireFlags(map[string]string{"store": *storeDir, "key": *key})
 	if fs.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "sketch: at least one CSV file required")
+		fmt.Fprintln(os.Stderr, "store ingest: at least one CSV file or directory required")
 		os.Exit(2)
 	}
-	st, err := misketch.OpenStore(*storeDir)
-	die(err)
-	total := 0
-	for _, path := range fs.Args() {
-		tb, err := misketch.ReadCSVFile(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "skipping %s: %v\n", path, err)
-			continue
-		}
-		if tb.Column(*key) == nil {
-			fmt.Fprintf(os.Stderr, "skipping %s: no column %q\n", path, *key)
-			continue
-		}
-		for _, col := range tb.Columns() {
-			if col.Name == *key {
-				continue
-			}
-			sk, err := misketch.SketchCandidate(tb, *key, col.Name, misketch.Options{
-				Size: *size, Seed: uint32(*seed),
-				Agg: pickAgg(misketch.AggFunc(*agg), col),
-			})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "skipping %s#%s: %v\n", path, col.Name, err)
-				continue
-			}
-			name := fmt.Sprintf("%s#%s@%s", filepath.Base(path), col.Name, *key)
-			die(st.Put(name, sk))
-			total++
-		}
+	paths := expandCSVArgs(fs.Args())
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "store ingest: no CSV files found")
+		os.Exit(1)
 	}
-	fmt.Printf("ingested %d sketches into %s\n", total, *storeDir)
+	// Sketch names are derived from the file basename, so two files with
+	// the same basename would silently overwrite each other's sketches —
+	// refuse up front rather than lose data nondeterministically.
+	byBase := make(map[string]string, len(paths))
+	for _, p := range paths {
+		base := filepath.Base(p)
+		if prev, dup := byBase[base]; dup {
+			fmt.Fprintf(os.Stderr, "store ingest: %s and %s would both store sketches under %q; rename one or ingest them into separate stores\n", prev, p, base)
+			os.Exit(2)
+		}
+		byBase[base] = p
+	}
+	st, err := misketch.OpenStoreWithOptions(*storeDir, misketch.OpenStoreOptions{Shards: *shards})
+	die(err)
+	opt := misketch.Options{Size: *size, Seed: uint32(*seed)}
+
+	if *workers < 1 {
+		*workers = 1
+	}
+	jobs := make(chan string)
+	var total, failed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for path := range jobs {
+				n, skip, err := ingestFile(st, path, *key, opt, misketch.AggFunc(*agg))
+				total.Add(int64(n)) // count partial progress before a failure too
+				switch {
+				case err != nil:
+					failed.Add(1)
+					fmt.Fprintf(os.Stderr, "%s: %v (%d sketches already ingested)\n", path, err, n)
+				case skip != nil:
+					fmt.Fprintf(os.Stderr, "skipping %s: %v\n", path, skip)
+				}
+			}
+		}()
+	}
+	for _, p := range paths {
+		jobs <- p
+	}
+	close(jobs)
+	wg.Wait()
+	die(st.Close()) // persist the manifest for what did succeed
+	fmt.Printf("ingested %d sketches from %d files into %s\n", total.Load(), len(paths), *storeDir)
+	if n := failed.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "store ingest: %d file(s) failed\n", n)
+		os.Exit(1)
+	}
 }
 
-// runStoreRank answers a discovery query against a sketch store.
+// expandCSVArgs turns a mix of CSV paths and directories into a sorted,
+// deduplicated list of CSV files (directories contribute their *.csv
+// entries; naming a file both directly and via its directory is fine).
+func expandCSVArgs(args []string) []string {
+	var paths []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		p = filepath.Clean(p)
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, a := range args {
+		if fi, err := os.Stat(a); err == nil && fi.IsDir() {
+			matches, err := filepath.Glob(filepath.Join(a, "*.csv"))
+			die(err)
+			for _, m := range matches {
+				add(m)
+			}
+			continue
+		}
+		add(a)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// ingestFile sketches every non-key column of one CSV through a
+// streaming builder and stores the results. It returns the number of
+// sketches ingested, a benign skip reason (unreadable file, missing key
+// column), and a store-write error — only the latter should fail the
+// run.
+func ingestFile(st *misketch.Store, path, key string, opt misketch.Options, agg misketch.AggFunc) (n int, skip, err error) {
+	tb, err := misketch.ReadCSVFile(path)
+	if err != nil {
+		return 0, err, nil
+	}
+	if tb.Column(key) == nil {
+		return 0, fmt.Errorf("no column %q", key), nil
+	}
+	for _, col := range tb.Columns() {
+		if col.Name == key {
+			continue
+		}
+		o := opt
+		o.Agg = pickAgg(agg, col)
+		sk, err := misketch.BuildStreaming(tb, key, col.Name, misketch.RoleCandidate, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %s#%s: %v\n", path, col.Name, err)
+			continue
+		}
+		name := fmt.Sprintf("%s#%s@%s", filepath.Base(path), col.Name, key)
+		if err := st.Put(name, sk); err != nil {
+			return n, nil, err
+		}
+		n++
+	}
+	return n, nil, nil
+}
+
+// runStoreRank answers a discovery query against a sketch store. The
+// ranking is top-K bounded and cancellable with Ctrl-C.
 func runStoreRank(args []string) {
-	fs := flag.NewFlagSet("store-rank", flag.ExitOnError)
+	fs := flag.NewFlagSet("store rank", flag.ExitOnError)
 	storeDir := fs.String("store", "", "sketch store directory")
 	train, trainKey, target, size, _, seed := commonFlags(fs)
 	minJoin := fs.Int("min-join", 100, "drop candidates whose sketch join has at most this many samples")
-	top := fs.Int("top", 20, "show the top-K candidates")
+	top := fs.Int("top", 20, "return only the top-K candidates")
 	prefix := fs.String("prefix", "", "only rank stored sketches whose name has this prefix")
 	die(fs.Parse(args))
 	requireFlags(map[string]string{"store": *storeDir, "train": *train, "train-key": *trainKey, "target": *target})
@@ -277,16 +411,58 @@ func runStoreRank(args []string) {
 	st := buildTrainSketch(*train, *trainKey, *target, *size, *seed)
 	sketches, err := misketch.OpenStore(*storeDir)
 	die(err)
-	ranked, skipped, err := sketches.Rank(st, *prefix, *minJoin, misketch.DefaultK)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ranked, skipped, err := sketches.RankContext(ctx, st, *prefix, *minJoin, misketch.DefaultK, *top)
 	die(err)
 	fmt.Printf("%-44s %10s %10s %10s\n", "candidate", "MI (nats)", "estimator", "join size")
-	for i, r := range ranked {
-		if i >= *top {
-			break
-		}
+	for _, r := range ranked {
 		fmt.Printf("%-44s %10.4f %10s %10d\n", r.Name, r.MI, r.Estimator, r.JoinSize)
 	}
 	if len(skipped) > 0 {
 		fmt.Printf("(%d sketches skipped: incompatible seed or role)\n", len(skipped))
 	}
+	stats := sketches.Stats()
+	fmt.Printf("(%d sketches indexed, %d read from disk)\n", stats.Sketches, stats.DiskReads)
+}
+
+// runStoreLs lists the manifest of a sketch store without reading any
+// sketch bodies.
+func runStoreLs(args []string) {
+	fs := flag.NewFlagSet("store ls", flag.ExitOnError)
+	storeDir := fs.String("store", "", "sketch store directory")
+	die(fs.Parse(args))
+	requireFlags(map[string]string{"store": *storeDir})
+	st, err := misketch.OpenStore(*storeDir)
+	die(err)
+	metas := st.Metas()
+	fmt.Printf("%-44s %-6s %-9s %8s %10s %10s\n", "name", "method", "role", "entries", "rows", "bytes")
+	for _, m := range metas {
+		role := "cand"
+		if m.Role == misketch.RoleTrain {
+			role = "train"
+		}
+		kind := "str"
+		if m.Numeric {
+			kind = "num"
+		}
+		fmt.Printf("%-44s %-6s %-9s %8d %10d %10d\n",
+			m.Name, fmt.Sprintf("%s/%s", m.Method, kind), role, m.Entries, m.SourceRows, m.Bytes)
+	}
+	fmt.Printf("(%d sketches)\n", len(metas))
+}
+
+// runStoreRebuild re-derives a store's manifest from the sketch files on
+// disk via header-only reads — repair after manifest loss or corruption.
+func runStoreRebuild(args []string) {
+	fs := flag.NewFlagSet("store rebuild", flag.ExitOnError)
+	storeDir := fs.String("store", "", "sketch store directory")
+	die(fs.Parse(args))
+	requireFlags(map[string]string{"store": *storeDir})
+	st, err := misketch.OpenStore(*storeDir)
+	die(err)
+	die(st.RebuildManifest())
+	n, err := st.Len()
+	die(err)
+	fmt.Printf("rebuilt manifest: %d sketches indexed in %s\n", n, *storeDir)
 }

@@ -1,15 +1,19 @@
 // Discovery at repository scale: rank every table of a simulated
 // open-data repository by the estimated MI between its value column and a
 // query table's target — the paper's data-discovery workload (Section
-// V-C). All candidate sketches are built once ("offline"); answering the
-// query touches only sketches.
+// V-C), run against the on-disk sketch store. All candidate sketches are
+// built once ("offline") into a sharded, manifest-indexed store;
+// answering the query reads the manifest plus only the sketches that
+// survive its filters, bounded to the top K by a ranking heap.
 //
 // Run with: go run ./examples/discovery
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"misketch"
@@ -22,52 +26,67 @@ func main() {
 	cfg.NumTables = 40
 	repo := corpus.Generate(cfg, 2024)
 
-	// Offline phase: sketch every table's (key, value) pair once.
-	opts := misketch.Options{Size: 1024}
-	start := time.Now()
-	type entry struct {
-		name   string
-		sketch *misketch.Sketch
-		domain int
-	}
-	var index []entry
-	for _, t := range repo.Tables {
-		s, err := misketch.SketchCandidate(t.T, corpus.KeyCol, corpus.ValCol, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		index = append(index, entry{
-			name:   fmt.Sprintf("table-%03d (domain %d)", t.ID, t.Domain),
-			sketch: s,
-			domain: t.Domain,
-		})
-	}
-	fmt.Printf("indexed %d tables in %v (sketches only: %d entries each)\n\n",
-		len(index), time.Since(start).Round(time.Millisecond), opts.Size)
-
-	// Query phase: the user brings a base table (one of the repository's
-	// domains) and asks which tables carry information about its target.
-	// Pick a query whose value column actually depends on its keys, so
-	// there is something to discover.
+	// The user's query table: pick one whose value column actually
+	// depends on its keys, so there is something to discover.
 	query := repo.Tables[0]
 	for _, t := range repo.Tables {
 		if t.Dependence > query.Dependence {
 			query = t
 		}
 	}
-	st, err := misketch.SketchTrain(query.T, corpus.KeyCol, corpus.ValCol, opts)
+
+	dir, err := os.MkdirTemp("", "misketch-store-*")
 	if err != nil {
 		log.Fatal(err)
 	}
-	var cands []misketch.Candidate
-	for _, e := range index {
-		if e.name == fmt.Sprintf("table-%03d (domain %d)", query.ID, query.Domain) {
-			continue // skip the query table itself
-		}
-		cands = append(cands, misketch.Candidate{Name: e.name, Sketch: e.sketch})
+	defer os.RemoveAll(dir)
+
+	// Offline phase: sketch every other table's (key, value) pair once
+	// into the store, then persist the manifest.
+	opts := misketch.Options{Size: 1024}
+	st, err := misketch.OpenStoreWithOptions(dir, misketch.OpenStoreOptions{
+		Shards: 32, CacheBytes: 16 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
+	start := time.Now()
+	indexed := 0
+	for _, t := range repo.Tables {
+		if t.ID == query.ID {
+			continue
+		}
+		s, err := misketch.SketchCandidate(t.T, corpus.KeyCol, corpus.ValCol, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := fmt.Sprintf("wbf/table-%03d#%s@%s", t.ID, corpus.ValCol, corpus.KeyCol)
+		if err := st.Put(name, s); err != nil {
+			log.Fatal(err)
+		}
+		indexed++
+	}
+	if err := st.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d tables into a sharded store in %v\n\n",
+		indexed, time.Since(start).Round(time.Millisecond))
+
+	// Query phase, against a cold handle: nothing cached, every
+	// candidate admitted by the manifest is read exactly once.
+	cold, err := misketch.OpenStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainSk, err := misketch.SketchTrain(query.T, corpus.KeyCol, corpus.ValCol, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 	start = time.Now()
-	ranked, err := misketch.Rank(st, cands, 100)
+	const topK = 10
+	ranked, skipped, err := cold.RankContext(ctx, trainSk, "wbf/", 100, misketch.DefaultK, topK)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,17 +94,12 @@ func main() {
 
 	fmt.Printf("query: table-%03d (domain %d, key-dependence %.2f)\n",
 		query.ID, query.Domain, query.Dependence)
-	fmt.Printf("%-28s %10s %10s %10s\n", "candidate", "MI (nats)", "estimator", "join size")
-	shown := 0
+	fmt.Printf("%-36s %10s %10s %10s\n", "candidate", "MI (nats)", "estimator", "join size")
 	for _, r := range ranked {
-		if shown >= 10 {
-			break
-		}
-		fmt.Printf("%-28s %10.3f %10s %10d\n", r.Name, r.MI, r.Estimator, r.JoinSize)
-		shown++
+		fmt.Printf("%-36s %10.3f %10s %10d\n", r.Name, r.MI, r.Estimator, r.JoinSize)
 	}
-	fmt.Printf("\nranked %d joinable candidates in %v without materializing a single join\n",
-		len(ranked), elapsed.Round(time.Microsecond))
-	fmt.Printf("(%d candidates were filtered out: non-overlapping keys or sketch join ≤ 100)\n",
-		len(cands)-len(ranked))
+	stats := cold.Stats()
+	fmt.Printf("\ntop %d of %d stored sketches in %v — %d sketch reads, %d skipped by manifest filters\n",
+		len(ranked), stats.Sketches, elapsed.Round(time.Microsecond), stats.DiskReads, len(skipped))
+	fmt.Println("(no join was materialized, and no excluded sketch was deserialized)")
 }

@@ -1,0 +1,3 @@
+module misketch
+
+go 1.24

@@ -1,0 +1,121 @@
+// Package binio holds the little-endian binary codec helpers shared by
+// the sketch format (internal/core/encode.go) and the store manifest
+// format (internal/store/manifest.go): sticky first-error tracking, byte
+// counting on the write side, and length-prefixed strings with a
+// corruption cap on the read side.
+package binio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// maxStrBytes caps length-prefixed strings so corrupt input cannot ask
+// for absurd allocations.
+const maxStrBytes = 1 << 24
+
+// Writer writes primitives, tracking bytes written and the first error.
+type Writer struct {
+	W   io.Writer
+	N   int64
+	Err error
+}
+
+func (w *Writer) Bytes(b []byte) {
+	if w.Err != nil {
+		return
+	}
+	n, err := w.W.Write(b)
+	w.N += int64(n)
+	w.Err = err
+}
+
+func (w *Writer) U8(v uint8) { w.Bytes([]byte{v}) }
+
+func (w *Writer) U32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Bytes(b[:])
+}
+
+func (w *Writer) U64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Bytes(b[:])
+}
+
+func (w *Writer) Uvarint(v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	w.Bytes(b[:binary.PutUvarint(b[:], v)])
+}
+
+// Str writes a varint length prefix followed by the raw bytes.
+func (w *Writer) Str(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.Bytes([]byte(s))
+}
+
+// Reader reads primitives, tracking the first error. Short input
+// surfaces as an error on the field it truncates.
+type Reader struct {
+	R   *bufio.Reader
+	Err error
+}
+
+func (r *Reader) Bytes(n int) []byte {
+	if r.Err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	_, r.Err = io.ReadFull(r.R, b)
+	return b
+}
+
+func (r *Reader) U8() uint8 {
+	b := r.Bytes(1)
+	if r.Err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *Reader) U32() uint32 {
+	b := r.Bytes(4)
+	if r.Err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *Reader) U64() uint64 {
+	b := r.Bytes(8)
+	if r.Err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *Reader) Uvarint() uint64 {
+	if r.Err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.R)
+	r.Err = err
+	return v
+}
+
+// Str reads a string written by Writer.Str, rejecting implausible
+// lengths from corrupt input.
+func (r *Reader) Str() string {
+	n := r.Uvarint()
+	if r.Err != nil {
+		return ""
+	}
+	if n > maxStrBytes {
+		r.Err = fmt.Errorf("string of %d bytes", n)
+		return ""
+	}
+	return string(r.Bytes(int(n)))
+}

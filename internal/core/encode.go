@@ -2,10 +2,11 @@ package core
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
+
+	"misketch/internal/binio"
 )
 
 // Sketches are built in an offline preprocessing stage (Section IV) and
@@ -20,6 +21,14 @@ import (
 //	keyHashes u32×count | values (f64 bits or str)×count
 //
 // str = varint length + raw bytes.
+//
+// Everything before the keyHashes array is the sketch header;
+// ReadSketchHeader decodes it alone, without touching the (much larger)
+// body. Stores that index many sketches pair this format with a manifest
+// file (magic "MISX") holding one such metadata record per sketch so
+// discovery queries can filter candidates without opening sketch files;
+// the manifest layout is documented in internal/store/manifest.go, and
+// manifest rebuild/repair is what ReadSketchHeader exists for.
 
 const (
 	sketchMagic   = "MISK"
@@ -28,185 +37,137 @@ const (
 
 // WriteTo serializes the sketch. It implements io.WriterTo.
 func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
-	bw := &countingWriter{w: bufio.NewWriter(w)}
-	bw.bytes([]byte(sketchMagic))
-	bw.u8(sketchVersion)
-	bw.str(string(s.Method))
-	bw.u8(uint8(s.Role))
-	bw.u32(s.Seed)
-	bw.uvarint(uint64(s.Size))
+	buf := bufio.NewWriter(w)
+	bw := &binio.Writer{W: buf}
+	bw.Bytes([]byte(sketchMagic))
+	bw.U8(sketchVersion)
+	bw.Str(string(s.Method))
+	bw.U8(uint8(s.Role))
+	bw.U32(s.Seed)
+	bw.Uvarint(uint64(s.Size))
 	if s.Numeric {
-		bw.u8(1)
+		bw.U8(1)
 	} else {
-		bw.u8(0)
+		bw.U8(0)
 	}
-	bw.uvarint(uint64(s.SourceRows))
-	bw.uvarint(uint64(s.Len()))
+	bw.Uvarint(uint64(s.SourceRows))
+	bw.Uvarint(uint64(s.Len()))
 	for _, hk := range s.KeyHashes {
-		bw.u32(hk)
+		bw.U32(hk)
 	}
 	if s.Numeric {
 		for _, v := range s.Nums {
-			bw.u64(math.Float64bits(v))
+			bw.U64(math.Float64bits(v))
 		}
 	} else {
 		for _, v := range s.Strs {
-			bw.str(v)
+			bw.Str(v)
 		}
 	}
-	if bw.err == nil {
-		bw.err = bw.w.(*bufio.Writer).Flush()
+	if bw.Err == nil {
+		bw.Err = buf.Flush()
 	}
-	return bw.n, bw.err
+	return bw.N, bw.Err
 }
 
-// ReadSketch deserializes a sketch written by WriteTo.
-func ReadSketch(r io.Reader) (*Sketch, error) {
-	br := &reader{r: bufio.NewReader(r)}
-	magic := br.bytes(4)
-	if br.err != nil {
-		return nil, fmt.Errorf("core: reading sketch header: %w", br.err)
+// SketchHeader is the metadata prefix of a serialized sketch —
+// everything before the key-hash and value arrays. It carries what a
+// catalog needs to decide whether a stored sketch is even a join
+// candidate (seed, role, method, value kind) without deserializing the
+// sketch body.
+type SketchHeader struct {
+	Method     Method
+	Role       Role
+	Seed       uint32
+	Size       int
+	Numeric    bool
+	SourceRows int
+	// Entries is the number of stored entries that follow the header
+	// (the sketch's Len).
+	Entries int
+}
+
+// readSketchHeader decodes and validates the header fields from br.
+func readSketchHeader(br *binio.Reader) (*SketchHeader, error) {
+	magic := br.Bytes(4)
+	if br.Err != nil {
+		return nil, fmt.Errorf("core: reading sketch header: %w", br.Err)
 	}
 	if string(magic) != sketchMagic {
 		return nil, fmt.Errorf("core: bad sketch magic %q", magic)
 	}
-	version := br.u8()
+	version := br.U8()
 	if version != sketchVersion {
 		return nil, fmt.Errorf("core: unsupported sketch version %d", version)
 	}
-	s := &Sketch{}
-	s.Method = Method(br.str())
-	s.Role = Role(br.u8())
-	s.Seed = br.u32()
-	s.Size = int(br.uvarint())
-	s.Numeric = br.u8() == 1
-	s.SourceRows = int(br.uvarint())
-	count := br.uvarint()
-	if br.err != nil {
-		return nil, fmt.Errorf("core: reading sketch metadata: %w", br.err)
+	h := &SketchHeader{}
+	h.Method = Method(br.Str())
+	h.Role = Role(br.U8())
+	h.Seed = br.U32()
+	h.Size = int(br.Uvarint())
+	h.Numeric = br.U8() == 1
+	h.SourceRows = int(br.Uvarint())
+	count := br.Uvarint()
+	if br.Err != nil {
+		return nil, fmt.Errorf("core: reading sketch metadata: %w", br.Err)
 	}
 	const maxEntries = 1 << 28 // refuse absurd counts from corrupt input
 	if count > maxEntries {
 		return nil, fmt.Errorf("core: sketch claims %d entries", count)
 	}
-	switch s.Method {
+	switch h.Method {
 	case TUPSK, LV2SK, PRISK, INDSK, CSK:
 	default:
-		return nil, fmt.Errorf("core: unknown method %q in sketch", s.Method)
+		return nil, fmt.Errorf("core: unknown method %q in sketch", h.Method)
 	}
+	h.Entries = int(count)
+	return h, nil
+}
+
+// ReadSketchHeader decodes only the header of a sketch written by
+// WriteTo, skipping the body deserialization cost — the cheap path for
+// rebuilding or repairing a store manifest from a directory of sketch
+// files. Note that buffered read-ahead may consume r past the header
+// bytes: to decode the body afterwards, reopen the source (or use
+// ReadSketch from the start) rather than continuing on the same reader.
+func ReadSketchHeader(r io.Reader) (*SketchHeader, error) {
+	br := &binio.Reader{R: bufio.NewReader(r)}
+	return readSketchHeader(br)
+}
+
+// ReadSketch deserializes a sketch written by WriteTo.
+func ReadSketch(r io.Reader) (*Sketch, error) {
+	br := &binio.Reader{R: bufio.NewReader(r)}
+	h, err := readSketchHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sketch{
+		Method:     h.Method,
+		Role:       h.Role,
+		Seed:       h.Seed,
+		Size:       h.Size,
+		Numeric:    h.Numeric,
+		SourceRows: h.SourceRows,
+	}
+	count := h.Entries
 	s.KeyHashes = make([]uint32, count)
 	for i := range s.KeyHashes {
-		s.KeyHashes[i] = br.u32()
+		s.KeyHashes[i] = br.U32()
 	}
 	if s.Numeric {
 		s.Nums = make([]float64, count)
 		for i := range s.Nums {
-			s.Nums[i] = math.Float64frombits(br.u64())
+			s.Nums[i] = math.Float64frombits(br.U64())
 		}
 	} else {
 		s.Strs = make([]string, count)
 		for i := range s.Strs {
-			s.Strs[i] = br.str()
+			s.Strs[i] = br.Str()
 		}
 	}
-	if br.err != nil {
-		return nil, fmt.Errorf("core: reading sketch body: %w", br.err)
+	if br.Err != nil {
+		return nil, fmt.Errorf("core: reading sketch body: %w", br.Err)
 	}
 	return s, nil
-}
-
-// countingWriter tracks bytes written and the first error.
-type countingWriter struct {
-	w   io.Writer
-	n   int64
-	err error
-}
-
-func (c *countingWriter) bytes(b []byte) {
-	if c.err != nil {
-		return
-	}
-	n, err := c.w.Write(b)
-	c.n += int64(n)
-	c.err = err
-}
-
-func (c *countingWriter) u8(v uint8) { c.bytes([]byte{v}) }
-func (c *countingWriter) u32(v uint32) {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], v)
-	c.bytes(b[:])
-}
-func (c *countingWriter) u64(v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	c.bytes(b[:])
-}
-func (c *countingWriter) uvarint(v uint64) {
-	var b [binary.MaxVarintLen64]byte
-	c.bytes(b[:binary.PutUvarint(b[:], v)])
-}
-func (c *countingWriter) str(s string) {
-	c.uvarint(uint64(len(s)))
-	c.bytes([]byte(s))
-}
-
-// reader tracks the first error across reads.
-type reader struct {
-	r   *bufio.Reader
-	err error
-}
-
-func (r *reader) bytes(n int) []byte {
-	if r.err != nil {
-		return nil
-	}
-	b := make([]byte, n)
-	_, r.err = io.ReadFull(r.r, b)
-	return b
-}
-
-func (r *reader) u8() uint8 {
-	b := r.bytes(1)
-	if r.err != nil {
-		return 0
-	}
-	return b[0]
-}
-
-func (r *reader) u32() uint32 {
-	b := r.bytes(4)
-	if r.err != nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint32(b)
-}
-
-func (r *reader) u64() uint64 {
-	b := r.bytes(8)
-	if r.err != nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint64(b)
-}
-
-func (r *reader) uvarint() uint64 {
-	if r.err != nil {
-		return 0
-	}
-	v, err := binary.ReadUvarint(r.r)
-	r.err = err
-	return v
-}
-
-func (r *reader) str() string {
-	n := r.uvarint()
-	if r.err != nil {
-		return ""
-	}
-	if n > 1<<24 {
-		r.err = fmt.Errorf("string of %d bytes", n)
-		return ""
-	}
-	return string(r.bytes(int(n)))
 }

@@ -172,6 +172,51 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 }
 
+func TestReadSketchHeader(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	train, _ := uniqueKeyTables(500, rng)
+	s := buildOrDie(t, train, "k", "y", RoleTrain, Options{Method: TUPSK, Size: 64, Seed: 9})
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	h, err := ReadSketchHeader(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Method != s.Method || h.Role != s.Role || h.Seed != s.Seed ||
+		h.Size != s.Size || h.Numeric != s.Numeric ||
+		h.SourceRows != s.SourceRows || h.Entries != s.Len() {
+		t.Errorf("header = %+v, sketch = %+v (Len %d)", h, s, s.Len())
+	}
+
+	// Header-only decode must not depend on the body: a sketch truncated
+	// right after its entry count still yields the full header. The body
+	// here is entirely u32 key hashes + f64 values, so cutting the last
+	// entry's bytes leaves the header intact.
+	cut := len(full) - 12*s.Len() // strip all key hashes and values
+	if cut <= 0 {
+		t.Fatal("test sketch unexpectedly small")
+	}
+	h2, err := ReadSketchHeader(bytes.NewReader(full[:cut]))
+	if err != nil {
+		t.Fatalf("header decode should survive a missing body: %v", err)
+	}
+	if h2.Entries != s.Len() {
+		t.Errorf("truncated header entries = %d, want %d", h2.Entries, s.Len())
+	}
+
+	// And the garbage cases reject exactly like ReadSketch.
+	for name, in := range map[string]string{
+		"empty": "", "bad magic": "NOPE\x01", "bad version": "MISK\x63",
+	} {
+		if _, err := ReadSketchHeader(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
 func TestSerializedSketchStillEstimates(t *testing.T) {
 	// End to end: persist both sketches, reload, estimate.
 	rng := rand.New(rand.NewSource(4))

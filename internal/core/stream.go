@@ -28,6 +28,10 @@ type StreamBuilder struct {
 	opt     Options
 	role    Role
 	numeric bool
+	// outNumeric is the kind of the *stored* values, which differs from
+	// the input kind when a candidate-side aggregate changes it (COUNT
+	// over a categorical column yields numeric counts).
+	outNumeric bool
 
 	rows int // usable rows seen
 
@@ -88,11 +92,24 @@ func NewStreamBuilder(role Role, numeric bool, opt Options) (*StreamBuilder, err
 	if opt.Nulls == NullAsCategory && numeric {
 		return nil, fmt.Errorf("core: NullAsCategory requires a categorical value column")
 	}
+	outNumeric := numeric
+	if role == RoleCandidate && opt.Method != CSK {
+		in := table.KindString
+		if numeric {
+			in = table.KindFloat
+		}
+		out, ok := opt.Agg.OutputKind(in)
+		if !ok {
+			return nil, fmt.Errorf("core: aggregate %q does not support %s input", opt.Agg, in)
+		}
+		outNumeric = out == table.KindFloat
+	}
 	b := &StreamBuilder{
-		opt:     opt,
-		role:    role,
-		numeric: numeric,
-		occ:     make(map[uint32]uint32),
+		opt:        opt,
+		role:       role,
+		numeric:    numeric,
+		outNumeric: outNumeric,
+		occ:        make(map[uint32]uint32),
 	}
 	switch {
 	case role == RoleCandidate && opt.Method != CSK:
@@ -295,12 +312,12 @@ func (b *StreamBuilder) Sketch() *Sketch {
 		Role:       b.role,
 		Seed:       b.opt.Seed,
 		Size:       b.opt.Size,
-		Numeric:    b.numeric,
+		Numeric:    b.outNumeric,
 		SourceRows: b.rows,
 	}
 	appendVal := func(hk uint32, v streamValue) {
 		s.KeyHashes = append(s.KeyHashes, hk)
-		if b.numeric {
+		if b.outNumeric {
 			s.Nums = append(s.Nums, v.num)
 		} else {
 			s.Strs = append(s.Strs, v.str)
@@ -414,8 +431,10 @@ func BuildStreaming(t *table.Table, keyCol, valCol string, role Role, opt Option
 	if err != nil {
 		return nil, err
 	}
+	// NULL values are passed through: AddNum drops NaN and AddStr applies
+	// the configured NullPolicy (drop or recode), matching batch Build.
 	for i := 0; i < t.NumRows(); i++ {
-		if kc.IsNull(i) || vc.IsNull(i) {
+		if kc.IsNull(i) {
 			continue
 		}
 		if vc.Kind == table.KindFloat {

@@ -113,6 +113,62 @@ func TestStreamingCandidateMatchesBatchAllAggs(t *testing.T) {
 	}
 }
 
+func TestStreamingCandidateKindChangingAgg(t *testing.T) {
+	// COUNT over a categorical column yields numeric counts: the stored
+	// value kind is the aggregate's output kind, not the input kind, and
+	// streaming must agree with batch (which aggregates the table first).
+	keys := []string{"a", "a", "a", "b", "c", "c"}
+	vals := []string{"x", "y", "x", "z", "w", "w"}
+	cand := table.New(
+		table.NewStringColumn("k", keys),
+		table.NewStringColumn("x", vals),
+	)
+	opt := Options{Method: TUPSK, Size: 8, Agg: table.AggCount}
+	batch, err := Build(cand, "k", "x", RoleCandidate, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := BuildStreaming(cand, "k", "x", RoleCandidate, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stream.Numeric || !batch.Numeric {
+		t.Fatalf("COUNT sketches must be numeric (batch=%v stream=%v)", batch.Numeric, stream.Numeric)
+	}
+	if !entriesEqual(sketchEntries(batch), sketchEntries(stream)) {
+		t.Error("COUNT-over-strings streaming differs from batch")
+	}
+	// Aggregates that cannot take categorical input are rejected up
+	// front, matching the batch path.
+	if _, err := NewStreamBuilder(RoleCandidate, false, Options{Method: TUPSK, Size: 8, Agg: table.AggAvg}); err == nil {
+		t.Error("AVG over strings should be rejected")
+	}
+}
+
+func TestBuildStreamingNullAsCategory(t *testing.T) {
+	// NULL values must reach the builder so NullAsCategory can recode
+	// them, exactly as the batch path does.
+	tb := table.New(
+		table.NewStringColumn("k", []string{"a", "b", "c"}),
+		table.NewStringColumn("x", []string{"u", "", "u"}),
+	)
+	opt := Options{Method: TUPSK, Size: 8, Nulls: NullAsCategory}
+	batch, err := Build(tb, "k", "x", RoleTrain, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := BuildStreaming(tb, "k", "x", RoleTrain, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Len() != 3 || stream.Len() != 3 {
+		t.Fatalf("NULL row dropped: batch=%d stream=%d entries, want 3", batch.Len(), stream.Len())
+	}
+	if !entriesEqual(sketchEntries(batch), sketchEntries(stream)) {
+		t.Error("NullAsCategory streaming differs from batch")
+	}
+}
+
 func TestStreamingCandidateModeAgrees(t *testing.T) {
 	// MODE with a clear (untied) winner must agree exactly with batch.
 	keys := []string{"a", "a", "a", "b", "b"}

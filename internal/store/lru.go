@@ -1,0 +1,93 @@
+package store
+
+import (
+	"container/list"
+
+	"misketch/internal/core"
+)
+
+// lruCache is a byte-bounded LRU of decoded sketches, replacing the
+// unbounded map a small store could get away with: a catalog of millions
+// of sketches must not grow memory with every Get. It is not safe for
+// concurrent use on its own; Store serializes access under its mutex.
+type lruCache struct {
+	max  int64 // byte budget
+	used int64
+
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type lruEntry struct {
+	name  string
+	sk    *core.Sketch
+	bytes int64
+}
+
+func newLRUCache(max int64) *lruCache {
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// sketchBytes approximates the resident size of a decoded sketch: the
+// slice payloads plus per-string and fixed struct overhead.
+func sketchBytes(sk *core.Sketch) int64 {
+	n := int64(96) // struct and slice headers
+	n += 4 * int64(len(sk.KeyHashes))
+	n += 8 * int64(len(sk.Nums))
+	for _, s := range sk.Strs {
+		n += int64(len(s)) + 16
+	}
+	return n
+}
+
+func (c *lruCache) get(name string) (*core.Sketch, bool) {
+	if e, ok := c.items[name]; ok {
+		c.ll.MoveToFront(e)
+		c.hits++
+		return e.Value.(*lruEntry).sk, true
+	}
+	c.misses++
+	return nil, false
+}
+
+func (c *lruCache) add(name string, sk *core.Sketch) {
+	b := sketchBytes(sk)
+	if b > c.max {
+		// Larger than the whole budget: never resident — and if an update
+		// grew an existing entry past the budget, drop it too.
+		c.remove(name)
+		return
+	}
+	if e, ok := c.items[name]; ok {
+		ent := e.Value.(*lruEntry)
+		c.used += b - ent.bytes
+		ent.sk, ent.bytes = sk, b
+		c.ll.MoveToFront(e)
+	} else {
+		c.items[name] = c.ll.PushFront(&lruEntry{name: name, sk: sk, bytes: b})
+		c.used += b
+	}
+	// Evict from the cold end; never evict the entry just touched.
+	for c.used > c.max && c.ll.Len() > 1 {
+		c.evict(c.ll.Back())
+	}
+}
+
+func (c *lruCache) remove(name string) {
+	if e, ok := c.items[name]; ok {
+		ent := e.Value.(*lruEntry)
+		c.ll.Remove(e)
+		delete(c.items, name)
+		c.used -= ent.bytes
+	}
+}
+
+func (c *lruCache) evict(e *list.Element) {
+	ent := e.Value.(*lruEntry)
+	c.ll.Remove(e)
+	delete(c.items, ent.name)
+	c.used -= ent.bytes
+	c.evictions++
+}

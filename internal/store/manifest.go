@@ -1,0 +1,254 @@
+package store
+
+// The manifest is the store's index: one metadata record per stored
+// sketch, kept in memory while the store is open and persisted as a
+// single file in the store root. Discovery queries filter candidates on
+// it (seed, role, name, entry count) without opening any sketch file;
+// losing it is never fatal because it can be rebuilt from the sketch
+// headers alone (core.ReadSketchHeader).
+//
+// On-disk layout (little-endian, varint = unsigned LEB128), mirroring
+// the sketch format documented in internal/core/encode.go:
+//
+//	magic "MISX" | version u8 | shards u32 | count varint |
+//	count × entry, sorted by name:
+//	  name str | method str | role u8 | seed u32 | size varint |
+//	  numeric u8 | sourceRows varint | entries varint | bytes varint
+//
+// str = varint length + raw bytes. "shards" records the directory
+// fan-out the store was created with, so reopening never depends on the
+// caller passing the same option. "entries" is the sketch's stored entry
+// count and "bytes" its file size. The manifest is written atomically:
+// temp file in the store root, fsync, rename.
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"misketch/internal/binio"
+	"misketch/internal/core"
+)
+
+const (
+	manifestMagic   = "MISX"
+	manifestVersion = 1
+
+	// ManifestFile is the manifest's filename inside the store root.
+	ManifestFile = "MANIFEST"
+
+	// shardsDir is the subdirectory holding the sharded sketch files.
+	shardsDir = "shards"
+)
+
+// Meta is one manifest record: everything ranking needs to know about a
+// stored sketch before deciding to load it.
+type Meta struct {
+	Name       string
+	Method     core.Method
+	Role       core.Role
+	Seed       uint32
+	Size       int
+	Numeric    bool
+	SourceRows int
+	// Entries is the sketch's stored entry count (its Len); an upper
+	// bound contributor to any join size involving it.
+	Entries int
+	// Bytes is the sketch file's size on disk.
+	Bytes int64
+}
+
+// metaOf derives the manifest record for a sketch about to be stored.
+func metaOf(name string, sk *core.Sketch, bytes int64) Meta {
+	return Meta{
+		Name:       name,
+		Method:     sk.Method,
+		Role:       sk.Role,
+		Seed:       sk.Seed,
+		Size:       sk.Size,
+		Numeric:    sk.Numeric,
+		SourceRows: sk.SourceRows,
+		Entries:    sk.Len(),
+		Bytes:      bytes,
+	}
+}
+
+// readMeta builds a manifest record from a sketch file using a
+// header-only decode — the rebuild/repair path.
+func readMeta(path, name string) (Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Meta{}, err
+	}
+	defer f.Close()
+	h, err := core.ReadSketchHeader(f)
+	if err != nil {
+		return Meta{}, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return Meta{}, err
+	}
+	return Meta{
+		Name:       name,
+		Method:     h.Method,
+		Role:       h.Role,
+		Seed:       h.Seed,
+		Size:       h.Size,
+		Numeric:    h.Numeric,
+		SourceRows: h.SourceRows,
+		Entries:    h.Entries,
+		Bytes:      fi.Size(),
+	}, nil
+}
+
+// shardOf maps a sketch name to its shard directory name: an FNV-1a
+// fan-out, so sketches spread evenly regardless of naming conventions.
+func shardOf(name string, shards uint32) string {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return fmt.Sprintf("%04x", h.Sum32()%shards)
+}
+
+// writeManifest atomically persists the manifest next to the shards.
+func writeManifest(path string, shards uint32, metas map[string]Meta) error {
+	names := make([]string, 0, len(metas))
+	for name := range metas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	err := atomicWrite(path, ManifestFile+".tmp*", func(f *os.File) error {
+		buf := bufio.NewWriter(f)
+		mw := &binio.Writer{W: buf}
+		mw.Bytes([]byte(manifestMagic))
+		mw.U8(manifestVersion)
+		mw.U32(shards)
+		mw.Uvarint(uint64(len(names)))
+		for _, name := range names {
+			m := metas[name]
+			mw.Str(name)
+			mw.Str(string(m.Method))
+			mw.U8(uint8(m.Role))
+			mw.U32(m.Seed)
+			mw.Uvarint(uint64(m.Size))
+			if m.Numeric {
+				mw.U8(1)
+			} else {
+				mw.U8(0)
+			}
+			mw.Uvarint(uint64(m.SourceRows))
+			mw.Uvarint(uint64(m.Entries))
+			mw.Uvarint(uint64(m.Bytes))
+		}
+		if mw.Err == nil {
+			mw.Err = buf.Flush()
+		}
+		return mw.Err
+	})
+	if err != nil {
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// atomicWrite writes path via a temp file in the same directory with the
+// full durability recipe: write, fsync the file, rename into place,
+// fsync the directory so the rename itself survives power loss. No temp
+// file is left behind on failure.
+func atomicWrite(path, tmpPattern string, write func(f *os.File) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), tmpPattern)
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	err = write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err == nil {
+		err = syncDir(filepath.Dir(path))
+	}
+	if err != nil {
+		os.Remove(tmp)
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss, completing the temp-write/fsync/rename durability recipe.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// loadManifest reads a manifest written by writeManifest. A missing file
+// surfaces as an os.IsNotExist error.
+func loadManifest(path string) (uint32, map[string]Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: reading manifest: %w", err)
+	}
+	mr := &binio.Reader{R: bufio.NewReader(f)}
+	magic := mr.Bytes(4)
+	if mr.Err != nil {
+		return 0, nil, fmt.Errorf("store: reading manifest: %w", mr.Err)
+	}
+	if string(magic) != manifestMagic {
+		return 0, nil, fmt.Errorf("store: bad manifest magic %q", magic)
+	}
+	if v := mr.U8(); v != manifestVersion {
+		return 0, nil, fmt.Errorf("store: unsupported manifest version %d", v)
+	}
+	shards := mr.U32()
+	count := mr.Uvarint()
+	if mr.Err != nil {
+		return 0, nil, fmt.Errorf("store: reading manifest header: %w", mr.Err)
+	}
+	// Each entry occupies at least minEntryBytes on disk, so a count the
+	// file cannot physically hold is corruption — caught here, before the
+	// map preallocation could ask the runtime for absurd amounts of memory.
+	const minEntryBytes = 12
+	if shards == 0 || shards > maxShards || count > uint64(fi.Size())/minEntryBytes {
+		return 0, nil, fmt.Errorf("store: implausible manifest (%d shards, %d sketches in %d bytes)", shards, count, fi.Size())
+	}
+	metas := make(map[string]Meta, count)
+	for i := 0; i < int(count); i++ {
+		var m Meta
+		m.Name = mr.Str()
+		m.Method = core.Method(mr.Str())
+		m.Role = core.Role(mr.U8())
+		m.Seed = mr.U32()
+		m.Size = int(mr.Uvarint())
+		m.Numeric = mr.U8() == 1
+		m.SourceRows = int(mr.Uvarint())
+		m.Entries = int(mr.Uvarint())
+		m.Bytes = int64(mr.Uvarint())
+		if mr.Err != nil {
+			return 0, nil, fmt.Errorf("store: reading manifest entry %d: %w", i, mr.Err)
+		}
+		metas[m.Name] = m
+	}
+	return shards, metas, nil
+}

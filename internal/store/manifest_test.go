@@ -1,0 +1,80 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"misketch/internal/core"
+)
+
+func TestManifestFileRoundTrip(t *testing.T) {
+	metas := map[string]Meta{
+		"tables/a.csv#x@k": {
+			Name: "tables/a.csv#x@k", Method: core.TUPSK, Role: core.RoleCandidate,
+			Seed: 42, Size: 1024, Numeric: true, SourceRows: 123456, Entries: 1024, Bytes: 13000,
+		},
+		"b#y": {
+			Name: "b#y", Method: core.LV2SK, Role: core.RoleTrain,
+			Seed: 7, Size: 256, Numeric: false, SourceRows: 99, Entries: 80, Bytes: 900,
+		},
+		"empty": {
+			Name: "empty", Method: core.CSK, Role: core.RoleCandidate,
+			Seed: 1, Size: 64, Numeric: true, SourceRows: 0, Entries: 0, Bytes: 40,
+		},
+	}
+	path := filepath.Join(t.TempDir(), ManifestFile)
+	if err := writeManifest(path, 32, metas); err != nil {
+		t.Fatal(err)
+	}
+	shards, got, err := loadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards != 32 {
+		t.Errorf("shards = %d, want 32", shards)
+	}
+	if !reflect.DeepEqual(got, metas) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, metas)
+	}
+}
+
+func TestLoadManifestRejectsCorruptInput(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string][]byte{
+		"bad-magic":   []byte("NOPE additional bytes"),
+		"truncated":   []byte("MIS"),
+		"bad-version": append([]byte("MISX"), 99),
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := loadManifest(path); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, _, err := loadManifest(filepath.Join(dir, "missing")); !os.IsNotExist(err) {
+		t.Errorf("missing manifest should surface as not-exist, got %v", err)
+	}
+}
+
+func TestShardOfIsStableAndBounded(t *testing.T) {
+	const shards = 16
+	seen := map[string]bool{}
+	for _, name := range []string{"a", "b", "table.csv#col@key", "uni-cödé", ""} {
+		s1 := shardOf(name, shards)
+		s2 := shardOf(name, shards)
+		if s1 != s2 {
+			t.Errorf("shardOf(%q) unstable: %s vs %s", name, s1, s2)
+		}
+		if len(s1) != 4 {
+			t.Errorf("shardOf(%q) = %q, want 4 hex digits", name, s1)
+		}
+		seen[s1] = true
+	}
+	if len(seen) < 2 {
+		t.Error("expected some fan-out across shard names")
+	}
+}

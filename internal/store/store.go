@@ -4,9 +4,19 @@
 // ingestion time, stored next to the dataset catalog, and ranking queries
 // ("which candidate features carry information about my target?") run
 // against the stored sketches alone — no source data access, no joins.
+//
+// Layout on disk: sketch files fan out across hashed shard directories
+// (shards/<hex>/<base32 name>.misk) so no single directory grows with the
+// catalog, and a versioned manifest (see manifest.go) indexes every
+// sketch's metadata. Ranking filters candidates on the manifest alone —
+// a cold store performs zero sketch deserializations for candidates
+// excluded by name prefix, hash seed, or role — and the decoded-sketch
+// cache is a byte-bounded LRU rather than an unbounded map.
 package store
 
 import (
+	"container/heap"
+	"context"
 	"encoding/base32"
 	"fmt"
 	"os"
@@ -21,125 +31,389 @@ import (
 	"misketch/internal/mi"
 )
 
-// Store is a directory of serialized sketches with an in-memory cache.
-// It is safe for concurrent use.
+// Store is a sharded directory of serialized sketches with a manifest
+// index and a bounded in-memory cache. It is safe for concurrent use.
 type Store struct {
-	dir string
+	dir    string
+	shards uint32
 
-	mu    sync.RWMutex
-	cache map[string]*core.Sketch
+	mu       sync.Mutex
+	manifest map[string]Meta
+	cache    *lruCache // nil when caching is disabled
+	dirty    bool      // manifest has unpersisted mutations
+	// gen counts Put/Delete mutations; Get uses it to detect a mutation
+	// racing its unlocked disk read (two sketch versions can share
+	// identical metadata, so manifest comparison is not enough). A single
+	// store-wide counter keeps memory bounded; the cost is only that a
+	// read concurrent with any write skips populating the cache.
+	gen uint64
+
+	diskReads atomic.Int64 // full sketch decodes from disk
 }
 
 // sketchExt is the file extension of stored sketches.
 const sketchExt = ".misk"
 
-// Open opens (creating if necessary) a sketch store rooted at dir.
+// Defaults for OpenOptions zero values.
+const (
+	DefaultCacheBytes = 64 << 20
+	DefaultShards     = 64
+
+	// maxShards bounds the directory fan-out; loadManifest rejects
+	// anything above it as corruption, so Open must never create it.
+	maxShards = 1 << 20
+)
+
+// OpenOptions tunes a store handle.
+type OpenOptions struct {
+	// CacheBytes bounds the decoded-sketch LRU cache. Zero means
+	// DefaultCacheBytes; a negative value disables caching entirely.
+	CacheBytes int64
+	// Shards is the directory fan-out for newly created stores; existing
+	// stores keep the fan-out recorded in their manifest. Zero means
+	// DefaultShards; values above 2^20 are clamped to it.
+	Shards int
+}
+
+// Open opens (creating if necessary) a sketch store rooted at dir with
+// default options.
 func Open(dir string) (*Store, error) {
+	return OpenWithOptions(dir, OpenOptions{})
+}
+
+// OpenWithOptions opens (creating if necessary) a sketch store rooted at
+// dir. A manifest that loads cleanly is trusted as-is, so opening an
+// indexed store costs one file read regardless of catalog size. When the
+// manifest is missing or corrupt (a legacy flat-layout store, a crash
+// before the first Flush, bit rot), the store heals itself: it scans the
+// directory and re-indexes every sketch from its header alone. For
+// out-of-band changes behind a valid manifest's back (files added or
+// deleted manually, a crash after an earlier Flush), run RebuildManifest.
+func OpenWithOptions(dir string, opt OpenOptions) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	return &Store{dir: dir, cache: make(map[string]*core.Sketch)}, nil
+	shards := uint32(DefaultShards)
+	if opt.Shards > 0 {
+		if opt.Shards > maxShards {
+			opt.Shards = maxShards
+		}
+		shards = uint32(opt.Shards)
+	}
+	s := &Store{dir: dir, shards: shards, manifest: make(map[string]Meta)}
+	if opt.CacheBytes >= 0 {
+		max := opt.CacheBytes
+		if max == 0 {
+			max = DefaultCacheBytes
+		}
+		s.cache = newLRUCache(max)
+	}
+	mshards, metas, err := loadManifest(filepath.Join(dir, ManifestFile))
+	if err == nil {
+		s.shards = mshards
+		s.manifest = metas
+		return s, nil
+	}
+	if !os.IsNotExist(err) {
+		// A corrupt manifest is not fatal: the sketches are the truth and
+		// reconcile rebuilds the index from their headers.
+		s.dirty = true
+	}
+	if err := s.reconcile(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
+// base32Encoding encodes sketch names with '-' padding so filenames
+// stay shell-safe.
+var base32Encoding = base32.StdEncoding.WithPadding('-')
+
 // encodeName maps an arbitrary sketch name to a filesystem-safe filename.
-// Base32 keeps names reversible (List decodes them back).
+// Base32 keeps names reversible (manifest rebuild decodes them back).
 func encodeName(name string) string {
-	return base32.StdEncoding.WithPadding('-').EncodeToString([]byte(name)) + sketchExt
+	return base32Encoding.EncodeToString([]byte(name)) + sketchExt
 }
 
 func decodeName(file string) (string, bool) {
 	if !strings.HasSuffix(file, sketchExt) {
 		return "", false
 	}
-	raw, err := base32.StdEncoding.WithPadding('-').DecodeString(strings.TrimSuffix(file, sketchExt))
+	raw, err := base32Encoding.DecodeString(strings.TrimSuffix(file, sketchExt))
 	if err != nil {
 		return "", false
 	}
 	return string(raw), true
 }
 
+// sketchPath is the canonical location of a sketch under the sharded
+// layout.
+func (s *Store) sketchPath(name string) string {
+	return filepath.Join(s.dir, shardsDir, shardOf(name, s.shards), encodeName(name))
+}
+
+// reconcile makes the in-memory manifest match the files on disk and
+// persists it if anything changed. Files the manifest does not know are
+// indexed with a header-only read; stale manifest entries are dropped;
+// legacy flat-layout files (and files sharded under a different fan-out)
+// are moved to their canonical shard. Callers must hold no locks except
+// during RebuildManifest, which serializes via mu itself.
+func (s *Store) reconcile() error {
+	found := make(map[string]string) // name -> current path
+	collect := func(dir string) error {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return fmt.Errorf("store: scanning %s: %w", dir, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			file := e.Name()
+			if strings.Contains(file, sketchExt+".tmp") || strings.HasPrefix(file, ManifestFile+".tmp") {
+				os.Remove(filepath.Join(dir, file)) // orphan of a crashed write
+				continue
+			}
+			if name, ok := decodeName(file); ok {
+				found[name] = filepath.Join(dir, file)
+			}
+		}
+		return nil
+	}
+	if err := collect(s.dir); err != nil { // legacy flat layout
+		return err
+	}
+	shardRoot := filepath.Join(s.dir, shardsDir)
+	dirs, err := os.ReadDir(shardRoot)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: scanning %s: %w", shardRoot, err)
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		if err := collect(filepath.Join(shardRoot, d.Name())); err != nil {
+			return err
+		}
+	}
+
+	for name := range s.manifest {
+		if _, ok := found[name]; !ok {
+			delete(s.manifest, name)
+			s.dirty = true
+		}
+	}
+	for name, path := range found {
+		want := s.sketchPath(name)
+		if path != want {
+			if err := os.MkdirAll(filepath.Dir(want), 0o755); err != nil {
+				return fmt.Errorf("store: creating shard for %q: %w", name, err)
+			}
+			if err := os.Rename(path, want); err != nil {
+				return fmt.Errorf("store: migrating %q: %w", name, err)
+			}
+			s.dirty = true
+		}
+		if _, ok := s.manifest[name]; !ok {
+			m, err := readMeta(want, name)
+			if err != nil {
+				continue // unreadable or foreign file; leave it unindexed
+			}
+			s.manifest[name] = m
+			s.dirty = true
+		}
+	}
+	return s.flushLocked()
+}
+
+// RebuildManifest re-derives the manifest from the sketch files on disk
+// (header-only reads) and persists it — the repair path for stores whose
+// manifest was lost or corrupted outside the store's control.
+func (s *Store) RebuildManifest() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.manifest = make(map[string]Meta)
+	if s.cache != nil {
+		s.cache = newLRUCache(s.cache.max)
+	}
+	s.dirty = true
+	return s.reconcile()
+}
+
+// Flush persists the manifest if it has unsaved mutations. Put and
+// Delete update the manifest in memory only (rewriting the index on
+// every mutation would make bulk ingestion quadratic); a store that
+// crashes before its first Flush heals itself on the next Open via
+// header-only reads, while one that crashes after an earlier Flush
+// serves that older manifest until RebuildManifest is run.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if !s.dirty {
+		return nil
+	}
+	if err := writeManifest(filepath.Join(s.dir, ManifestFile), s.shards, s.manifest); err != nil {
+		return err
+	}
+	s.dirty = false
+	return nil
+}
+
+// Close flushes the manifest. The Store remains usable afterwards; Close
+// exists so callers can defer persistence idiomatically.
+func (s *Store) Close() error { return s.Flush() }
+
 // Put persists a sketch under the given name (conventionally
-// "table.csv#column@key"), overwriting any previous version.
+// "table.csv#column@key"), overwriting any previous version. The write
+// is atomic and durable: a temp file in the target shard is synced to
+// disk before being renamed into place, the shard directory is synced
+// so the rename itself survives power loss, and no temp file is left
+// behind on failure.
 func (s *Store) Put(name string, sk *core.Sketch) error {
 	if name == "" {
 		return fmt.Errorf("store: empty sketch name")
 	}
-	path := filepath.Join(s.dir, encodeName(name))
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	path := s.sketchPath(name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: creating shard for %q: %w", name, err)
+	}
+	var n int64
+	err := atomicWrite(path, encodeName(name)+".tmp*", func(f *os.File) error {
+		var werr error
+		n, werr = sk.WriteTo(f)
+		return werr
+	})
 	if err != nil {
-		return fmt.Errorf("store: creating %s: %w", tmp, err)
-	}
-	if _, err := sk.WriteTo(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("store: writing %s: %w", name, err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("store: committing %s: %w", name, err)
+		return fmt.Errorf("store: writing %q: %w", name, err)
 	}
 	s.mu.Lock()
-	s.cache[name] = sk
+	s.manifest[name] = metaOf(name, sk, n)
+	s.gen++
+	s.dirty = true
+	if s.cache != nil {
+		s.cache.add(name, sk)
+	}
 	s.mu.Unlock()
 	return nil
 }
 
 // Get loads the named sketch (from cache when warm).
 func (s *Store) Get(name string) (*core.Sketch, error) {
-	s.mu.RLock()
-	sk, ok := s.cache[name]
-	s.mu.RUnlock()
-	if ok {
-		return sk, nil
+	s.mu.Lock()
+	if s.cache != nil {
+		if sk, ok := s.cache.get(name); ok {
+			s.mu.Unlock()
+			return sk, nil
+		}
 	}
-	f, err := os.Open(filepath.Join(s.dir, encodeName(name)))
+	_, known := s.manifest[name]
+	gen := s.gen
+	s.mu.Unlock()
+	f, err := os.Open(s.sketchPath(name))
 	if err != nil {
 		return nil, fmt.Errorf("store: no sketch %q: %w", name, err)
 	}
 	defer f.Close()
-	sk, err = core.ReadSketch(f)
+	sk, err := core.ReadSketch(f)
 	if err != nil {
 		return nil, fmt.Errorf("store: reading %q: %w", name, err)
 	}
+	s.diskReads.Add(1)
 	s.mu.Lock()
-	s.cache[name] = sk
+	// Only cache the decode if no Put or Delete raced the unlocked read
+	// above: a stale (or deleted) version must not be resurrected into
+	// the cache over the mutation's result.
+	if _, ok := s.manifest[name]; ok && known && s.gen == gen && s.cache != nil {
+		s.cache.add(name, sk)
+	}
 	s.mu.Unlock()
 	return sk, nil
 }
 
-// Delete removes the named sketch from disk and cache.
+// Delete removes the named sketch from disk, manifest, and cache.
 func (s *Store) Delete(name string) error {
 	s.mu.Lock()
-	delete(s.cache, name)
+	if _, known := s.manifest[name]; known {
+		delete(s.manifest, name)
+		s.dirty = true
+	}
+	s.gen++
+	if s.cache != nil {
+		s.cache.remove(name)
+	}
 	s.mu.Unlock()
-	err := os.Remove(filepath.Join(s.dir, encodeName(name)))
+	err := os.Remove(s.sketchPath(name))
 	if os.IsNotExist(err) {
 		return fmt.Errorf("store: no sketch %q", name)
 	}
 	return err
 }
 
-// List returns the names of all stored sketches, sorted.
+// List returns the names of all stored sketches, sorted. It reads only
+// the manifest — no directory traversal.
 func (s *Store) List() ([]string, error) {
-	entries, err := os.ReadDir(s.dir)
-	if err != nil {
-		return nil, fmt.Errorf("store: listing %s: %w", s.dir, err)
+	s.mu.Lock()
+	names := make([]string, 0, len(s.manifest))
+	for name := range s.manifest {
+		names = append(names, name)
 	}
-	var names []string
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		if name, ok := decodeName(e.Name()); ok {
-			names = append(names, name)
-		}
-	}
+	s.mu.Unlock()
 	sort.Strings(names)
 	return names, nil
+}
+
+// Meta returns the manifest record for the named sketch.
+func (s *Store) Meta(name string) (Meta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.manifest[name]
+	return m, ok
+}
+
+// Metas returns every manifest record, sorted by name.
+func (s *Store) Metas() []Meta {
+	s.mu.Lock()
+	metas := make([]Meta, 0, len(s.manifest))
+	for _, m := range s.manifest {
+		metas = append(metas, m)
+	}
+	s.mu.Unlock()
+	sort.Slice(metas, func(i, j int) bool { return metas[i].Name < metas[j].Name })
+	return metas
+}
+
+// Stats are observability counters for a store handle.
+type Stats struct {
+	// Sketches is the number of indexed sketches.
+	Sketches int
+	// CacheBytes is the current size of the decoded-sketch cache.
+	CacheBytes int64
+	// CacheHits/CacheMisses/Evictions count cache outcomes.
+	CacheHits, CacheMisses, Evictions int64
+	// DiskReads counts full sketch deserializations from disk — the
+	// expensive operation manifest filtering exists to avoid.
+	DiskReads int64
+}
+
+// Stats returns a snapshot of the handle's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Sketches: len(s.manifest), DiskReads: s.diskReads.Load()}
+	if s.cache != nil {
+		st.CacheBytes = s.cache.used
+		st.CacheHits = s.cache.hits
+		st.CacheMisses = s.cache.misses
+		st.Evictions = s.cache.evictions
+	}
+	return st
 }
 
 // RankedSketch is one result of a discovery query.
@@ -150,24 +424,45 @@ type RankedSketch struct {
 	JoinSize  int
 }
 
-// Rank estimates MI between the train sketch and every stored candidate
-// sketch (optionally restricted to names with the given prefix), dropping
-// candidates whose sketch join has at most minJoinSize samples, and
-// returns the rest ordered by decreasing MI. Candidates built with a
-// different hash seed are skipped (they cannot be joined) and reported in
-// the skipped list. Estimation fans out across GOMAXPROCS workers; the
-// result order is deterministic regardless.
+// Rank is RankContext with a background context and no top-K bound.
 func (s *Store) Rank(train *core.Sketch, prefix string, minJoinSize, k int) (ranked []RankedSketch, skipped []string, err error) {
-	names, err := s.List()
-	if err != nil {
-		return nil, nil, err
-	}
+	return s.RankContext(context.Background(), train, prefix, minJoinSize, k, 0)
+}
+
+// RankContext estimates MI between the train sketch and every stored
+// candidate sketch (optionally restricted to names with the given
+// prefix), dropping candidates whose sketch join has at most minJoinSize
+// samples, and returns the rest ordered by decreasing MI. topK > 0
+// bounds the result to the K best candidates, accumulated in per-worker
+// bounded heaps instead of materializing every result; topK <= 0 returns
+// everything.
+//
+// Candidate selection is manifest-only: sketches excluded by prefix,
+// hash seed, or role are never read from disk. Prefix-ineligible
+// sketches are silently ignored; prefix-matching sketches with a
+// different seed or a train role are reported in the skipped list
+// (they cannot be joined). Estimation fans out across GOMAXPROCS
+// workers and stops early when ctx is cancelled; the result order is
+// deterministic regardless of scheduling.
+func (s *Store) RankContext(ctx context.Context, train *core.Sketch, prefix string, minJoinSize, k, topK int) (ranked []RankedSketch, skipped []string, err error) {
 	var eligible []string
-	for _, name := range names {
-		if strings.HasPrefix(name, prefix) {
-			eligible = append(eligible, name)
+	s.mu.Lock()
+	for name, m := range s.manifest {
+		if !strings.HasPrefix(name, prefix) {
+			continue
 		}
+		if m.Seed != train.Seed || m.Role != core.RoleCandidate {
+			skipped = append(skipped, name)
+			continue
+		}
+		if m.Entries == 0 && minJoinSize >= 0 {
+			continue // an empty sketch joins nothing; filter without a read
+		}
+		eligible = append(eligible, name)
 	}
+	s.mu.Unlock()
+	sort.Strings(eligible)
+	sort.Strings(skipped)
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(eligible) {
@@ -176,58 +471,77 @@ func (s *Store) Rank(train *core.Sketch, prefix string, minJoinSize, k int) (ran
 	if workers < 1 {
 		workers = 1
 	}
+	// Any worker's error cancels the rest: ranking either returns every
+	// result or an error, so work after the first failure is wasted.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var (
-		mu       sync.Mutex
+		errMu    sync.Mutex
 		firstErr error
 		wg       sync.WaitGroup
 		next     int64
 	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	results := make([][]RankedSketch, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var top rankHeap
+			var all []RankedSketch
 			for {
+				if err := ctx.Err(); err != nil {
+					setErr(err)
+					return
+				}
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(eligible) {
-					return
+					break
 				}
 				name := eligible[i]
 				cand, err := s.Get(name)
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+					setErr(err)
 					return
-				}
-				if cand.Seed != train.Seed || cand.Role != core.RoleCandidate {
-					mu.Lock()
-					skipped = append(skipped, name)
-					mu.Unlock()
-					continue
 				}
 				r, err := core.EstimateMI(train, cand, k)
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("store: estimating %q: %w", name, err)
-					}
-					mu.Unlock()
+					setErr(fmt.Errorf("store: estimating %q: %w", name, err))
 					return
 				}
 				if r.N <= minJoinSize {
 					continue
 				}
-				mu.Lock()
-				ranked = append(ranked, RankedSketch{Name: name, MI: r.MI, Estimator: r.Estimator, JoinSize: r.N})
-				mu.Unlock()
+				rs := RankedSketch{Name: name, MI: r.MI, Estimator: r.Estimator, JoinSize: r.N}
+				if topK > 0 {
+					top.offer(rs, topK)
+				} else {
+					all = append(all, rs)
+				}
 			}
-		}()
+			if topK > 0 {
+				results[w] = top
+			} else {
+				results[w] = all
+			}
+		}(w)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, nil, firstErr
+	}
+	// Each worker kept the top K of its subset, so merging the subsets'
+	// survivors and cutting at K yields the exact global top K — and the
+	// (MI, name) sort makes the cut deterministic across partitions.
+	for _, rs := range results {
+		ranked = append(ranked, rs...)
 	}
 	sort.Slice(ranked, func(i, j int) bool {
 		if ranked[i].MI != ranked[j].MI {
@@ -235,17 +549,51 @@ func (s *Store) Rank(train *core.Sketch, prefix string, minJoinSize, k int) (ran
 		}
 		return ranked[i].Name < ranked[j].Name
 	})
-	sort.Strings(skipped)
+	if topK > 0 && len(ranked) > topK {
+		ranked = ranked[:topK]
+	}
 	return ranked, skipped, nil
+}
+
+// rankHeap is a bounded min-heap holding the best K results seen so far;
+// the weakest result (lowest MI, then lexicographically last name) sits
+// at the root so offer can displace it in O(log K).
+type rankHeap []RankedSketch
+
+func (h rankHeap) Len() int { return len(h) }
+func (h rankHeap) Less(i, j int) bool {
+	if h[i].MI != h[j].MI {
+		return h[i].MI < h[j].MI
+	}
+	return h[i].Name > h[j].Name
+}
+func (h rankHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *rankHeap) Push(x any)   { *h = append(*h, x.(RankedSketch)) }
+func (h *rankHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (h *rankHeap) offer(r RankedSketch, k int) {
+	if len(*h) < k {
+		heap.Push(h, r)
+		return
+	}
+	w := (*h)[0]
+	if r.MI > w.MI || (r.MI == w.MI && r.Name < w.Name) {
+		(*h)[0] = r
+		heap.Fix(h, 0)
+	}
 }
 
 // Len returns the number of stored sketches.
 func (s *Store) Len() (int, error) {
-	names, err := s.List()
-	if err != nil {
-		return 0, err
-	}
-	return len(names), nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.manifest), nil
 }
 
 // Dir returns the store's root directory.

@@ -1,10 +1,14 @@
 package store
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -115,11 +119,21 @@ func TestListAndDelete(t *testing.T) {
 
 func TestListIgnoresForeignFiles(t *testing.T) {
 	dir := t.TempDir()
-	st, _ := Open(dir)
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
 	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.Mkdir(filepath.Join(dir, "subdir"+sketchExt), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A validly named file with garbage content must not be indexed.
+	if err := os.WriteFile(filepath.Join(dir, encodeName("fake")), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir) // reopen: reconcile scans the directory
+	if err != nil {
 		t.Fatal(err)
 	}
 	names, err := st.List()
@@ -128,6 +142,501 @@ func TestListIgnoresForeignFiles(t *testing.T) {
 	}
 	if len(names) != 0 {
 		t.Errorf("List should ignore foreign entries: %v", names)
+	}
+}
+
+func TestShardedLayout(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenWithOptions(dir, OpenOptions{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g) })
+	for i := 0; i < 20; i++ {
+		if err := st.Put(fmt.Sprintf("t%02d#x", i), sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No sketch files in the store root; all under shards/.
+	rootEntries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rootEntries {
+		if strings.HasSuffix(e.Name(), sketchExt) && !e.IsDir() {
+			t.Errorf("sketch file %s left in store root", e.Name())
+		}
+	}
+	shardDirs, err := os.ReadDir(filepath.Join(dir, shardsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := 0
+	for _, d := range shardDirs {
+		entries, err := os.ReadDir(filepath.Join(dir, shardsDir, d.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files += len(entries)
+	}
+	if files != 20 {
+		t.Errorf("sharded files = %d, want 20", files)
+	}
+	if len(shardDirs) < 2 {
+		t.Errorf("20 sketches landed in %d shard(s); expected fan-out", len(shardDirs))
+	}
+	// No leftover temp files.
+	for _, d := range shardDirs {
+		entries, _ := os.ReadDir(filepath.Join(dir, shardsDir, d.Name()))
+		for _, e := range entries {
+			if strings.Contains(e.Name(), ".tmp") {
+				t.Errorf("leftover temp file %s", e.Name())
+			}
+		}
+	}
+}
+
+func TestShardsOptionClamped(t *testing.T) {
+	// A fan-out the manifest would reject as corrupt (or that wraps
+	// uint32 to zero) must be clamped, not written or divided by.
+	st, err := OpenWithOptions(t.TempDir(), OpenOptions{Shards: 1 << 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g) })
+	if err := st.Put("a#x", sk); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(st.Dir()); err != nil {
+		t.Fatalf("reopen after clamped fan-out: %v", err)
+	}
+}
+
+func TestShardCountPersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenWithOptions(dir, OpenOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g) })
+	if err := st.Put("a#x", sk); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen with a different Shards option: the manifest's fan-out wins.
+	st2, err := OpenWithOptions(dir, OpenOptions{Shards: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.shards != 4 {
+		t.Errorf("shards = %d after reopen, want 4 (from manifest)", st2.shards)
+	}
+	if _, err := st2.Get("a#x"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLegacyFlatLayoutMigration(t *testing.T) {
+	dir := t.TempDir()
+	sk := buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g) })
+	// Simulate a pre-manifest store: flat .misk files in the root.
+	for _, name := range []string{"old/a#x", "old/b#y"} {
+		f, err := os.Create(filepath.Join(dir, encodeName(name)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sk.WriteTo(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "old/a#x" {
+		t.Fatalf("List after migration = %v", names)
+	}
+	// Files moved into shards; root holds none.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), sketchExt) {
+			t.Errorf("legacy file %s not migrated", e.Name())
+		}
+	}
+	if _, err := st.Get("old/b#y"); err != nil {
+		t.Error(err)
+	}
+	// DiskReads of the Get above is a full decode; migration itself used
+	// header-only reads and does not count.
+	if got := st.Stats().DiskReads; got != 1 {
+		t.Errorf("DiskReads = %d, want 1", got)
+	}
+}
+
+func TestReconcileHealsManifest(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g) })
+	for _, name := range []string{"a#x", "b#x", "c#x"} {
+		if err := st.Put(name, sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lose the manifest entirely: Open rebuilds it from sketch headers.
+	if err := os.Remove(filepath.Join(dir, ManifestFile)); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := st2.List(); len(names) != 3 {
+		t.Fatalf("List after manifest loss = %v", names)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestFile)); err != nil {
+		t.Error("reconcile should persist the rebuilt manifest")
+	}
+
+	// Corrupt the manifest: Open must fall back to the rebuild path.
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := st3.List(); len(names) != 3 {
+		t.Fatalf("List after manifest corruption = %v", names)
+	}
+
+	// A valid manifest is trusted as-is: deleting a sketch file behind
+	// the store's back leaves a stale entry until RebuildManifest runs.
+	if err := os.Remove(st3.sketchPath("b#x")); err != nil {
+		t.Fatal(err)
+	}
+	st4, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := st4.List(); len(names) != 3 {
+		t.Fatalf("List should trust the valid manifest, got %v", names)
+	}
+	if err := st4.RebuildManifest(); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := st4.List(); len(names) != 2 {
+		t.Fatalf("List after rebuild = %v", names)
+	}
+}
+
+func TestReconcileRemovesOrphanedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g) })
+	if err := st.Put("a#x", sk); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-Put and mid-Flush: orphaned temp files.
+	shard := filepath.Dir(st.sketchPath("a#x"))
+	for _, orphan := range []string{
+		filepath.Join(shard, encodeName("dead#x")+".tmp123"),
+		filepath.Join(dir, ManifestFile+".tmp456"),
+	} {
+		if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, ManifestFile)) // force a reconcile scan
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	var leftovers []string
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.Contains(d.Name(), ".tmp") {
+			leftovers = append(leftovers, path)
+		}
+		return nil
+	})
+	if len(leftovers) != 0 {
+		t.Errorf("orphaned temp files survive reconcile: %v", leftovers)
+	}
+}
+
+func TestRebuildManifest(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g) })
+	if err := st.Put("a#x", sk); err != nil {
+		t.Fatal(err)
+	}
+	// Drop a file externally, then repair on the live handle.
+	if err := st.Put("gone#x", sk); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(st.sketchPath("gone#x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RebuildManifest(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := st.List()
+	if len(names) != 1 || names[0] != "a#x" {
+		t.Errorf("List after rebuild = %v", names)
+	}
+	m, ok := st.Meta("a#x")
+	if !ok || m.Entries != sk.Len() || m.Seed != sk.Seed || m.Role != core.RoleCandidate {
+		t.Errorf("rebuilt meta = %+v", m)
+	}
+}
+
+func TestManifestMetadataRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := buildSketch(t, core.RoleCandidate, 7, func(g int) float64 { return float64(g) })
+	if err := st.Put("meta#x", sk); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := st2.Meta("meta#x")
+	if !ok {
+		t.Fatal("meta missing after reopen")
+	}
+	want := Meta{
+		Name: "meta#x", Method: sk.Method, Role: sk.Role, Seed: sk.Seed,
+		Size: sk.Size, Numeric: sk.Numeric, SourceRows: sk.SourceRows,
+		Entries: sk.Len(), Bytes: m.Bytes,
+	}
+	if !reflect.DeepEqual(m, want) {
+		t.Errorf("meta = %+v, want %+v", m, want)
+	}
+	if m.Bytes <= 0 {
+		t.Error("meta must record the file size")
+	}
+}
+
+func TestRankManifestOnlyFiltering(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := buildSketch(t, core.RoleTrain, 0, func(g int) float64 { return float64(g % 5) })
+	st.Put("cand/a", buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g % 5) }))
+	st.Put("cand/b", buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g % 3) }))
+	st.Put("cand/foreign", buildSketch(t, core.RoleCandidate, 99, func(g int) float64 { return float64(g) }))
+	st.Put("cand/train-role", train)
+	st.Put("other/c", buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g) }))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, skipped, err := cold.Rank(train, "cand/", 0, mi.DefaultK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	wantSkipped := []string{"cand/foreign", "cand/train-role"}
+	if !reflect.DeepEqual(skipped, wantSkipped) {
+		t.Errorf("skipped = %v, want %v", skipped, wantSkipped)
+	}
+	// The acceptance bar: candidates excluded by prefix, seed, or role
+	// must cost zero full-sketch deserializations on a cold store.
+	if got := cold.Stats().DiskReads; got != 2 {
+		t.Errorf("DiskReads = %d, want 2 (only the eligible candidates)", got)
+	}
+}
+
+func TestRankTopK(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := buildSketch(t, core.RoleTrain, 0, func(g int) float64 { return float64(g % 7) })
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 12; i++ {
+		noise := float64(i)
+		st.Put(fmt.Sprintf("c%02d", i), buildSketch(t, core.RoleCandidate, 0, func(g int) float64 {
+			return float64(g%7) + noise*rng.NormFloat64()
+		}))
+	}
+	full, _, err := st.Rank(train, "", 0, mi.DefaultK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 3, len(full), len(full) + 5} {
+		top, _, err := st.RankContext(context.Background(), train, "", 0, mi.DefaultK, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := full
+		if k < len(full) {
+			want = full[:k]
+		}
+		if !reflect.DeepEqual(top, want) {
+			t.Errorf("topK=%d = %v, want %v", k, top, want)
+		}
+	}
+}
+
+func TestRankContextCancellation(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := buildSketch(t, core.RoleTrain, 0, func(g int) float64 { return float64(g % 5) })
+	st.Put("c", buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g % 5) }))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := st.RankContext(ctx, train, "", 0, mi.DefaultK, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	// A budget that holds roughly one decoded sketch forces eviction
+	// traffic while results stay correct.
+	st, err := OpenWithOptions(t.TempDir(), OpenOptions{CacheBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g) })
+	names := []string{"a", "b", "c", "d"}
+	for _, n := range names {
+		if err := st.Put(n, sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 3; round++ {
+		for _, n := range names {
+			got, err := st.Get(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Len() != sk.Len() {
+				t.Fatalf("Get(%s) wrong sketch", n)
+			}
+		}
+	}
+	stats := st.Stats()
+	if stats.Evictions == 0 {
+		t.Error("expected evictions under a tight byte budget")
+	}
+	if stats.CacheBytes > 8<<10 {
+		t.Errorf("cache %d bytes exceeds its %d-byte bound", stats.CacheBytes, 8<<10)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	st, err := OpenWithOptions(t.TempDir(), OpenOptions{CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g) })
+	if err := st.Put("a", sk); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := st.Get("a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := st.Stats()
+	if stats.DiskReads != 3 || stats.CacheHits != 0 {
+		t.Errorf("disabled cache: DiskReads=%d CacheHits=%d, want 3 and 0", stats.DiskReads, stats.CacheHits)
+	}
+}
+
+func TestConcurrentPutGetRank(t *testing.T) {
+	st, err := OpenWithOptions(t.TempDir(), OpenOptions{CacheBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := buildSketch(t, core.RoleTrain, 0, func(g int) float64 { return float64(g % 5) })
+	cand := buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g % 5) })
+	for i := 0; i < 4; i++ {
+		if err := st.Put(fmt.Sprintf("seed%d", i), cand); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("w%d", w)
+			for i := 0; i < 10; i++ {
+				switch i % 4 {
+				case 0:
+					if err := st.Put(name, cand); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, err := st.Get(fmt.Sprintf("seed%d", i%4)); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					if _, _, err := st.RankContext(context.Background(), train, "seed", 0, mi.DefaultK, 2); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3:
+					if _, err := st.List(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := st.Len(); n != 12 {
+		t.Errorf("Len = %d, want 12", n)
 	}
 }
 

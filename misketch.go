@@ -90,6 +90,17 @@ const (
 // DefaultSketchSize.
 type Options = core.Options
 
+// NullPolicy selects the treatment of NULL values in the value column;
+// NULL join keys are always dropped.
+type NullPolicy = core.NullPolicy
+
+// The NULL policies: drop NULL-valued rows (the default) or keep them as
+// a dedicated category in categorical columns.
+const (
+	NullDrop       = core.NullDrop
+	NullAsCategory = core.NullAsCategory
+)
+
 // Sketch is a fixed-size table summary joinable against other sketches
 // built with the same hash seed.
 type Sketch = core.Sketch
@@ -194,7 +205,10 @@ type Ranked struct {
 // Rank estimates MI between the train sketch and every candidate and
 // returns the candidates sorted by decreasing MI — the paper's
 // data-discovery query ("which external tables are worth joining?").
-// Candidates whose sketch join is smaller than minJoinSize are dropped.
+// Candidates whose sketch join has at most minJoinSize samples are
+// dropped: minJoinSize is the largest join size still excluded, matching
+// the paper's "JoinSize ≤ 100" filter and the boundary Store.Rank
+// applies. Zero keeps every candidate with a non-empty join.
 func Rank(train *Sketch, cands []Candidate, minJoinSize int) ([]Ranked, error) {
 	var out []Ranked
 	for _, c := range cands {
@@ -202,7 +216,7 @@ func Rank(train *Sketch, cands []Candidate, minJoinSize int) ([]Ranked, error) {
 		if err != nil {
 			return nil, fmt.Errorf("misketch: ranking %s: %w", c.Name, err)
 		}
-		if r.N < minJoinSize {
+		if r.N <= minJoinSize {
 			continue
 		}
 		out = append(out, Ranked{Name: c.Name, MI: r.MI, Estimator: r.Estimator, JoinSize: r.N})
@@ -222,7 +236,8 @@ func Rank(train *Sketch, cands []Candidate, minJoinSize int) ([]Ranked, error) {
 // toward zero much harder than genuine signals, trading the raw MLE's
 // recall for fewer false discoveries — the deployment trade-off the
 // paper's conclusion highlights. Non-discrete pairs are scored as in
-// Rank.
+// Rank, and the min-join boundary is Rank's: joins with at most
+// minJoinSize samples are dropped.
 func RankSmoothed(train *Sketch, cands []Candidate, minJoinSize int, alpha float64) ([]Ranked, error) {
 	var out []Ranked
 	for _, c := range cands {
@@ -230,7 +245,7 @@ func RankSmoothed(train *Sketch, cands []Candidate, minJoinSize int, alpha float
 		if err != nil {
 			return nil, fmt.Errorf("misketch: ranking %s: %w", c.Name, err)
 		}
-		if js.Size < minJoinSize {
+		if js.Size <= minJoinSize {
 			continue
 		}
 		var r Ranked

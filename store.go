@@ -35,6 +35,15 @@ func NewStreamBuilder(role Role, numeric bool, opt Options) (*StreamBuilder, err
 	return core.NewStreamBuilder(role, numeric, normalizeOptions(opt))
 }
 
+// BuildStreaming runs a table's (key, value) column pair through a
+// StreamBuilder in one pass — the natural entry point when the caller
+// already has columnar data and wants streaming construction semantics
+// (no intermediate aggregate-table materialization on the candidate
+// side).
+func BuildStreaming(t *Table, keyCol, valCol string, role Role, opt Options) (*Sketch, error) {
+	return core.BuildStreaming(t, keyCol, valCol, role, normalizeOptions(opt))
+}
+
 // WriteSketch serializes a sketch to w in the versioned binary format.
 func WriteSketch(w io.Writer, s *Sketch) error {
 	_, err := s.WriteTo(w)
@@ -44,6 +53,19 @@ func WriteSketch(w io.Writer, s *Sketch) error {
 // ReadSketch deserializes a sketch written by WriteSketch.
 func ReadSketch(r io.Reader) (*Sketch, error) {
 	return core.ReadSketch(r)
+}
+
+// SketchHeader is the metadata prefix of a serialized sketch: seed,
+// role, method, value kind, sizes — everything a catalog needs to filter
+// candidates without decoding sketch bodies.
+type SketchHeader = core.SketchHeader
+
+// ReadSketchHeader decodes only the header of a serialized sketch,
+// skipping its body. Stores use it to rebuild their manifest from a
+// directory of sketch files. Buffered read-ahead may consume r past the
+// header bytes; reopen the source to decode the full sketch afterwards.
+func ReadSketchHeader(r io.Reader) (*SketchHeader, error) {
+	return core.ReadSketchHeader(r)
 }
 
 // SaveSketch writes a sketch to a file.
@@ -69,19 +91,46 @@ func LoadSketch(path string) (*Sketch, error) {
 	return core.ReadSketch(f)
 }
 
-// Store is a directory of persisted sketches serving discovery queries;
-// see OpenStore.
+// Store is a sharded, manifest-indexed directory of persisted sketches
+// serving discovery queries; see OpenStore. Ranking filters candidates
+// on the manifest alone (no sketch reads for excluded candidates),
+// supports context cancellation via RankContext, and bounds results to
+// the top K with per-worker heaps.
 type Store = store.Store
 
 // RankedSketch is one result of a Store discovery query.
 type RankedSketch = store.RankedSketch
 
-// OpenStore opens (creating if necessary) a sketch store rooted at dir.
-// Typical usage: at ingestion time, SketchCandidate every column of every
-// dataset and Put it; at query time, SketchTrain the user's table and
-// Rank against the store.
+// OpenStoreOptions tunes a store handle: CacheBytes bounds the
+// decoded-sketch LRU cache (zero means the 64 MiB default, negative
+// disables caching), and Shards sets the directory fan-out for newly
+// created stores (zero means 64; existing stores keep the fan-out
+// recorded in their manifest).
+type OpenStoreOptions = store.OpenOptions
+
+// SketchMeta is one manifest record: the per-sketch metadata (seed,
+// role, method, value kind, sizes) discovery queries filter on without
+// touching sketch bytes.
+type SketchMeta = store.Meta
+
+// StoreStats are observability counters for a store handle: cache
+// hits/misses/evictions, bytes cached, and full-sketch disk reads.
+type StoreStats = store.Stats
+
+// OpenStore opens (creating if necessary) a sketch store rooted at dir
+// with default options. Typical usage: at ingestion time,
+// SketchCandidate every column of every dataset and Put it (then Close
+// to persist the manifest); at query time, SketchTrain the user's table
+// and Rank — or RankContext for cancellation and top-K — against the
+// store.
 func OpenStore(dir string) (*Store, error) {
 	return store.Open(dir)
+}
+
+// OpenStoreWithOptions is OpenStore with explicit cache and sharding
+// options.
+func OpenStoreWithOptions(dir string, opt OpenStoreOptions) (*Store, error) {
+	return store.OpenWithOptions(dir, opt)
 }
 
 // WithCompositeKey returns a copy of t extended with a string key column

@@ -2,6 +2,7 @@ package misketch
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -117,6 +118,86 @@ func TestStoreAPIEndToEnd(t *testing.T) {
 	}
 	if len(ranked) != 3 || ranked[0].Name != "exact#x" || ranked[2].Name != "noise#x" {
 		t.Errorf("ranking wrong: %+v", ranked)
+	}
+}
+
+func TestStoreOptionsAndTopKAPI(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStoreWithOptions(dir, OpenStoreOptions{CacheBytes: 4 << 20, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _ := syntheticPair(t, 4000, 300)
+	trainSk, err := SketchTrain(train, "key", "y", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 8; i++ {
+		noise := float64(i)
+		var b strings.Builder
+		b.WriteString("key,x\n")
+		for g := 0; g < 300; g++ {
+			fmt.Fprintf(&b, "g%d,%g\n", g, float64(g%5)+noise*rng.NormFloat64())
+		}
+		tb, _ := ReadCSV(strings.NewReader(b.String()))
+		sk, err := SketchCandidate(tb, "key", "x", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Put(fmt.Sprintf("cand%02d#x", i), sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen cold: the manifest-backed index serves the same catalog.
+	cold, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := cold.Rank(trainSk, "", 100, DefaultK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top3, _, err := cold.RankContext(context.Background(), trainSk, "", 100, DefaultK, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top3) != 3 {
+		t.Fatalf("topK = %d results", len(top3))
+	}
+	for i := range top3 {
+		if top3[i] != full[i] {
+			t.Errorf("top-K[%d] = %+v, full[%d] = %+v", i, top3[i], i, full[i])
+		}
+	}
+	if meta, ok := cold.Meta("cand00#x"); !ok || meta.Entries == 0 {
+		t.Errorf("manifest metadata missing: %+v (ok=%v)", meta, ok)
+	}
+	if stats := cold.Stats(); stats.Sketches != 8 || stats.DiskReads == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestSketchHeaderAPI(t *testing.T) {
+	train, _ := syntheticPair(t, 2000, 200)
+	sk, err := SketchTrain(train, "key", "y", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSketch(&buf, sk); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadSketchHeader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Seed != sk.Seed || h.Entries != sk.Len() || h.Method != sk.Method {
+		t.Errorf("header = %+v", h)
 	}
 }
 
