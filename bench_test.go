@@ -172,23 +172,36 @@ func BenchmarkSketchBuild(b *testing.B) {
 }
 
 // BenchmarkSketchJoin measures joining two prebuilt 256-entry sketches —
-// the operation the paper reports at 0.03–0.18ms.
+// the operation the paper reports at 0.03–0.18ms. "scratch" runs the
+// query-compiled probe join Store ranking uses; "legacy" the
+// allocation-per-call entry point.
 func BenchmarkSketchJoin(b *testing.B) {
 	for _, n := range []int{5000, 10000, 20000} {
-		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
-			train, cand := perfTables(n)
-			opt := Options{Size: 256, RNGSeed: 5}
-			st, err := SketchTrain(train, "k", "y", opt)
-			if err != nil {
-				b.Fatal(err)
-			}
-			sc, err := SketchCandidate(cand, "k", "x", opt)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
+		train, cand := perfTables(n)
+		opt := Options{Size: 256, RNGSeed: 5}
+		st, err := SketchTrain(train, "k", "y", opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc, err := SketchCandidate(cand, "k", "x", opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("legacy/N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Join(st, sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("scratch/N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			probe := CompileTrain(st)
+			var scratch EstimatorScratch
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := probe.JoinScratch(sc, &scratch); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -231,26 +244,65 @@ func estimatorSample(n int) (xs, ys []float64, cs, ds []string) {
 
 // BenchmarkEstimators measures each MI estimator at sketch-join scale
 // (256) and full-join scale (10k) — the paper reports MI estimation on
-// the full join at 2.2–10.7ms vs ~0.1ms on the sketch.
+// the full join at 2.2–10.7ms vs ~0.1ms on the sketch. The estimators
+// run on a reused mi.Scratch, as the ranking hot path runs them; see
+// BenchmarkEstimatorsLegacy for the allocation-per-call wrappers.
 func BenchmarkEstimators(b *testing.B) {
+	var s mi.Scratch
 	for _, n := range []int{256, 10000} {
 		xs, ys, cs, ds := estimatorSample(n)
 		b.Run(fmt.Sprintf("MLE/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.MLE(cs, ds)
+			}
+		})
+		b.Run(fmt.Sprintf("KSG/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.KSG(xs, ys, 3)
+			}
+		})
+		b.Run(fmt.Sprintf("MixedKSG/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.MixedKSG(xs, ys, 3)
+			}
+		})
+		b.Run(fmt.Sprintf("DCKSG/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.DCKSG(cs, ys, 3)
+			}
+		})
+	}
+}
+
+// BenchmarkEstimatorsLegacy measures the package-level estimator entry
+// points, which allocate fresh scratch state per call.
+func BenchmarkEstimatorsLegacy(b *testing.B) {
+	for _, n := range []int{256} {
+		xs, ys, cs, ds := estimatorSample(n)
+		b.Run(fmt.Sprintf("MLE/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				mi.MLE(cs, ds)
 			}
 		})
 		b.Run(fmt.Sprintf("KSG/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				mi.KSG(xs, ys, 3)
 			}
 		})
 		b.Run(fmt.Sprintf("MixedKSG/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				mi.MixedKSG(xs, ys, 3)
 			}
 		})
 		b.Run(fmt.Sprintf("DCKSG/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				mi.DCKSG(cs, ys, 3)
 			}
@@ -329,9 +381,17 @@ func benchStore(b *testing.B, dir string, nCand int, opt OpenStoreOptions) (*Sto
 			}
 		}
 	}
-	if err := st.Close(); err != nil {
+	// Persist the manifest but hand back an OPEN handle: the store must
+	// stay usable for the sub-benchmarks, so closing is deferred to
+	// cleanup rather than done (and then ignored) here.
+	if err := st.Flush(); err != nil {
 		b.Fatal(err)
 	}
+	b.Cleanup(func() {
+		if err := st.Close(); err != nil {
+			b.Error(err)
+		}
+	})
 	return st, train
 }
 
@@ -348,6 +408,7 @@ func BenchmarkStoreRank(b *testing.B) {
 	ctx := context.Background()
 
 	b.Run("top10", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ranked, _, err := st.RankContext(ctx, train, "bench/", 50, DefaultK, 10)
 			if err != nil {
@@ -359,6 +420,7 @@ func BenchmarkStoreRank(b *testing.B) {
 		}
 	})
 	b.Run("all", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := st.RankContext(ctx, train, "bench/", 50, DefaultK, 0); err != nil {
 				b.Fatal(err)
@@ -366,6 +428,7 @@ func BenchmarkStoreRank(b *testing.B) {
 		}
 	})
 	b.Run("top10-cold", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cold, err := OpenStore(dir)
 			if err != nil {

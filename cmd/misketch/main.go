@@ -28,8 +28,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -38,6 +41,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"misketch"
 	"misketch/internal/table"
@@ -55,6 +59,8 @@ func main() {
 		runRank(os.Args[2:])
 	case "store":
 		runStore(os.Args[2:])
+	case "bench":
+		runBench(os.Args[2:])
 	case "sketch": // legacy spelling of "store ingest" over explicit files
 		runStoreIngest(os.Args[2:])
 	case "store-rank": // legacy spelling of "store rank"
@@ -70,9 +76,10 @@ func usage() {
   misketch estimate      -train FILE -train-key COL -target COL -cand FILE -cand-key COL -feature COL [flags]
   misketch rank          -train FILE -train-key COL -target COL [flags] CANDIDATE_DIR
   misketch store ingest  -store DIR -key COL [-workers N] [flags] CSV_OR_DIR...
-  misketch store rank    -store DIR -train FILE -train-key COL -target COL [flags]
+  misketch store rank    -store DIR -train FILE -train-key COL -target COL [-workers N] [-stats] [flags]
   misketch store ls      -store DIR
   misketch store rebuild -store DIR
+  misketch bench         [-candidates N] [-top K] [-iters N] [-out FILE]
   (legacy aliases: "sketch" = store ingest, "store-rank" = store rank)`)
 }
 
@@ -405,6 +412,8 @@ func runStoreRank(args []string) {
 	minJoin := fs.Int("min-join", 100, "drop candidates whose sketch join has at most this many samples")
 	top := fs.Int("top", 20, "return only the top-K candidates")
 	prefix := fs.String("prefix", "", "only rank stored sketches whose name has this prefix")
+	workers := fs.Int("workers", 0, "estimation worker fan-out (0 = GOMAXPROCS)")
+	stats := fs.Bool("stats", false, "print cache and disk-read counters after the query")
 	die(fs.Parse(args))
 	requireFlags(map[string]string{"store": *storeDir, "train": *train, "train-key": *trainKey, "target": *target})
 
@@ -413,8 +422,16 @@ func runStoreRank(args []string) {
 	die(err)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	ranked, skipped, err := sketches.RankContext(ctx, st, *prefix, *minJoin, misketch.DefaultK, *top)
+	started := time.Now()
+	ranked, skipped, err := sketches.RankQuery(ctx, st, misketch.RankOptions{
+		Prefix:      *prefix,
+		MinJoinSize: *minJoin,
+		K:           misketch.DefaultK,
+		TopK:        *top,
+		Workers:     *workers,
+	})
 	die(err)
+	elapsed := time.Since(started)
 	fmt.Printf("%-44s %10s %10s %10s\n", "candidate", "MI (nats)", "estimator", "join size")
 	for _, r := range ranked {
 		fmt.Printf("%-44s %10.4f %10s %10d\n", r.Name, r.MI, r.Estimator, r.JoinSize)
@@ -422,8 +439,15 @@ func runStoreRank(args []string) {
 	if len(skipped) > 0 {
 		fmt.Printf("(%d sketches skipped: incompatible seed or role)\n", len(skipped))
 	}
-	stats := sketches.Stats()
-	fmt.Printf("(%d sketches indexed, %d read from disk)\n", stats.Sketches, stats.DiskReads)
+	ss := sketches.Stats()
+	fmt.Printf("(%d sketches indexed, %d read from disk)\n", ss.Sketches, ss.DiskReads)
+	if *stats {
+		fmt.Printf("query time:   %s\n", elapsed)
+		fmt.Printf("cache:        %d hits, %d misses, %d evictions, %d bytes resident\n",
+			ss.CacheHits, ss.CacheMisses, ss.Evictions, ss.CacheBytes)
+		fmt.Printf("disk reads:   %d full sketch decodes\n", ss.DiskReads)
+		fmt.Printf("workers:      %d (0 = GOMAXPROCS %d)\n", *workers, runtime.GOMAXPROCS(0))
+	}
 }
 
 // runStoreLs lists the manifest of a sketch store without reading any
@@ -450,6 +474,96 @@ func runStoreLs(args []string) {
 			m.Name, fmt.Sprintf("%s/%s", m.Method, kind), role, m.Entries, m.SourceRows, m.Bytes)
 	}
 	fmt.Printf("(%d sketches)\n", len(metas))
+}
+
+// runBench builds a synthetic sketch store mirroring the repo's
+// BenchmarkStoreRank workload (1000 numeric candidate sketches of 400
+// keys, a 256-entry train sketch over 4000 rows), times warm top-K
+// ranking queries against it, and emits one BENCH_rank.json record —
+// the store-rank perf number, measurable without the Go test harness.
+func runBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	nCand := fs.Int("candidates", 1000, "number of candidate sketches")
+	top := fs.Int("top", 10, "top-K bound of the timed queries")
+	iters := fs.Int("iters", 5, "timed query iterations (after one warm-up)")
+	out := fs.String("out", "", "append the JSON record to this file (default: stdout only)")
+	dir := fs.String("dir", "", "store directory (default: a temp dir, removed afterwards)")
+	die(fs.Parse(args))
+	if *iters < 1 || *nCand < 1 {
+		fmt.Fprintln(os.Stderr, "bench: -iters and -candidates must be positive")
+		os.Exit(2)
+	}
+
+	storeDir := *dir
+	if storeDir == "" {
+		tmp, err := os.MkdirTemp("", "misketch-bench-*")
+		die(err)
+		defer os.RemoveAll(tmp)
+		storeDir = tmp
+	}
+	st, err := misketch.OpenStore(storeDir)
+	die(err)
+	rng := rand.New(rand.NewSource(17))
+	sopt := misketch.Options{Size: 256}
+	tb, err := misketch.NewStreamBuilder(misketch.RoleTrain, true, sopt)
+	die(err)
+	for i := 0; i < 4000; i++ {
+		tb.AddNum(fmt.Sprintf("g%d", rng.Intn(400)), rng.NormFloat64())
+	}
+	train := tb.Sketch()
+	for c := 0; c < *nCand; c++ {
+		cb, err := misketch.NewStreamBuilder(misketch.RoleCandidate, true, sopt)
+		die(err)
+		for g := 0; g < 400; g++ {
+			cb.AddNum(fmt.Sprintf("g%d", g), float64(g%7)+rng.NormFloat64())
+		}
+		die(st.Put(fmt.Sprintf("bench/t%04d#x", c), cb.Sketch()))
+	}
+	die(st.Flush())
+
+	ctx := context.Background()
+	query := func() time.Duration {
+		start := time.Now()
+		ranked, _, err := st.RankQuery(ctx, train, misketch.RankOptions{
+			Prefix: "bench/", MinJoinSize: 50, K: misketch.DefaultK, TopK: *top,
+		})
+		die(err)
+		if len(ranked) == 0 {
+			die(fmt.Errorf("bench: empty ranking"))
+		}
+		return time.Since(start)
+	}
+	query() // warm the cache
+	best, total := time.Duration(1<<62), time.Duration(0)
+	for i := 0; i < *iters; i++ {
+		d := query()
+		total += d
+		if d < best {
+			best = d
+		}
+	}
+	// The record mirrors the committed BENCH_rank.json rows (same
+	// "bench" naming as the Go benchmark) so appended runs stay
+	// queryable alongside the per-PR baseline/after entries.
+	rec := map[string]any{
+		"stage":      "run",
+		"bench":      fmt.Sprintf("BenchmarkStoreRank/top%d", *top),
+		"candidates": *nCand,
+		"iters":      *iters,
+		"ns_per_op":  total.Nanoseconds() / int64(*iters),
+		"best_ns":    best.Nanoseconds(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"date":       time.Now().UTC().Format("2006-01-02"),
+	}
+	line, err := json.Marshal(rec)
+	die(err)
+	fmt.Println(string(line))
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		die(err)
+		_, werr := f.Write(append(line, '\n'))
+		die(errors.Join(werr, f.Close()))
+	}
 }
 
 // runStoreRebuild re-derives a store's manifest from the sketch files on

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"misketch/internal/mi"
+)
+
+// TrainProbe is a discovery query compiled against its train sketch: the
+// train side of every candidate join is invariant across the query, so
+// the hash→entry index, the partition into numeric/categorical value
+// views, and the ascending value order are built once here and probed by
+// every candidate without further allocation. A TrainProbe is immutable
+// after compilation and safe to share across concurrent rankers (each
+// ranker brings its own Scratch).
+type TrainProbe struct {
+	train *Sketch
+	// Open-addressing hash table from key hash to the packed range
+	// [(val>>32)−1, uint32(val)) into order; a zero val marks an empty
+	// slot (the +1 start bias keeps real entries nonzero). Linear
+	// probing over a half-loaded power-of-two table resolves a lookup in
+	// ~1–2 slot inspections — the single hottest map in a ranking query,
+	// probed once per candidate entry.
+	htabKey []uint32
+	htabVal []uint64
+	mask    uint32
+	order   []int32 // train entry indices grouped by key hash
+	// valOrder is the ascending (value, entry) order of a numeric train
+	// sketch (nil for categorical), from which each candidate's joined
+	// x-ordering is derived by an O(entries) filter instead of a sort.
+	valOrder []int32
+}
+
+// CompileTrainProbe builds the per-query index over a train sketch.
+func CompileTrainProbe(train *Sketch) *TrainProbe {
+	n := train.Len()
+	counts := make(map[uint32]uint32, n)
+	for _, hk := range train.KeyHashes {
+		counts[hk]++
+	}
+	size := 4
+	for size < 2*len(counts) {
+		size <<= 1
+	}
+	p := &TrainProbe{
+		train:    train,
+		htabKey:  make([]uint32, size),
+		htabVal:  make([]uint64, size),
+		mask:     uint32(size - 1),
+		order:    make([]int32, n),
+		valOrder: train.NumValOrder(),
+	}
+	slotOf := func(hk uint32) uint32 {
+		i := hk & p.mask
+		for p.htabVal[i] != 0 && p.htabKey[i] != hk {
+			i = (i + 1) & p.mask
+		}
+		return i
+	}
+	var off uint32
+	for hk, c := range counts {
+		i := slotOf(hk)
+		p.htabKey[i] = hk
+		p.htabVal[i] = uint64(off+1)<<32 | uint64(off)
+		off += c
+	}
+	for i, hk := range train.KeyHashes {
+		s := slotOf(hk)
+		v := p.htabVal[s]
+		end := uint32(v)
+		p.order[end] = int32(i)
+		p.htabVal[s] = v&^uint64(^uint32(0)) | uint64(end+1)
+	}
+	return p
+}
+
+// Train returns the sketch the probe was compiled from.
+func (p *TrainProbe) Train() *Sketch { return p.train }
+
+// Scratch owns the reusable per-worker state of the ranking hot path:
+// the estimator scratch (with the joined-pair buffers) plus the join
+// match list and the marker arrays the ordering hints are derived from.
+// The zero value is ready to use; a Scratch must not be shared between
+// concurrent rankers.
+type Scratch struct {
+	// MI is the estimator scratch, including the joined-pair buffers the
+	// scratch join fills.
+	MI mi.Scratch
+
+	match        []uint64 // packed (train entry << 32 | cand entry) matches
+	matchedTrain []int32  // per train entry: joined index + 1, or 0
+	// A candidate entry can join several train entries (repeated train
+	// keys), so the joined indices per candidate entry form chains:
+	// candFirst heads them and nextJoined links them (both offset by 1).
+	candFirst  []int32
+	nextJoined []int32
+	xOrder     []int32 // joined x ordering hint (train value order filtered)
+	yOrder     []int32 // joined y ordering hint (cand value order filtered)
+}
+
+// JoinScratch matches every train-sketch entry against the candidate
+// sketch and returns the paired values, exactly like Join, but probing
+// the compiled train index with zero steady-state allocations: the
+// sample is written into the scratch's joined-pair buffers, which stay
+// valid until the next JoinScratch call on the same scratch. Both
+// sketches must share a hash seed. Unlike Join, duplicate candidate key
+// hashes are reported only when they actually join a train entry;
+// duplicates that match nothing cannot affect the sample.
+func (p *TrainProbe) JoinScratch(cand *Sketch, s *Scratch) (JoinedSample, error) {
+	train := p.train
+	if train.Seed != cand.Seed {
+		return JoinedSample{}, fmt.Errorf("core: sketches built with different seeds (%#x vs %#x)", train.Seed, cand.Seed)
+	}
+	match := s.match[:0]
+	mask := p.mask
+	for j, hk := range cand.KeyHashes {
+		i := hk & mask
+		for {
+			v := p.htabVal[i]
+			if v == 0 {
+				break
+			}
+			if p.htabKey[i] == hk {
+				for _, ti := range p.order[uint32(v>>32)-1 : uint32(v)] {
+					match = append(match, uint64(ti)<<32|uint64(uint32(j)))
+				}
+				break
+			}
+			i = (i + 1) & mask
+		}
+	}
+	// Candidate key hashes are unique, so each train entry matches at
+	// most once and sorting the packed pairs recovers the train-entry
+	// order Join emits — the estimate is bit-identical to the legacy
+	// path. A repeated train entry means a duplicated candidate hash.
+	slices.Sort(match)
+	s.match = match
+
+	if cap(s.matchedTrain) < train.Len() {
+		s.matchedTrain = make([]int32, train.Len())
+	} else {
+		s.matchedTrain = s.matchedTrain[:train.Len()]
+		clear(s.matchedTrain)
+	}
+	if cap(s.candFirst) < cand.Len() {
+		s.candFirst = make([]int32, cand.Len())
+	} else {
+		s.candFirst = s.candFirst[:cand.Len()]
+		clear(s.candFirst)
+	}
+	if cap(s.nextJoined) < len(match) {
+		s.nextJoined = make([]int32, len(match))
+	} else {
+		s.nextJoined = s.nextJoined[:len(match)]
+	}
+
+	yNum, xNum := s.MI.JoinYNum[:0], s.MI.JoinXNum[:0]
+	yStr, xStr := s.MI.JoinYStr[:0], s.MI.JoinXStr[:0]
+	prev := -1
+	for joined, m := range match {
+		ti := int(m >> 32)
+		j := int(uint32(m))
+		if ti == prev {
+			return JoinedSample{}, fmt.Errorf("core: candidate sketch has duplicate key hash %#x", train.KeyHashes[ti])
+		}
+		prev = ti
+		if train.Numeric {
+			yNum = append(yNum, train.Nums[ti])
+		} else {
+			yStr = append(yStr, train.Strs[ti])
+		}
+		if cand.Numeric {
+			xNum = append(xNum, cand.Nums[j])
+		} else {
+			xStr = append(xStr, cand.Strs[j])
+		}
+		s.matchedTrain[ti] = int32(joined) + 1
+		s.nextJoined[joined] = s.candFirst[j]
+		s.candFirst[j] = int32(joined) + 1
+	}
+
+	js := JoinedSample{Size: len(match)}
+	if train.Numeric {
+		if yNum == nil {
+			yNum = []float64{}
+		}
+		s.MI.JoinYNum = yNum
+		js.Y = mi.NumericColumn(yNum)
+	} else {
+		if yStr == nil {
+			yStr = []string{}
+		}
+		s.MI.JoinYStr = yStr
+		js.Y = mi.CategoricalColumn(yStr)
+	}
+	if cand.Numeric {
+		if xNum == nil {
+			xNum = []float64{}
+		}
+		s.MI.JoinXNum = xNum
+		js.X = mi.NumericColumn(xNum)
+	} else {
+		if xStr == nil {
+			xStr = []string{}
+		}
+		s.MI.JoinXStr = xStr
+		js.X = mi.CategoricalColumn(xStr)
+	}
+	return js, nil
+}
+
+// hints derives the estimator's ordering hints for the sample produced
+// by the latest JoinScratch: the joined train side's ascending order
+// (filtering the probe's compile-once value order down to matched
+// entries) and the joined candidate side's (filtering the candidate's
+// memoized value order). Both filters are O(entries) walks with no
+// comparisons — the estimator never sorts on the ranking hot path.
+func (p *TrainProbe) hints(cand *Sketch, s *Scratch) mi.Hints {
+	var h mi.Hints
+	if p.valOrder != nil {
+		xOrder := s.xOrder[:0]
+		for _, ti := range p.valOrder {
+			if joined := s.matchedTrain[ti]; joined != 0 {
+				xOrder = append(xOrder, joined-1)
+			}
+		}
+		s.xOrder = xOrder
+		h.XOrder = xOrder
+	}
+	if candOrder := cand.NumValOrder(); candOrder != nil {
+		yOrder := s.yOrder[:0]
+		for _, j := range candOrder {
+			for joined := s.candFirst[j]; joined != 0; joined = s.nextJoined[joined-1] {
+				yOrder = append(yOrder, joined-1)
+			}
+		}
+		s.yOrder = yOrder
+		h.YOrder = yOrder
+	}
+	return h
+}
+
+// EstimateMIScratch joins the candidate against the compiled train probe
+// and applies the type-appropriate MI estimator on the worker's scratch
+// state — the allocation-free core of a ranking query. The result is
+// bit-identical to EstimateMI on the same sketches.
+func EstimateMIScratch(p *TrainProbe, cand *Sketch, k int, s *Scratch) (mi.Result, error) {
+	js, err := p.JoinScratch(cand, s)
+	if err != nil {
+		return mi.Result{}, err
+	}
+	return s.MI.EstimateHinted(js.Y, js.X, k, p.hints(cand, s)), nil
+}

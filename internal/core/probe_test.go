@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// probeTrainSketch streams skewed keyed rows into a train sketch.
+func probeTrainSketch(t *testing.T, n, keys int, numeric bool, seed int64) *Sketch {
+	t.Helper()
+	b, err := NewStreamBuilder(RoleTrain, numeric, Options{Method: TUPSK, Size: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%d", rng.Intn(keys))
+		if numeric {
+			b.AddNum(key, rng.NormFloat64())
+		} else {
+			b.AddStr(key, fmt.Sprintf("v%d", rng.Intn(7)))
+		}
+	}
+	return b.Sketch()
+}
+
+// probeCandSketch builds a candidate sketch covering a fraction of the
+// key universe, numeric or categorical, optionally tie-heavy.
+func probeCandSketch(t *testing.T, keys int, numeric, ties bool, seed int64) *Sketch {
+	t.Helper()
+	b, err := NewStreamBuilder(RoleCandidate, numeric, Options{Method: TUPSK, Size: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for k := 0; k < keys; k++ {
+		if rng.Intn(3) == 0 {
+			continue // leave holes so some train entries miss
+		}
+		key := fmt.Sprintf("k%d", k)
+		if numeric {
+			v := rng.NormFloat64()
+			if ties {
+				v = float64(rng.Intn(4))
+			}
+			b.AddNum(key, v)
+		} else {
+			b.AddStr(key, fmt.Sprintf("w%d", rng.Intn(5)))
+		}
+	}
+	return b.Sketch()
+}
+
+// TestJoinScratchMatchesJoin checks that the probe join recovers the
+// exact sample Join does — same pairs, same order — across numeric and
+// categorical sides.
+func TestJoinScratchMatchesJoin(t *testing.T) {
+	for _, trainNum := range []bool{true, false} {
+		for _, candNum := range []bool{true, false} {
+			train := probeTrainSketch(t, 3000, 150, trainNum, 11)
+			probe := CompileTrainProbe(train)
+			var scratch Scratch
+			for trial := int64(0); trial < 5; trial++ {
+				cand := probeCandSketch(t, 150, candNum, trial%2 == 0, 100+trial)
+				want, err := Join(train, cand)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := probe.JoinScratch(cand, &scratch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Size != want.Size {
+					t.Fatalf("train=%v cand=%v: size %d != %d", trainNum, candNum, got.Size, want.Size)
+				}
+				if got.Y.IsNumeric() != want.Y.IsNumeric() || got.X.IsNumeric() != want.X.IsNumeric() {
+					t.Fatalf("column kinds diverge")
+				}
+				for i := 0; i < want.Size; i++ {
+					if want.Y.IsNumeric() && got.Y.Num[i] != want.Y.Num[i] {
+						t.Fatalf("Y[%d]: %v != %v", i, got.Y.Num[i], want.Y.Num[i])
+					}
+					if !want.Y.IsNumeric() && got.Y.Str[i] != want.Y.Str[i] {
+						t.Fatalf("Y[%d]: %q != %q", i, got.Y.Str[i], want.Y.Str[i])
+					}
+					if want.X.IsNumeric() && got.X.Num[i] != want.X.Num[i] {
+						t.Fatalf("X[%d]: %v != %v", i, got.X.Num[i], want.X.Num[i])
+					}
+					if !want.X.IsNumeric() && got.X.Str[i] != want.X.Str[i] {
+						t.Fatalf("X[%d]: %q != %q", i, got.X.Str[i], want.X.Str[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEstimateMIScratchBitIdentical checks the full scratch pipeline —
+// probe join, ordering hints, reused estimator state — against the
+// legacy EstimateMI, bit for bit, with one scratch reused across every
+// candidate and type combination.
+func TestEstimateMIScratchBitIdentical(t *testing.T) {
+	var scratch Scratch
+	for _, trainNum := range []bool{true, false} {
+		train := probeTrainSketch(t, 4000, 200, trainNum, 21)
+		probe := CompileTrainProbe(train)
+		for _, candNum := range []bool{true, false} {
+			for trial := int64(0); trial < 8; trial++ {
+				cand := probeCandSketch(t, 200, candNum, trial%2 == 0, 300+trial)
+				want, err := EstimateMI(train, cand, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := EstimateMIScratch(probe, cand, 3, &scratch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Estimator != want.Estimator || got.N != want.N {
+					t.Fatalf("metadata diverges: %+v vs %+v", got, want)
+				}
+				if math.Float64bits(got.MI) != math.Float64bits(want.MI) {
+					t.Fatalf("train=%v cand=%v trial=%d: MI %v != %v",
+						trainNum, candNum, trial, got.MI, want.MI)
+				}
+			}
+		}
+	}
+}
+
+// TestJoinScratchSeedMismatch mirrors Join's seed check.
+func TestJoinScratchSeedMismatch(t *testing.T) {
+	train := probeTrainSketch(t, 500, 50, true, 1)
+	cand := probeCandSketch(t, 50, true, false, 2)
+	cand.Seed++
+	probe := CompileTrainProbe(train)
+	var scratch Scratch
+	if _, err := probe.JoinScratch(cand, &scratch); err == nil {
+		t.Fatal("expected seed-mismatch error")
+	}
+}
+
+// TestJoinScratchDuplicateCandHash reports duplicated candidate key
+// hashes that reach the join, as Join does.
+func TestJoinScratchDuplicateCandHash(t *testing.T) {
+	train := probeTrainSketch(t, 500, 50, true, 1)
+	probe := CompileTrainProbe(train)
+	cand := &Sketch{
+		Method:  TUPSK,
+		Role:    RoleCandidate,
+		Seed:    train.Seed,
+		Size:    4,
+		Numeric: true,
+		// Duplicate a hash that certainly joins: the train's first one.
+		KeyHashes:  []uint32{train.KeyHashes[0], train.KeyHashes[0]},
+		Nums:       []float64{1, 2},
+		SourceRows: 2,
+	}
+	var scratch Scratch
+	if _, err := probe.JoinScratch(cand, &scratch); err == nil ||
+		!strings.Contains(err.Error(), "duplicate key hash") {
+		t.Fatalf("expected duplicate-hash error, got %v", err)
+	}
+}
+
+// TestTrainProbeConcurrentRankers shares one TrainProbe across
+// concurrent rankers, each with its own Scratch, and checks every
+// worker reproduces the sequential estimates exactly. Run under -race
+// this also proves the probe (and the lazy sketch value-order memo) are
+// data-race free.
+func TestTrainProbeConcurrentRankers(t *testing.T) {
+	train := probeTrainSketch(t, 4000, 200, true, 31)
+	probe := CompileTrainProbe(train)
+	const nCand = 24
+	cands := make([]*Sketch, nCand)
+	for i := range cands {
+		cands[i] = probeCandSketch(t, 200, i%3 != 0, i%2 == 0, int64(500+i))
+	}
+	want := make([]float64, nCand)
+	var seq Scratch
+	for i, c := range cands {
+		r, err := EstimateMIScratch(probe, c, 3, &seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r.MI
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var scratch Scratch
+			for i := w; i < nCand; i += 1 + w%3 {
+				r, err := EstimateMIScratch(probe, cands[i], 3, &scratch)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if math.Float64bits(r.MI) != math.Float64bits(want[i]) {
+					errs <- fmt.Errorf("worker %d cand %d: %v != %v", w, i, r.MI, want[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

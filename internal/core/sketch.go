@@ -28,6 +28,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"misketch/internal/hash"
 	"misketch/internal/mi"
@@ -148,6 +149,44 @@ type Sketch struct {
 	// SourceRows is the number of usable (non-NULL) rows the sketch was
 	// built from.
 	SourceRows int
+
+	// valOrder lazily memoizes the ascending order of Nums (see
+	// NumValOrder). Cached sketches serve many ranking queries, so the
+	// one-time sort amortizes to nothing.
+	valOrder atomic.Pointer[[]int32]
+}
+
+// NumValOrder returns the ascending order of the sketch's numeric
+// values: out[j] is the entry index of the j-th smallest value, ties in
+// ascending entry order. The order is computed once and memoized; the
+// returned slice must not be modified. It returns nil for categorical
+// sketches and for the (never produced by Build) case of NaN values,
+// whose ordering would be representation-dependent.
+func (s *Sketch) NumValOrder() []int32 {
+	if !s.Numeric {
+		return nil
+	}
+	if p := s.valOrder.Load(); p != nil {
+		return *p
+	}
+	nums := s.Nums
+	order := make([]int32, len(nums))
+	for i := range order {
+		if math.IsNaN(nums[i]) {
+			return nil
+		}
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		va, vb := nums[order[a]], nums[order[b]]
+		if va != vb {
+			return va < vb
+		}
+		return order[a] < order[b]
+	})
+	// A racing computation stores an identical slice; either wins.
+	s.valOrder.Store(&order)
+	return order
 }
 
 // Len returns the number of entries stored in the sketch.

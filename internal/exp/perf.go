@@ -71,10 +71,15 @@ func RunPerf(cfg Config) ([]PerfRow, error) {
 		}
 		row.FullJoin = time.Since(start) / reps
 
+		// The sketch-side measurements exercise the deployment path: the
+		// query-compiled train probe and a reused per-worker scratch,
+		// exactly as Store.RankQuery runs them.
+		probe := core.CompileTrainProbe(st)
+		var scratch core.Scratch
 		start = time.Now()
-		var js *core.JoinedSample
+		var js core.JoinedSample
 		for r := 0; r < reps; r++ {
-			js, err = core.Join(st, sc)
+			js, err = probe.JoinScratch(sc, &scratch)
 			if err != nil {
 				return nil, err
 			}
@@ -83,15 +88,16 @@ func RunPerf(cfg Config) ([]PerfRow, error) {
 
 		y := joined.MustColumn("y").Num
 		x := joined.MustColumn("x").Num
+		var fullScratch mi.Scratch
 		start = time.Now()
 		for r := 0; r < reps; r++ {
-			mi.Estimate(mi.NumericColumn(y), mi.NumericColumn(x), cfg.K)
+			fullScratch.Estimate(mi.NumericColumn(y), mi.NumericColumn(x), cfg.K)
 		}
 		row.FullEstimate = time.Since(start) / reps
 
 		start = time.Now()
 		for r := 0; r < reps; r++ {
-			mi.Estimate(js.Y, js.X, cfg.K)
+			scratch.MI.Estimate(js.Y, js.X, cfg.K)
 		}
 		row.SketchEstimate = time.Since(start) / reps
 

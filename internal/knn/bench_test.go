@@ -1,0 +1,80 @@
+package knn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchPoints mirrors the estimator workload: correlated Gaussian pairs.
+func benchPoints(n int) []Point {
+	rng := rand.New(rand.NewSource(13))
+	pts := make([]Point, n)
+	for i := range pts {
+		x := rng.NormFloat64()
+		pts[i] = Point{X: x, Y: x + rng.NormFloat64()}
+	}
+	return pts
+}
+
+// BenchmarkKNNAllPoints measures the all-points k-NN query pattern the
+// KSG estimators perform — one distance per point, self excluded — on
+// both neighbor structures.
+func BenchmarkKNNAllPoints(b *testing.B) {
+	for _, n := range []int{256, 4096} {
+		pts := benchPoints(n)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i, p := range pts {
+			xs[i], ys[i] = p.X, p.Y
+		}
+		b.Run(fmt.Sprintf("tree/n=%d", n), func(b *testing.B) {
+			t := Build(pts)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range pts {
+					t.KNNDist(pts[j], 3, j)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
+			var g Grid2D
+			g.Reset(xs, ys)
+			out := make([]float64, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.AllKNNDist(3, out)
+			}
+		})
+	}
+}
+
+// BenchmarkNeighborReset measures the rebuild-in-place paths.
+func BenchmarkNeighborReset(b *testing.B) {
+	for _, n := range []int{256, 4096} {
+		pts := benchPoints(n)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i, p := range pts {
+			xs[i], ys[i] = p.X, p.Y
+		}
+		b.Run(fmt.Sprintf("tree/n=%d", n), func(b *testing.B) {
+			var t Tree
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Reset(pts)
+			}
+		})
+		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
+			var g Grid2D
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Reset(xs, ys)
+			}
+		})
+	}
+}

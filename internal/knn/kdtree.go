@@ -6,10 +6,16 @@
 // All KSG variants measure joint-space distances with the max norm, so
 // that is the only metric implemented; marginal counts reduce to 1-D
 // interval counting on sorted copies of each coordinate.
+//
+// Both Tree and Sorted1D support rebuild-in-place via Reset, so a caller
+// that estimates MI over many samples (the ranking hot path) can reuse
+// one structure's backing arrays across samples instead of reallocating
+// them per estimate.
 package knn
 
 import (
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -28,63 +34,104 @@ func Chebyshev(a, b Point) float64 {
 	return dy
 }
 
-// Tree is a static 2-D kd-tree over a fixed point set. Queries exclude or
-// include the query point itself purely by index bookkeeping, so duplicate
-// coordinates are handled exactly (important for mixed discrete-continuous
-// data, where ties are the norm rather than the exception).
+// leafSize is the bucket size below which subtrees are left unsplit and
+// queries fall back to a linear scan. Scanning a handful of contiguous
+// points is faster than descending pointer-free but branchy tree levels,
+// so buckets beat single-point leaves on every query type.
+const leafSize = 8
+
+// treeMaxDepth bounds the explicit traversal stacks. Every split puts the
+// median at the midpoint, so subtree spans halve per level and the depth
+// of a tree over n points is at most log2(n) + 1 ≪ 64.
+const treeMaxDepth = 64
+
+// Tree is a 2-D kd-tree over a fixed point set: an implicit median
+// layout (the splitting point of pts[lo:hi] sits at (lo+hi)/2) with
+// bucket leaves of at most leafSize points. Queries exclude or include
+// the query point itself purely by index bookkeeping, so duplicate
+// coordinates are handled exactly (important for mixed
+// discrete-continuous data, where ties are the norm rather than the
+// exception).
+//
+// A Tree's query methods share internal scratch space: queries on one
+// Tree must not run concurrently. Build one Tree per goroutine (or per
+// mi.Scratch) for parallel estimation.
 type Tree struct {
 	pts  []Point // points in tree order
-	idx  []int   // original index of pts[i]
-	axis []byte  // split axis per node (0 = X, 1 = Y)
+	idx  []int32 // original index of pts[i]
+	axis []byte  // split axis per internal node (0 = X, 1 = Y)
+
+	heap  distHeap                  // reusable k-NN candidate heap
+	stack [treeMaxDepth]searchFrame // reusable traversal stack
 }
 
 // Build constructs a kd-tree over pts. The input slice is not modified.
 func Build(pts []Point) *Tree {
-	n := len(pts)
-	t := &Tree{
-		pts:  make([]Point, n),
-		idx:  make([]int, n),
-		axis: make([]byte, n),
-	}
-	copy(t.pts, pts)
-	for i := range t.idx {
-		t.idx[i] = i
-	}
-	if n > 0 {
-		t.build(0, n, 0)
-	}
+	t := &Tree{}
+	t.Reset(pts)
 	return t
 }
 
-// build arranges pts[lo:hi] into kd-tree order: the median element sits at
-// the midpoint, smaller elements (on the split axis) before it, larger
-// after. Depth selects the axis by spread rather than strict alternation,
-// which behaves far better on data with heavy ties in one coordinate.
-func (t *Tree) build(lo, hi, depth int) {
-	if hi-lo <= 1 {
-		if hi-lo == 1 {
-			t.axis[lo] = t.chooseAxis(lo, hi)
-		}
-		return
+// Reset rebuilds the tree in place over a new point set, reusing the
+// existing backing arrays when they are large enough. The input slice is
+// not modified. A Reset tree is indistinguishable from a freshly Built
+// one.
+func (t *Tree) Reset(pts []Point) {
+	n := len(pts)
+	t.pts = append(t.pts[:0], pts...)
+	if cap(t.idx) < n {
+		t.idx = make([]int32, n)
+	} else {
+		t.idx = t.idx[:n]
 	}
+	for i := range t.idx {
+		t.idx[i] = int32(i)
+	}
+	if cap(t.axis) < n {
+		t.axis = make([]byte, n)
+	} else {
+		t.axis = t.axis[:n]
+	}
+	if n > leafSize {
+		t.build(0, n)
+	}
+}
+
+// build arranges pts[lo:hi] into kd-tree order: the median element sits
+// at the midpoint, smaller elements (on the split axis) before it,
+// larger after; spans of at most leafSize points stay unsplit as bucket
+// leaves. The axis is selected by spread rather than strict alternation,
+// which behaves far better on data with heavy ties in one coordinate.
+func (t *Tree) build(lo, hi int) {
 	ax := t.chooseAxis(lo, hi)
 	mid := (lo + hi) / 2
 	t.nthElement(lo, hi, mid, ax)
 	t.axis[mid] = ax
-	t.build(lo, mid, depth+1)
-	t.build(mid+1, hi, depth+1)
+	if mid-lo > leafSize {
+		t.build(lo, mid)
+	}
+	if hi-(mid+1) > leafSize {
+		t.build(mid+1, hi)
+	}
 }
 
 // chooseAxis picks the coordinate with the larger spread in pts[lo:hi].
 func (t *Tree) chooseAxis(lo, hi int) byte {
-	minX, maxX := math.Inf(1), math.Inf(-1)
-	minY, maxY := math.Inf(1), math.Inf(-1)
-	for i := lo; i < hi; i++ {
+	p := t.pts[lo]
+	minX, maxX := p.X, p.X
+	minY, maxY := p.Y, p.Y
+	for i := lo + 1; i < hi; i++ {
 		p := t.pts[i]
-		minX = math.Min(minX, p.X)
-		maxX = math.Max(maxX, p.X)
-		minY = math.Min(minY, p.Y)
-		maxY = math.Max(maxY, p.Y)
+		if p.X < minX {
+			minX = p.X
+		} else if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		} else if p.Y > maxY {
+			maxY = p.Y
+		}
 	}
 	if maxX-minX >= maxY-minY {
 		return 0
@@ -150,56 +197,96 @@ func (t *Tree) swap(i, j int) {
 	t.idx[i], t.idx[j] = t.idx[j], t.idx[i]
 }
 
+// searchFrame is one deferred far subtree on a query's traversal stack,
+// with the splitting-plane distance that decides whether it can prune.
+type searchFrame struct {
+	lo, hi int32
+	plane  float64
+}
+
 // KNNDist returns the L∞ distance from q to its k-th nearest neighbor in
 // the tree, excluding the point whose original index is selfIdx (pass −1
 // to include every point). It panics if fewer than k eligible points
 // exist.
 func (t *Tree) KNNDist(q Point, k int, selfIdx int) float64 {
-	h := &distHeap{}
-	h.init(k)
-	t.knn(0, len(t.pts), q, k, selfIdx, h)
+	h := &t.heap
+	h.reset(k)
+	if len(t.pts) > 0 {
+		t.searchKNN(q, k, int32(selfIdx), h)
+	}
 	if h.size < k {
 		panic("knn: not enough points for k-NN query")
 	}
-	return h.top()
+	return h.d[0]
 }
 
-func (t *Tree) knn(lo, hi int, q Point, k, selfIdx int, h *distHeap) {
-	if hi <= lo {
-		return
-	}
-	mid := (lo + hi) / 2
-	if t.idx[mid] != selfIdx {
-		h.push(Chebyshev(q, t.pts[mid]))
-	}
-	if hi-lo == 1 {
-		return
-	}
-	ax := t.axis[mid]
-	var qc, mc float64
-	if ax == 0 {
-		qc, mc = q.X, t.pts[mid].X
-	} else {
-		qc, mc = q.Y, t.pts[mid].Y
-	}
-	near, farLo, farHi := 0, 0, 0
-	if qc <= mc {
-		near = 0
-		farLo, farHi = mid+1, hi
-	} else {
-		near = 1
-		farLo, farHi = lo, mid
-	}
-	if near == 0 {
-		t.knn(lo, mid, q, k, selfIdx, h)
-	} else {
-		t.knn(mid+1, hi, q, k, selfIdx, h)
-	}
-	// Visit the far side only if the splitting plane is closer than the
-	// current k-th best distance (or the heap is not yet full).
-	planeDist := math.Abs(qc - mc)
-	if h.size < k || planeDist <= h.top() {
-		t.knn(farLo, farHi, q, k, selfIdx, h)
+// searchKNN is an iterative depth-first k-NN search: it descends the near
+// side of every split, stacks the far side with its plane distance, scans
+// bucket leaves linearly, and revisits a stacked subtree only while its
+// splitting plane is at most the current k-th best distance.
+func (t *Tree) searchKNN(q Point, k int, selfIdx int32, h *distHeap) {
+	stack := &t.stack
+	sp := 0
+	lo, hi := 0, len(t.pts)
+	for {
+		for hi-lo > leafSize {
+			mid := (lo + hi) / 2
+			p := t.pts[mid]
+			if t.idx[mid] != selfIdx {
+				dx := math.Abs(q.X - p.X)
+				dy := math.Abs(q.Y - p.Y)
+				if dy > dx {
+					dx = dy
+				}
+				if h.size < k {
+					h.push(dx)
+				} else if dx < h.d[0] {
+					h.replaceTop(dx)
+				}
+			}
+			var plane float64
+			if t.axis[mid] == 0 {
+				plane = q.X - p.X
+			} else {
+				plane = q.Y - p.Y
+			}
+			if plane <= 0 {
+				stack[sp] = searchFrame{int32(mid + 1), int32(hi), -plane}
+				sp++
+				hi = mid
+			} else {
+				stack[sp] = searchFrame{int32(lo), int32(mid), plane}
+				sp++
+				lo = mid + 1
+			}
+		}
+		for i := lo; i < hi; i++ {
+			if t.idx[i] == selfIdx {
+				continue
+			}
+			p := t.pts[i]
+			dx := math.Abs(q.X - p.X)
+			dy := math.Abs(q.Y - p.Y)
+			if dy > dx {
+				dx = dy
+			}
+			if h.size < k {
+				h.push(dx)
+			} else if dx < h.d[0] {
+				h.replaceTop(dx)
+			}
+		}
+		for {
+			if sp == 0 {
+				return
+			}
+			sp--
+			f := stack[sp]
+			if h.size < k || f.plane <= h.d[0] {
+				lo, hi = int(f.lo), int(f.hi)
+				break
+			}
+		}
 	}
 }
 
@@ -209,11 +296,10 @@ func (t *Tree) knn(lo, hi int, q Point, k, selfIdx int, h *distHeap) {
 func (t *Tree) KNNIndices(q Point, k int, selfIdx int) []int {
 	type cand struct {
 		d   float64
-		idx int
+		idx int32
 	}
 	// Bounded max-heap on distance holding the k best candidates so far.
 	best := make([]cand, 0, k)
-	var visit func(lo, hi int)
 	push := func(c cand) {
 		if len(best) < k {
 			best = append(best, c)
@@ -249,16 +335,19 @@ func (t *Tree) KNNIndices(q Point, k int, selfIdx int) []int {
 			i = largest
 		}
 	}
+	var visit func(lo, hi int)
 	visit = func(lo, hi int) {
-		if hi <= lo {
+		if hi-lo <= leafSize {
+			for i := lo; i < hi; i++ {
+				if int(t.idx[i]) != selfIdx {
+					push(cand{Chebyshev(q, t.pts[i]), t.idx[i]})
+				}
+			}
 			return
 		}
 		mid := (lo + hi) / 2
-		if t.idx[mid] != selfIdx {
+		if int(t.idx[mid]) != selfIdx {
 			push(cand{Chebyshev(q, t.pts[mid]), t.idx[mid]})
-		}
-		if hi-lo == 1 {
-			return
 		}
 		ax := t.axis[mid]
 		var qc, mc float64
@@ -286,7 +375,7 @@ func (t *Tree) KNNIndices(q Point, k int, selfIdx int) []int {
 	sort.Slice(best, func(a, b int) bool { return best[a].d < best[b].d })
 	out := make([]int, k)
 	for i := range out {
-		out[i] = best[i].idx
+		out[i] = int(best[i].idx)
 	}
 	return out
 }
@@ -294,72 +383,105 @@ func (t *Tree) KNNIndices(q Point, k int, selfIdx int) []int {
 // CountWithin returns the number of tree points p with Chebyshev(q, p) ≤ r,
 // excluding original index selfIdx (−1 to include all).
 func (t *Tree) CountWithin(q Point, r float64, selfIdx int) int {
-	return t.countWithin(0, len(t.pts), q, r, selfIdx)
-}
-
-func (t *Tree) countWithin(lo, hi int, q Point, r float64, selfIdx int) int {
-	if hi <= lo {
+	if len(t.pts) == 0 {
 		return 0
 	}
-	mid := (lo + hi) / 2
+	self := int32(selfIdx)
 	count := 0
-	if t.idx[mid] != selfIdx && Chebyshev(q, t.pts[mid]) <= r {
-		count++
+	var stack [treeMaxDepth]int64
+	sp := 0
+	lo, hi := 0, len(t.pts)
+	for {
+		for hi-lo > leafSize {
+			mid := (lo + hi) / 2
+			p := t.pts[mid]
+			if t.idx[mid] != self {
+				dx := math.Abs(q.X - p.X)
+				dy := math.Abs(q.Y - p.Y)
+				if dy > dx {
+					dx = dy
+				}
+				if dx <= r {
+					count++
+				}
+			}
+			var qc, mc float64
+			if t.axis[mid] == 0 {
+				qc, mc = q.X, p.X
+			} else {
+				qc, mc = q.Y, p.Y
+			}
+			// At least one side always intersects the query slab
+			// [qc−r, qc+r]: it cannot lie strictly left and strictly
+			// right of the plane at once.
+			if qc-r <= mc {
+				if qc+r >= mc {
+					stack[sp] = int64(mid+1)<<32 | int64(int32(hi))
+					sp++
+				}
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		for i := lo; i < hi; i++ {
+			if t.idx[i] == self {
+				continue
+			}
+			p := t.pts[i]
+			dx := math.Abs(q.X - p.X)
+			dy := math.Abs(q.Y - p.Y)
+			if dy > dx {
+				dx = dy
+			}
+			if dx <= r {
+				count++
+			}
+		}
+		if sp == 0 {
+			return count
+		}
+		sp--
+		f := stack[sp]
+		lo, hi = int(f>>32), int(int32(f))
 	}
-	if hi-lo == 1 {
-		return count
-	}
-	ax := t.axis[mid]
-	var qc, mc float64
-	if ax == 0 {
-		qc, mc = q.X, t.pts[mid].X
-	} else {
-		qc, mc = q.Y, t.pts[mid].Y
-	}
-	if qc-r <= mc {
-		count += t.countWithin(lo, mid, q, r, selfIdx)
-	}
-	if qc+r >= mc {
-		count += t.countWithin(mid+1, hi, q, r, selfIdx)
-	}
-	return count
 }
 
 // distHeap is a bounded max-heap of the k smallest distances seen so far.
 type distHeap struct {
 	d    []float64
 	size int
-	cap  int
 }
 
-func (h *distHeap) init(k int) {
-	h.d = make([]float64, k)
+// reset prepares the heap for a query with bound k, reusing its backing
+// array when possible.
+func (h *distHeap) reset(k int) {
+	if cap(h.d) < k {
+		h.d = make([]float64, k)
+	} else {
+		h.d = h.d[:k]
+	}
 	h.size = 0
-	h.cap = k
 }
 
-func (h *distHeap) top() float64 { return h.d[0] }
-
+// push inserts x; the caller guarantees the heap is not full.
 func (h *distHeap) push(x float64) {
-	if h.size < h.cap {
-		h.d[h.size] = x
-		h.size++
-		// Sift up.
-		i := h.size - 1
-		for i > 0 {
-			parent := (i - 1) / 2
-			if h.d[parent] >= h.d[i] {
-				break
-			}
-			h.d[parent], h.d[i] = h.d[i], h.d[parent]
-			i = parent
+	h.d[h.size] = x
+	h.size++
+	i := h.size - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.d[parent] >= h.d[i] {
+			break
 		}
-		return
+		h.d[parent], h.d[i] = h.d[i], h.d[parent]
+		i = parent
 	}
-	if x >= h.d[0] {
-		return
-	}
-	// Replace max and sift down.
+}
+
+// replaceTop replaces the current maximum with x and restores heap order;
+// the caller guarantees x < h.d[0] and the heap is full.
+func (h *distHeap) replaceTop(x float64) {
 	h.d[0] = x
 	i := 0
 	for {
@@ -383,21 +505,120 @@ func (h *distHeap) push(x float64) {
 // multiset of values, backed by a sorted copy.
 type Sorted1D struct {
 	vals []float64
+	keys []uint64 // scratch for the key-transform sort
 }
 
 // NewSorted1D builds the structure from vals (input not modified).
 func NewSorted1D(vals []float64) *Sorted1D {
-	s := &Sorted1D{vals: append([]float64(nil), vals...)}
-	sort.Float64s(s.vals)
+	s := &Sorted1D{}
+	s.Reset(vals)
 	return s
+}
+
+// Reset rebuilds the structure in place over a new value multiset,
+// reusing the sorted backing array when it is large enough. The input
+// slice is not modified.
+func (s *Sorted1D) Reset(vals []float64) {
+	s.vals = append(s.vals[:0], vals...)
+	s.keys = sortFloats(s.vals, s.keys)
+}
+
+// signBit masks the IEEE-754 sign.
+const signBit = 1 << 63
+
+// floatKey maps a non-NaN float64 to a uint64 whose unsigned order
+// matches the float order (negatives have their bits flipped, positives
+// their sign set), so float sorting reduces to integer sorting.
+func floatKey(v float64) uint64 {
+	b := math.Float64bits(v)
+	if b&signBit != 0 {
+		return ^b
+	}
+	return b | signBit
+}
+
+// sortFloats sorts vals ascending via order-preserving uint64 keys —
+// roughly twice the speed of sort.Float64s, whose comparator pays for
+// NaN ordering on every comparison. Inputs containing NaN fall back to
+// sort.Float64s (NaNs first), keeping its contract. keys is a reusable
+// scratch buffer, returned for the caller to retain.
+func sortFloats(vals []float64, keys []uint64) []uint64 {
+	n := len(vals)
+	if cap(keys) < n {
+		keys = make([]uint64, n)
+	} else {
+		keys = keys[:n]
+	}
+	for i, v := range vals {
+		if v != v { // NaN
+			sort.Float64s(vals)
+			return keys
+		}
+		keys[i] = floatKey(v)
+	}
+	slices.Sort(keys)
+	for i, k := range keys {
+		if k&signBit != 0 {
+			k &^= signBit
+		} else {
+			k = ^k
+		}
+		vals[i] = math.Float64frombits(k)
+	}
+	return keys
+}
+
+// SortedView wraps an already-ascending slice without copying it, for
+// callers that manage their own sorted buffers (e.g. per-class sections
+// of one backing array). The slice must stay sorted and unmodified while
+// the view is queried.
+func SortedView(sorted []float64) Sorted1D {
+	return Sorted1D{vals: sorted}
+}
+
+// searchGE returns the smallest index i with vals[i] >= x (len(vals) if
+// none) — sort.SearchFloat64s without the per-probe closure call. The
+// single-sided "base advance" form compiles to a conditional move, so
+// the probe sequence runs without the data-dependent branch mispredicts
+// of the classic lo/hi bisection.
+func searchGE(vals []float64, x float64) int {
+	base := 0
+	for n := len(vals); n > 1; {
+		half := n >> 1
+		if vals[base+half-1] < x {
+			base += half
+		}
+		n -= half
+	}
+	if base < len(vals) && vals[base] < x {
+		base++
+	}
+	return base
+}
+
+// searchGT returns the smallest index i with vals[i] > x (len(vals) if
+// none).
+func searchGT(vals []float64, x float64) int {
+	base := 0
+	for n := len(vals); n > 1; {
+		half := n >> 1
+		if vals[base+half-1] <= x {
+			base += half
+		}
+		n -= half
+	}
+	if base < len(vals) && vals[base] <= x {
+		base++
+	}
+	return base
 }
 
 // CountWithin returns |{v : |v − x| ≤ r}| minus excludeSelf occurrences of
 // the query value itself (pass 1 when x is a member of the multiset and
 // should not count itself, 0 otherwise).
 func (s *Sorted1D) CountWithin(x, r float64, excludeSelf int) int {
-	lo := sort.SearchFloat64s(s.vals, x-r)
-	hi := sort.SearchFloat64s(s.vals, math.Nextafter(x+r, math.Inf(1)))
+	lo := searchGE(s.vals, x-r)
+	hi := searchGT(s.vals, x+r)
 	c := hi - lo - excludeSelf
 	if c < 0 {
 		c = 0
@@ -407,8 +628,8 @@ func (s *Sorted1D) CountWithin(x, r float64, excludeSelf int) int {
 
 // CountStrictlyWithin returns |{v : |v − x| < r}|, minus excludeSelf.
 func (s *Sorted1D) CountStrictlyWithin(x, r float64, excludeSelf int) int {
-	lo := sort.SearchFloat64s(s.vals, math.Nextafter(x-r, math.Inf(1)))
-	hi := sort.SearchFloat64s(s.vals, x+r)
+	lo := searchGT(s.vals, x-r)
+	hi := searchGE(s.vals, x+r)
 	c := hi - lo - excludeSelf
 	if c < 0 {
 		c = 0
@@ -418,8 +639,80 @@ func (s *Sorted1D) CountStrictlyWithin(x, r float64, excludeSelf int) int {
 
 // CountEqual returns the number of occurrences of x.
 func (s *Sorted1D) CountEqual(x float64) int {
-	lo := sort.SearchFloat64s(s.vals, x)
-	hi := sort.SearchFloat64s(s.vals, math.Nextafter(x, math.Inf(1)))
+	lo := searchGE(s.vals, x)
+	hi := searchGT(s.vals, x)
+	return hi - lo
+}
+
+// rankScanCap bounds the linear boundary scans below before they fall
+// back to binary search, so pathological radii stay O(log n) instead of
+// O(n) per query.
+const rankScanCap = 48
+
+// RangeCountStrict returns |{v ∈ sorted : |v − sorted[rank]| < r}| − 1
+// (the value's own occurrence excluded), for r > 0. Knowing the query's
+// rank lets the boundaries be found by short, branch-predictable walks
+// outward — the interval around a k-NN radius typically spans a few
+// dozen values — rather than two full binary searches; past rankScanCap
+// steps a binary search on the remainder finishes the job. Results are
+// identical to CountStrictlyWithin on the same multiset.
+func RangeCountStrict(sorted []float64, rank int, r float64) int {
+	x := sorted[rank]
+	xm := x - r
+	lo := rank
+	stop := rank - rankScanCap
+	if stop < 0 {
+		stop = 0
+	}
+	for lo > stop && sorted[lo-1] > xm {
+		lo--
+	}
+	if lo == stop && lo > 0 && sorted[lo-1] > xm {
+		lo = searchGT(sorted[:lo], xm)
+	}
+	xp := x + r
+	n := len(sorted)
+	hi := rank
+	stop = rank + rankScanCap
+	if stop > n {
+		stop = n
+	}
+	for hi < stop && sorted[hi] < xp {
+		hi++
+	}
+	if hi == stop && hi < n && sorted[hi] < xp {
+		hi += searchGE(sorted[hi:], xp)
+	}
+	return hi - lo - 1
+}
+
+// RangeCountTies returns the number of occurrences of sorted[rank],
+// including itself — RangeCountStrict's zero-radius companion.
+func RangeCountTies(sorted []float64, rank int) int {
+	x := sorted[rank]
+	lo := rank
+	stop := rank - rankScanCap
+	if stop < 0 {
+		stop = 0
+	}
+	for lo > stop && sorted[lo-1] == x {
+		lo--
+	}
+	if lo == stop && lo > 0 && sorted[lo-1] == x {
+		lo = searchGE(sorted[:lo], x)
+	}
+	n := len(sorted)
+	hi := rank + 1
+	stop = rank + 1 + rankScanCap
+	if stop > n {
+		stop = n
+	}
+	for hi < stop && sorted[hi] == x {
+		hi++
+	}
+	if hi == stop && hi < n && sorted[hi] == x {
+		hi += searchGT(sorted[hi:], x)
+	}
 	return hi - lo
 }
 
@@ -429,7 +722,7 @@ func (s *Sorted1D) CountEqual(x float64) int {
 // insertion position of x.
 func (s *Sorted1D) KNNDist(x float64, k int, excludeSelf bool) float64 {
 	n := len(s.vals)
-	pos := sort.SearchFloat64s(s.vals, x)
+	pos := searchGE(s.vals, x)
 	lo, hi := pos-1, pos // candidates: vals[lo] below, vals[hi] at/above
 	skipped := false
 	best := math.NaN()

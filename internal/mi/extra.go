@@ -134,10 +134,10 @@ func KSG2(xs, ys []float64, k int) float64 {
 		if ny < 1 {
 			ny = 1
 		}
-		sum += stats.Digamma(float64(nx)) + stats.Digamma(float64(ny))
+		sum += stats.DigammaInt(nx) + stats.DigammaInt(ny)
 	}
-	return stats.Digamma(float64(k)) - 1/float64(k) +
-		stats.Digamma(float64(n)) - sum/float64(n)
+	return stats.DigammaInt(k) - 1/float64(k) +
+		stats.DigammaInt(n) - sum/float64(n)
 }
 
 // EntropyKL returns the Kozachenko–Leonenko k-NN estimate of the
@@ -165,7 +165,7 @@ func EntropyKL(xs []float64, k int) float64 {
 		}
 		sum += math.Log(eps)
 	}
-	return stats.Digamma(float64(n)) - stats.Digamma(float64(k)) +
+	return stats.DigammaInt(n) - stats.DigammaInt(k) +
 		math.Ln2 + sum/float64(n)
 }
 

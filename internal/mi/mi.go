@@ -16,11 +16,9 @@
 package mi
 
 import (
-	"math"
 	"math/rand"
 
 	"misketch/internal/knn"
-	"misketch/internal/stats"
 )
 
 // DefaultK is the neighbor count used by the KSG-family estimators unless
@@ -41,16 +39,16 @@ const (
 )
 
 // MLE returns the plug-in MI estimate for two discrete (categorical)
-// columns: Ĥ(X) + Ĥ(Y) − Ĥ(X,Y) over empirical frequencies. Its bias is
-// approximately (m_X + m_Y − m_XY − 1)/(2N) (Eq. 6 of the paper).
+// columns: Ĥ(X) + Ĥ(Y) − Ĥ(X,Y) over empirical frequencies, computed in
+// one pass over interned category IDs. Its bias is approximately
+// (m_X + m_Y − m_XY − 1)/(2N) (Eq. 6 of the paper).
+//
+// MLE, KSG, MixedKSG, DCKSG, and Estimate are thin wrappers running the
+// Scratch implementations on fresh per-call state; callers estimating in
+// a loop should reuse one Scratch per goroutine instead.
 func MLE(xs, ys []string) float64 {
-	if len(xs) != len(ys) {
-		panic("mi: MLE requires equal-length slices")
-	}
-	if len(xs) == 0 {
-		return 0
-	}
-	return stats.EntropyMLE(xs) + stats.EntropyMLE(ys) - stats.JointEntropyMLE(xs, ys)
+	var s Scratch
+	return s.MLE(xs, ys)
 }
 
 // KSG returns the Kraskov et al. (2004) algorithm-1 MI estimate for two
@@ -63,22 +61,8 @@ func MLE(xs, ys []string) float64 {
 // strictly below ρ_i. Ties in the data violate KSG's assumptions; use
 // MixedKSG when ties are possible.
 func KSG(xs, ys []float64, k int) float64 {
-	n := checkNumericPair(xs, ys, k)
-	if n == 0 {
-		return 0
-	}
-	pts := makePoints(xs, ys)
-	tree := knn.Build(pts)
-	sx := knn.NewSorted1D(xs)
-	sy := knn.NewSorted1D(ys)
-	sum := 0.0
-	for i := 0; i < n; i++ {
-		rho := tree.KNNDist(pts[i], k, i)
-		nx := sx.CountStrictlyWithin(xs[i], rho, 1)
-		ny := sy.CountStrictlyWithin(ys[i], rho, 1)
-		sum += stats.Digamma(float64(nx+1)) + stats.Digamma(float64(ny+1))
-	}
-	return stats.Digamma(float64(k)) + stats.Digamma(float64(n)) - sum/float64(n)
+	var s Scratch
+	return s.KSG(xs, ys, k)
 }
 
 // MixedKSG returns the Gao et al. (2017) MI estimate for columns that may
@@ -95,32 +79,8 @@ func KSG(xs, ys []float64, k int) float64 {
 // marginal counts are the tie counts, which recovers the plug-in
 // estimator there.
 func MixedKSG(xs, ys []float64, k int) float64 {
-	n := checkNumericPair(xs, ys, k)
-	if n == 0 {
-		return 0
-	}
-	pts := makePoints(xs, ys)
-	tree := knn.Build(pts)
-	sx := knn.NewSorted1D(xs)
-	sy := knn.NewSorted1D(ys)
-	logN := math.Log(float64(n))
-	sum := 0.0
-	for i := 0; i < n; i++ {
-		rho := tree.KNNDist(pts[i], k, i)
-		var ktilde, nx, ny int // all counts include the point itself
-		if rho == 0 {
-			ktilde = tree.CountWithin(pts[i], 0, i) + 1
-			nx = sx.CountWithin(xs[i], 0, 1) + 1
-			ny = sy.CountWithin(ys[i], 0, 1) + 1
-		} else {
-			ktilde = k
-			nx = sx.CountStrictlyWithin(xs[i], rho, 1) + 1
-			ny = sy.CountStrictlyWithin(ys[i], rho, 1) + 1
-		}
-		sum += stats.Digamma(float64(ktilde)) + logN -
-			stats.Digamma(float64(nx)) - stats.Digamma(float64(ny))
-	}
-	return sum / float64(n)
+	var s Scratch
+	return s.MixedKSG(xs, ys, k)
 }
 
 // DCKSG returns Ross's (2014) MI estimate between a discrete column cs and
@@ -135,67 +95,8 @@ func MixedKSG(xs, ys []float64, k int) float64 {
 // is reduced to N_c − 1 for small classes, following the reference
 // implementation.
 func DCKSG(cs []string, ys []float64, k int) float64 {
-	if len(cs) != len(ys) {
-		panic("mi: DCKSG requires equal-length slices")
-	}
-	if k <= 0 {
-		panic("mi: k must be positive")
-	}
-	// Partition points by class.
-	classIdx := make(map[string][]int, len(cs))
-	for i, c := range cs {
-		classIdx[c] = append(classIdx[c], i)
-	}
-	// Mask: keep only points from classes with at least 2 members.
-	var masked []int
-	for _, idxs := range classIdx {
-		if len(idxs) > 1 {
-			masked = append(masked, idxs...)
-		}
-	}
-	if len(masked) < 2 {
-		return 0
-	}
-	maskedYs := make([]float64, len(masked))
-	for j, i := range masked {
-		maskedYs[j] = ys[i]
-	}
-	global := knn.NewSorted1D(maskedYs)
-	perClass := make(map[string]*knn.Sorted1D, len(classIdx))
-	for c, idxs := range classIdx {
-		if len(idxs) <= 1 {
-			continue
-		}
-		vals := make([]float64, len(idxs))
-		for j, i := range idxs {
-			vals[j] = ys[i]
-		}
-		perClass[c] = knn.NewSorted1D(vals)
-	}
-	nMasked := float64(len(masked))
-	var sumK, sumNc, sumM float64
-	for _, i := range masked {
-		c := cs[i]
-		nc := perClass[c].Len()
-		ki := k
-		if ki > nc-1 {
-			ki = nc - 1
-		}
-		d := perClass[c].KNNDist(ys[i], ki, true)
-		var m int
-		if d == 0 {
-			// Tied neighborhood: count exact ties (self included), as the
-			// reference implementation's zero-radius query does.
-			m = global.CountWithin(ys[i], 0, 0)
-		} else {
-			// Strictly-within count, self included (distance 0 < d).
-			m = global.CountStrictlyWithin(ys[i], d, 0)
-		}
-		sumK += stats.Digamma(float64(ki))
-		sumNc += stats.Digamma(float64(nc))
-		sumM += stats.Digamma(float64(m))
-	}
-	return stats.Digamma(nMasked) + (sumK-sumNc-sumM)/nMasked
+	var s Scratch
+	return s.DCKSG(cs, ys, k)
 }
 
 // Column is a typed sample column handed to Estimate: exactly one of Num
@@ -236,34 +137,8 @@ type Result struct {
 // slightly negative values on small samples, and reference
 // implementations clamp the same way).
 func Estimate(x, y Column, k int) Result {
-	if x.Len() != y.Len() {
-		panic("mi: Estimate requires equal-length columns")
-	}
-	r := Result{N: x.Len()}
-	switch {
-	case !x.IsNumeric() && !y.IsNumeric():
-		r.Estimator = EstMLE
-		r.MI = MLE(x.Str, y.Str)
-	case x.IsNumeric() && y.IsNumeric():
-		r.Estimator = EstMixedKSG
-		if r.N > k {
-			r.MI = MixedKSG(x.Num, y.Num, k)
-		}
-	case x.IsNumeric():
-		r.Estimator = EstDCKSG
-		if r.N > k {
-			r.MI = DCKSG(y.Str, x.Num, k)
-		}
-	default:
-		r.Estimator = EstDCKSG
-		if r.N > k {
-			r.MI = DCKSG(x.Str, y.Num, k)
-		}
-	}
-	if r.MI < 0 {
-		r.MI = 0
-	}
-	return r
+	var s Scratch
+	return s.Estimate(x, y, k)
 }
 
 // Perturb returns a copy of xs with i.i.d. Gaussian noise of standard

@@ -1,0 +1,448 @@
+package mi
+
+import (
+	"math"
+	"sort"
+
+	"misketch/internal/knn"
+	"misketch/internal/stats"
+)
+
+// Scratch owns every piece of reusable state the MI estimators need —
+// the kd-tree backing arrays, the Sorted1D buffers, the joined-pair
+// slices core's scratch join fills, and the category interning maps and
+// count slices behind the plug-in estimator — so that steady-state
+// estimation (the ranking hot path, one estimate per candidate) performs
+// zero heap allocations per call once the buffers have grown to the
+// workload's size.
+//
+// The zero value is ready to use. A Scratch is NOT safe for concurrent
+// use; give each worker goroutine its own. Results are bit-identical to
+// the package-level MLE/KSG/MixedKSG/DCKSG/Estimate functions, which are
+// thin wrappers running the same code on a fresh Scratch.
+type Scratch struct {
+	// JoinYNum/JoinXNum/JoinYStr/JoinXStr are the joined-pair buffers
+	// package core's scratch join writes the recovered sample into.
+	// Estimate reads them (via the columns aliasing them) and never
+	// mutates them; they stay valid until the next scratch join.
+	JoinYNum, JoinXNum []float64
+	JoinYStr, JoinXStr []string
+
+	// KSG-family state: the joint-space neighbor structures (the
+	// ring-expanding uniform grid for sketch-scale samples, the kd-tree
+	// beyond gridMaxN) and the per-marginal sorted arrays, all rebuilt
+	// in place per estimate.
+	pts    []knn.Point
+	tree   knn.Tree
+	grid   knn.Grid2D
+	sx, sy knn.Sorted1D
+	// Hinted-path buffers: marginals materialized in sorted order from
+	// the caller's precomputed orders, each value's rank within them,
+	// and the batch k-NN distances.
+	sortedX, sortedY []float64
+	rankX, rankY     []int32
+	rho              []float64
+
+	// Plug-in (MLE) state: marginal interning maps and count slices,
+	// plus the joint-cell map keyed by packed marginal IDs. IDs are
+	// assigned in first-appearance order and all entropy sums run over
+	// the count slices, never over map iteration, so results are
+	// deterministic to the last bit.
+	xLevels map[string]int
+	yLevels map[string]int
+	jLevels map[uint64]int
+	xCounts []int
+	yCounts []int
+	jCounts []int
+
+	// DC-KSG state: per-row class IDs, per-class counts and cursors, and
+	// the class-grouped value buffers (one kept in row order, one sorted
+	// per class section, one globally sorted).
+	rowClass    []int32
+	classCounts []int
+	classStart  []int
+	classCursor []int
+	grouped     []float64
+	classSorted []float64
+}
+
+// MLE returns the plug-in MI estimate for two discrete (categorical)
+// columns in a single pass: both marginals are interned to dense IDs,
+// joint cells are keyed by the packed ID pair, and Ĥ(X) + Ĥ(Y) − Ĥ(X,Y)
+// is computed from the three count vectors.
+func (s *Scratch) MLE(xs, ys []string) float64 {
+	if len(xs) != len(ys) {
+		panic("mi: MLE requires equal-length slices")
+	}
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if s.xLevels == nil {
+		s.xLevels = make(map[string]int, 64)
+		s.yLevels = make(map[string]int, 64)
+		s.jLevels = make(map[uint64]int, 64)
+	} else {
+		clear(s.xLevels)
+		clear(s.yLevels)
+		clear(s.jLevels)
+	}
+	s.xCounts = s.xCounts[:0]
+	s.yCounts = s.yCounts[:0]
+	s.jCounts = s.jCounts[:0]
+	for i := 0; i < n; i++ {
+		xi, ok := s.xLevels[xs[i]]
+		if !ok {
+			xi = len(s.xCounts)
+			s.xLevels[xs[i]] = xi
+			s.xCounts = append(s.xCounts, 0)
+		}
+		s.xCounts[xi]++
+		yi, ok := s.yLevels[ys[i]]
+		if !ok {
+			yi = len(s.yCounts)
+			s.yLevels[ys[i]] = yi
+			s.yCounts = append(s.yCounts, 0)
+		}
+		s.yCounts[yi]++
+		key := uint64(xi)<<32 | uint64(yi)
+		ji, ok := s.jLevels[key]
+		if !ok {
+			ji = len(s.jCounts)
+			s.jLevels[key] = ji
+			s.jCounts = append(s.jCounts, 0)
+		}
+		s.jCounts[ji]++
+	}
+	return stats.EntropyFromCounts(s.xCounts, n) +
+		stats.EntropyFromCounts(s.yCounts, n) -
+		stats.EntropyFromCounts(s.jCounts, n)
+}
+
+// gridMaxN is the sample size up to which the KSG-family estimators use
+// the ring-expanding uniform grid for joint-space k-NN distances
+// instead of a kd-tree. Sketch joins (the ranking hot path) sit far
+// below it; full-join estimation at tens of thousands of rows — where
+// mass duplication could make the grid's tie counting quadratic — takes
+// the tree. Both structures return exact, hence identical, distances.
+const gridMaxN = 2048
+
+// points fills the reusable joint-space point buffer.
+func (s *Scratch) points(xs, ys []float64) []knn.Point {
+	n := len(xs)
+	if cap(s.pts) < n {
+		s.pts = make([]knn.Point, n)
+	} else {
+		s.pts = s.pts[:n]
+	}
+	for i := range xs {
+		s.pts[i] = knn.Point{X: xs[i], Y: ys[i]}
+	}
+	return s.pts
+}
+
+// KSG returns the Kraskov et al. (2004) algorithm-1 MI estimate; see the
+// package-level KSG for the formula. The neighbor structures and sorted
+// arrays are rebuilt in place.
+func (s *Scratch) KSG(xs, ys []float64, k int) float64 {
+	n := checkNumericPair(xs, ys, k)
+	if n == 0 {
+		return 0
+	}
+	s.sy.Reset(ys)
+	sum := 0.0
+	if n <= gridMaxN {
+		s.sx.Reset(xs)
+		s.grid.Reset(xs, ys)
+		for i := 0; i < n; i++ {
+			rho := s.grid.KNNDist(xs[i], ys[i], k)
+			nx := s.sx.CountStrictlyWithin(xs[i], rho, 1)
+			ny := s.sy.CountStrictlyWithin(ys[i], rho, 1)
+			sum += stats.DigammaInt(nx+1) + stats.DigammaInt(ny+1)
+		}
+	} else {
+		s.sx.Reset(xs)
+		pts := s.points(xs, ys)
+		s.tree.Reset(pts)
+		for i := 0; i < n; i++ {
+			rho := s.tree.KNNDist(pts[i], k, i)
+			nx := s.sx.CountStrictlyWithin(xs[i], rho, 1)
+			ny := s.sy.CountStrictlyWithin(ys[i], rho, 1)
+			sum += stats.DigammaInt(nx+1) + stats.DigammaInt(ny+1)
+		}
+	}
+	return stats.DigammaInt(k) + stats.DigammaInt(n) - sum/float64(n)
+}
+
+// Hints carries optional precomputed orderings a caller (the ranking hot
+// path) can supply to spare the estimator its per-call sorts: XOrder and
+// YOrder are the ascending orders of the x and y columns — Order[j] is
+// the index of the j-th smallest value. Both must be set to take
+// effect; invalid lengths are ignored. Hinted estimates are
+// bit-identical to unhinted ones.
+type Hints struct {
+	XOrder []int32
+	YOrder []int32
+}
+
+// MixedKSG returns the Gao et al. (2017) MI estimate; see the
+// package-level MixedKSG for the formula and tie handling.
+func (s *Scratch) MixedKSG(xs, ys []float64, k int) float64 {
+	return s.mixedKSG(xs, ys, k, Hints{})
+}
+
+func (s *Scratch) mixedKSG(xs, ys []float64, k int, h Hints) float64 {
+	n := checkNumericPair(xs, ys, k)
+	if n == 0 {
+		return 0
+	}
+	logN := math.Log(float64(n))
+	sum := 0.0
+	switch {
+	case n <= gridMaxN && len(h.XOrder) == n && len(h.YOrder) == n:
+		// Ranking hot path: marginals materialize from the caller's
+		// precomputed orders by O(n) gathers (no sorts), the grid
+		// answers every k-NN query in one batched pass, and the
+		// interval counts walk outward from each value's known rank.
+		s.growHinted(n)
+		for pos, j := range h.XOrder {
+			s.sortedX[pos] = xs[j]
+			s.rankX[j] = int32(pos)
+		}
+		for pos, j := range h.YOrder {
+			s.sortedY[pos] = ys[j]
+			s.rankY[j] = int32(pos)
+		}
+		s.grid.Reset(xs, ys)
+		s.grid.AllKNNDist(k, s.rho)
+		for i := 0; i < n; i++ {
+			rho := s.rho[i]
+			var ktilde, nx, ny int // all counts include the point itself
+			if rho == 0 {
+				ktilde = s.grid.CountJointTies(xs[i], ys[i])
+				nx = knn.RangeCountTies(s.sortedX, int(s.rankX[i]))
+				ny = knn.RangeCountTies(s.sortedY, int(s.rankY[i]))
+			} else {
+				ktilde = k
+				nx = knn.RangeCountStrict(s.sortedX, int(s.rankX[i]), rho) + 1
+				ny = knn.RangeCountStrict(s.sortedY, int(s.rankY[i]), rho) + 1
+			}
+			sum += stats.DigammaInt(ktilde) + logN -
+				stats.DigammaInt(nx) - stats.DigammaInt(ny)
+		}
+	case n <= gridMaxN:
+		s.sx.Reset(xs)
+		s.sy.Reset(ys)
+		s.grid.Reset(xs, ys)
+		for i := 0; i < n; i++ {
+			rho := s.grid.KNNDist(xs[i], ys[i], k)
+			var ktilde, nx, ny int
+			if rho == 0 {
+				ktilde = s.grid.CountJointTies(xs[i], ys[i])
+				nx = s.sx.CountWithin(xs[i], 0, 1) + 1
+				ny = s.sy.CountWithin(ys[i], 0, 1) + 1
+			} else {
+				ktilde = k
+				nx = s.sx.CountStrictlyWithin(xs[i], rho, 1) + 1
+				ny = s.sy.CountStrictlyWithin(ys[i], rho, 1) + 1
+			}
+			sum += stats.DigammaInt(ktilde) + logN -
+				stats.DigammaInt(nx) - stats.DigammaInt(ny)
+		}
+	default:
+		s.sx.Reset(xs)
+		s.sy.Reset(ys)
+		pts := s.points(xs, ys)
+		s.tree.Reset(pts)
+		for i := 0; i < n; i++ {
+			rho := s.tree.KNNDist(pts[i], k, i)
+			var ktilde, nx, ny int
+			if rho == 0 {
+				ktilde = s.tree.CountWithin(pts[i], 0, i) + 1
+				nx = s.sx.CountWithin(xs[i], 0, 1) + 1
+				ny = s.sy.CountWithin(ys[i], 0, 1) + 1
+			} else {
+				ktilde = k
+				nx = s.sx.CountStrictlyWithin(xs[i], rho, 1) + 1
+				ny = s.sy.CountStrictlyWithin(ys[i], rho, 1) + 1
+			}
+			sum += stats.DigammaInt(ktilde) + logN -
+				stats.DigammaInt(nx) - stats.DigammaInt(ny)
+		}
+	}
+	return sum / float64(n)
+}
+
+// growHinted sizes the hinted-path buffers for a sample of n points.
+func (s *Scratch) growHinted(n int) {
+	if cap(s.sortedX) < n {
+		s.sortedX = make([]float64, n)
+		s.sortedY = make([]float64, n)
+		s.rankX = make([]int32, n)
+		s.rankY = make([]int32, n)
+		s.rho = make([]float64, n)
+	} else {
+		s.sortedX = s.sortedX[:n]
+		s.sortedY = s.sortedY[:n]
+		s.rankX = s.rankX[:n]
+		s.rankY = s.rankY[:n]
+		s.rho = s.rho[:n]
+	}
+}
+
+// DCKSG returns Ross's (2014) MI estimate between a discrete column cs
+// and a continuous column ys; see the package-level DCKSG for the
+// formula. Classes are interned in first-appearance order and their
+// values grouped into one backing array with per-class sorted sections,
+// so the per-class neighbor structures cost no allocations and the
+// masked-point iteration order — hence the result, to the last bit — is
+// deterministic.
+func (s *Scratch) DCKSG(cs []string, ys []float64, k int) float64 {
+	if len(cs) != len(ys) {
+		panic("mi: DCKSG requires equal-length slices")
+	}
+	if k <= 0 {
+		panic("mi: k must be positive")
+	}
+	n := len(cs)
+	if s.xLevels == nil {
+		s.xLevels = make(map[string]int, 64)
+		s.yLevels = make(map[string]int, 64)
+		s.jLevels = make(map[uint64]int, 64)
+	} else {
+		clear(s.xLevels)
+	}
+	if cap(s.rowClass) < n {
+		s.rowClass = make([]int32, n)
+	} else {
+		s.rowClass = s.rowClass[:n]
+	}
+	s.classCounts = s.classCounts[:0]
+	for i, c := range cs {
+		id, ok := s.xLevels[c]
+		if !ok {
+			id = len(s.classCounts)
+			s.xLevels[c] = id
+			s.classCounts = append(s.classCounts, 0)
+		}
+		s.classCounts[id]++
+		s.rowClass[i] = int32(id)
+	}
+	// Group the values of classes with at least 2 members (points from
+	// singleton classes have no within-class neighborhood and are
+	// excluded, as in the reference implementation).
+	nClasses := len(s.classCounts)
+	if cap(s.classStart) < nClasses {
+		s.classStart = make([]int, nClasses)
+		s.classCursor = make([]int, nClasses)
+	} else {
+		s.classStart = s.classStart[:nClasses]
+		s.classCursor = s.classCursor[:nClasses]
+	}
+	masked := 0
+	for id, c := range s.classCounts {
+		s.classStart[id] = masked
+		s.classCursor[id] = masked
+		if c > 1 {
+			masked += c
+		}
+	}
+	if masked < 2 {
+		return 0
+	}
+	if cap(s.grouped) < masked {
+		s.grouped = make([]float64, masked)
+		s.classSorted = make([]float64, masked)
+	} else {
+		s.grouped = s.grouped[:masked]
+		s.classSorted = s.classSorted[:masked]
+	}
+	for i := 0; i < n; i++ {
+		id := s.rowClass[i]
+		if s.classCounts[id] <= 1 {
+			continue
+		}
+		s.grouped[s.classCursor[id]] = ys[i]
+		s.classCursor[id]++
+	}
+	copy(s.classSorted, s.grouped)
+	for id, c := range s.classCounts {
+		if c > 1 {
+			start := s.classStart[id]
+			sort.Float64s(s.classSorted[start : start+c])
+		}
+	}
+	s.sx.Reset(s.grouped) // global sorted multiset of masked values
+	global := &s.sx
+	nMasked := float64(masked)
+	var sumK, sumNc, sumM float64
+	for id, nc := range s.classCounts {
+		if nc <= 1 {
+			continue
+		}
+		ki := k
+		if ki > nc-1 {
+			ki = nc - 1
+		}
+		start := s.classStart[id]
+		classView := knn.SortedView(s.classSorted[start : start+nc])
+		for _, v := range s.grouped[start : start+nc] {
+			d := classView.KNNDist(v, ki, true)
+			var m int
+			if d == 0 {
+				// Tied neighborhood: count exact ties (self included), as
+				// the reference implementation's zero-radius query does.
+				m = global.CountWithin(v, 0, 0)
+			} else {
+				// Strictly-within count, self included (distance 0 < d).
+				m = global.CountStrictlyWithin(v, d, 0)
+			}
+			sumK += stats.DigammaInt(ki)
+			sumNc += stats.DigammaInt(nc)
+			sumM += stats.DigammaInt(m)
+		}
+	}
+	return stats.Digamma(nMasked) + (sumK-sumNc-sumM)/nMasked
+}
+
+// Estimate computes MI between two sample columns using the estimator
+// the paper prescribes for their types, exactly like the package-level
+// Estimate, but on reusable scratch state.
+func (s *Scratch) Estimate(x, y Column, k int) Result {
+	return s.EstimateHinted(x, y, k, Hints{})
+}
+
+// EstimateHinted is Estimate with optional precomputed orderings (see
+// Hints). The hints only accelerate the numeric–numeric path; they are
+// ignored — never wrong — everywhere else, and the result is
+// bit-identical to Estimate's.
+func (s *Scratch) EstimateHinted(x, y Column, k int, h Hints) Result {
+	if x.Len() != y.Len() {
+		panic("mi: Estimate requires equal-length columns")
+	}
+	r := Result{N: x.Len()}
+	switch {
+	case !x.IsNumeric() && !y.IsNumeric():
+		r.Estimator = EstMLE
+		r.MI = s.MLE(x.Str, y.Str)
+	case x.IsNumeric() && y.IsNumeric():
+		r.Estimator = EstMixedKSG
+		if r.N > k {
+			r.MI = s.mixedKSG(x.Num, y.Num, k, h)
+		}
+	case x.IsNumeric():
+		r.Estimator = EstDCKSG
+		if r.N > k {
+			r.MI = s.DCKSG(y.Str, x.Num, k)
+		}
+	default:
+		r.Estimator = EstDCKSG
+		if r.N > k {
+			r.MI = s.DCKSG(x.Str, y.Num, k)
+		}
+	}
+	if r.MI < 0 {
+		r.MI = 0
+	}
+	return r
+}

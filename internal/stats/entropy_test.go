@@ -83,10 +83,11 @@ func TestJointEntropyPanicsOnLengthMismatch(t *testing.T) {
 	JointEntropyMLE([]string{"a"}, []string{"a", "b"})
 }
 
-func TestPairKeyNoAmbiguity(t *testing.T) {
-	// ("ab","c") and ("a","bc") must not collide.
-	if pairKey("ab", "c") == pairKey("a", "bc") {
-		t.Error("pairKey is ambiguous")
+func TestJointEntropyNoAmbiguity(t *testing.T) {
+	// ("ab","c") and ("a","bc") pairs must count as distinct joint cells.
+	h := JointEntropyMLE([]string{"ab", "a"}, []string{"c", "bc"})
+	if h != math.Log(2) {
+		t.Errorf("joint entropy of two distinct cells = %v, want ln 2", h)
 	}
 }
 

@@ -8,7 +8,10 @@
 // estimators.
 package stats
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Digamma returns ψ(x), the logarithmic derivative of the gamma function,
 // for x > 0. It uses the standard recurrence ψ(x) = ψ(x+1) − 1/x to shift
@@ -36,6 +39,39 @@ func Digamma(x float64) float64 {
 	// Bernoulli-number series B2/2, B4/4, B6/6, B8/8.
 	series := inv2 * (1.0/12 - inv2*(1.0/120-inv2*(1.0/252-inv2/240)))
 	return result + math.Log(x) - 0.5*inv - series
+}
+
+// digammaTabSize bounds the ψ lookup table below. The KSG-family
+// estimators call Digamma exclusively with integer neighbor counts
+// bounded by the sample size, which ranking workloads keep at sketch
+// scale (≤ a few thousand); 2^15 entries (256 KiB) covers even full-join
+// estimation at the paper's largest N with room to spare.
+const digammaTabSize = 1 << 15
+
+var digammaTab struct {
+	once sync.Once
+	v    []float64
+}
+
+// DigammaInt returns ψ(n) for integer n, bit-identical to
+// Digamma(float64(n)), via a lazily built lookup table. The KSG-family
+// estimators evaluate ψ at O(n) integer arguments per estimate and at
+// O(n·candidates) per ranking query, almost all of them small and
+// repeated; memoizing the integer domain turns those evaluations into
+// loads. Arguments outside [1, 2^15) fall back to the series evaluation.
+func DigammaInt(n int) float64 {
+	if n < 1 || n >= digammaTabSize {
+		return Digamma(float64(n))
+	}
+	digammaTab.once.Do(func() {
+		v := make([]float64, digammaTabSize)
+		v[0] = math.NaN() // ψ has a pole at 0
+		for i := 1; i < digammaTabSize; i++ {
+			v[i] = Digamma(float64(i))
+		}
+		digammaTab.v = v
+	})
+	return digammaTab.v[n]
 }
 
 // HarmonicDiff returns ψ(n) − ψ(m) computed stably for positive integers.

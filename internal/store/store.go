@@ -429,33 +429,58 @@ func (s *Store) Rank(train *core.Sketch, prefix string, minJoinSize, k int) (ran
 	return s.RankContext(context.Background(), train, prefix, minJoinSize, k, 0)
 }
 
-// RankContext estimates MI between the train sketch and every stored
-// candidate sketch (optionally restricted to names with the given
-// prefix), dropping candidates whose sketch join has at most minJoinSize
-// samples, and returns the rest ordered by decreasing MI. topK > 0
-// bounds the result to the K best candidates, accumulated in per-worker
-// bounded heaps instead of materializing every result; topK <= 0 returns
-// everything.
+// RankOptions tunes a discovery query; see RankQuery.
+type RankOptions struct {
+	// Prefix restricts ranking to stored sketches whose name has this
+	// prefix; empty ranks everything.
+	Prefix string
+	// MinJoinSize drops candidates whose sketch join has at most this
+	// many samples (the paper's "JoinSize ≤ 100" confidence filter).
+	MinJoinSize int
+	// K is the neighbor parameter of the KSG-family estimators.
+	K int
+	// TopK > 0 bounds the result to the K best candidates, accumulated
+	// in per-worker bounded heaps; <= 0 returns every candidate.
+	TopK int
+	// Workers overrides the estimation fan-out; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// RankContext is RankQuery with positional options, kept for callers of
+// the original signature.
+func (s *Store) RankContext(ctx context.Context, train *core.Sketch, prefix string, minJoinSize, k, topK int) (ranked []RankedSketch, skipped []string, err error) {
+	return s.RankQuery(ctx, train, RankOptions{Prefix: prefix, MinJoinSize: minJoinSize, K: k, TopK: topK})
+}
+
+// RankQuery estimates MI between the train sketch and every stored
+// candidate sketch, dropping candidates whose sketch join has at most
+// opt.MinJoinSize samples, and returns the rest ordered by decreasing
+// MI (bounded to the best opt.TopK when positive).
 //
 // Candidate selection is manifest-only: sketches excluded by prefix,
 // hash seed, or role are never read from disk. Prefix-ineligible
 // sketches are silently ignored; prefix-matching sketches with a
-// different seed or a train role are reported in the skipped list
-// (they cannot be joined). Estimation fans out across GOMAXPROCS
-// workers and stops early when ctx is cancelled; the result order is
-// deterministic regardless of scheduling.
-func (s *Store) RankContext(ctx context.Context, train *core.Sketch, prefix string, minJoinSize, k, topK int) (ranked []RankedSketch, skipped []string, err error) {
+// different seed or a train role are reported in the skipped list (they
+// cannot be joined). A malformed candidate with duplicated key hashes
+// fails the query only when a duplicate actually joins the train
+// sketch; duplicates that match nothing cannot affect any result and
+// are ranked normally. The query is compiled once (core.TrainProbe) and
+// estimation fans out across opt.Workers workers, each owning a
+// core.Scratch so the per-candidate hot path performs no steady-state
+// allocations. Estimation stops early when ctx is cancelled; the result
+// order is deterministic regardless of scheduling.
+func (s *Store) RankQuery(ctx context.Context, train *core.Sketch, opt RankOptions) (ranked []RankedSketch, skipped []string, err error) {
 	var eligible []string
 	s.mu.Lock()
 	for name, m := range s.manifest {
-		if !strings.HasPrefix(name, prefix) {
+		if !strings.HasPrefix(name, opt.Prefix) {
 			continue
 		}
 		if m.Seed != train.Seed || m.Role != core.RoleCandidate {
 			skipped = append(skipped, name)
 			continue
 		}
-		if m.Entries == 0 && minJoinSize >= 0 {
+		if m.Entries == 0 && opt.MinJoinSize >= 0 {
 			continue // an empty sketch joins nothing; filter without a read
 		}
 		eligible = append(eligible, name)
@@ -464,7 +489,11 @@ func (s *Store) RankContext(ctx context.Context, train *core.Sketch, prefix stri
 	sort.Strings(eligible)
 	sort.Strings(skipped)
 
-	workers := runtime.GOMAXPROCS(0)
+	probe := core.CompileTrainProbe(train)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(eligible) {
 		workers = len(eligible)
 	}
@@ -494,6 +523,7 @@ func (s *Store) RankContext(ctx context.Context, train *core.Sketch, prefix stri
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var scratch core.Scratch
 			var top rankHeap
 			var all []RankedSketch
 			for {
@@ -511,22 +541,22 @@ func (s *Store) RankContext(ctx context.Context, train *core.Sketch, prefix stri
 					setErr(err)
 					return
 				}
-				r, err := core.EstimateMI(train, cand, k)
+				r, err := core.EstimateMIScratch(probe, cand, opt.K, &scratch)
 				if err != nil {
 					setErr(fmt.Errorf("store: estimating %q: %w", name, err))
 					return
 				}
-				if r.N <= minJoinSize {
+				if r.N <= opt.MinJoinSize {
 					continue
 				}
 				rs := RankedSketch{Name: name, MI: r.MI, Estimator: r.Estimator, JoinSize: r.N}
-				if topK > 0 {
-					top.offer(rs, topK)
+				if opt.TopK > 0 {
+					top.offer(rs, opt.TopK)
 				} else {
 					all = append(all, rs)
 				}
 			}
-			if topK > 0 {
+			if opt.TopK > 0 {
 				results[w] = top
 			} else {
 				results[w] = all
@@ -549,8 +579,8 @@ func (s *Store) RankContext(ctx context.Context, train *core.Sketch, prefix stri
 		}
 		return ranked[i].Name < ranked[j].Name
 	})
-	if topK > 0 && len(ranked) > topK {
-		ranked = ranked[:topK]
+	if opt.TopK > 0 && len(ranked) > opt.TopK {
+		ranked = ranked[:opt.TopK]
 	}
 	return ranked, skipped, nil
 }

@@ -171,6 +171,44 @@ func EstimateMIK(train, cand *Sketch, k int) (Result, error) {
 	return core.EstimateMI(train, cand, k)
 }
 
+// TrainProbe is a discovery query compiled once against its train
+// sketch: the hash→entry index and value orderings every candidate
+// probes. Compile it with CompileTrain when estimating against many
+// candidates; it is immutable and safe to share across goroutines.
+type TrainProbe = core.TrainProbe
+
+// EstimatorScratch is the reusable per-worker state of the ranking hot
+// path: join buffers, neighbor structures, interning maps. The zero
+// value is ready to use; do not share one between goroutines.
+type EstimatorScratch = core.Scratch
+
+// CompileTrain builds the per-query index over a train sketch.
+func CompileTrain(train *Sketch) *TrainProbe {
+	return core.CompileTrainProbe(train)
+}
+
+// EstimateMIScratch estimates MI between the compiled train probe and a
+// candidate on reusable scratch state — EstimateMI without the
+// per-call allocations, returning bit-identical results. This is the
+// loop Store ranking runs internally; use it directly when ranking
+// in-memory candidates:
+//
+//	probe := misketch.CompileTrain(trainSketch)
+//	var scratch misketch.EstimatorScratch
+//	for _, c := range candidates {
+//		res, err := misketch.EstimateMIScratch(probe, c, &scratch)
+//		...
+//	}
+func EstimateMIScratch(probe *TrainProbe, cand *Sketch, s *EstimatorScratch) (Result, error) {
+	return core.EstimateMIScratch(probe, cand, DefaultK, s)
+}
+
+// EstimateMIScratchK is EstimateMIScratch with an explicit neighbor
+// parameter k.
+func EstimateMIScratchK(probe *TrainProbe, cand *Sketch, k int, s *EstimatorScratch) (Result, error) {
+	return core.EstimateMIScratch(probe, cand, k, s)
+}
+
 // FullJoinMI materializes the aggregate-then-left-join query and
 // estimates MI on the complete result — the expensive reference the
 // sketches approximate. Useful for validating sketch quality on small
@@ -210,9 +248,11 @@ type Ranked struct {
 // the paper's "JoinSize ≤ 100" filter and the boundary Store.Rank
 // applies. Zero keeps every candidate with a non-empty join.
 func Rank(train *Sketch, cands []Candidate, minJoinSize int) ([]Ranked, error) {
+	probe := core.CompileTrainProbe(train)
+	var scratch core.Scratch
 	var out []Ranked
 	for _, c := range cands {
-		r, err := core.EstimateMI(train, c.Sketch, DefaultK)
+		r, err := core.EstimateMIScratch(probe, c.Sketch, DefaultK, &scratch)
 		if err != nil {
 			return nil, fmt.Errorf("misketch: ranking %s: %w", c.Name, err)
 		}
@@ -239,9 +279,11 @@ func Rank(train *Sketch, cands []Candidate, minJoinSize int) ([]Ranked, error) {
 // Rank, and the min-join boundary is Rank's: joins with at most
 // minJoinSize samples are dropped.
 func RankSmoothed(train *Sketch, cands []Candidate, minJoinSize int, alpha float64) ([]Ranked, error) {
+	probe := core.CompileTrainProbe(train)
+	var scratch core.Scratch
 	var out []Ranked
 	for _, c := range cands {
-		js, err := core.Join(train, c.Sketch)
+		js, err := probe.JoinScratch(c.Sketch, &scratch)
 		if err != nil {
 			return nil, fmt.Errorf("misketch: ranking %s: %w", c.Name, err)
 		}
@@ -255,7 +297,7 @@ func RankSmoothed(train *Sketch, cands []Candidate, minJoinSize int, alpha float
 			r.Estimator = mi.EstMLE
 			r.MI = mi.MLESmoothed(js.Y.Str, js.X.Str, alpha)
 		} else {
-			res := mi.Estimate(js.Y, js.X, DefaultK)
+			res := scratch.MI.Estimate(js.Y, js.X, DefaultK)
 			r.Estimator = res.Estimator
 			r.MI = res.MI
 		}

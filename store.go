@@ -101,6 +101,11 @@ type Store = store.Store
 // RankedSketch is one result of a Store discovery query.
 type RankedSketch = store.RankedSketch
 
+// RankOptions tunes a Store discovery query (Store.RankQuery): name
+// prefix, min join size, neighbor parameter, top-K bound, and worker
+// fan-out (0 = GOMAXPROCS).
+type RankOptions = store.RankOptions
+
 // OpenStoreOptions tunes a store handle: CacheBytes bounds the
 // decoded-sketch LRU cache (zero means the 64 MiB default, negative
 // disables caching), and Shards sets the directory fan-out for newly
