@@ -59,6 +59,8 @@ func main() {
 		runRank(os.Args[2:])
 	case "store":
 		runStore(os.Args[2:])
+	case "serve":
+		runServe(os.Args[2:])
 	case "bench":
 		runBench(os.Args[2:])
 	case "sketch": // legacy spelling of "store ingest" over explicit files
@@ -79,6 +81,7 @@ func usage() {
   misketch store rank    -store DIR -train FILE -train-key COL -target COL [-workers N] [-stats] [flags]
   misketch store ls      -store DIR
   misketch store rebuild -store DIR
+  misketch serve         -store DIR [-addr :8080] [-max-workers N] [-probe-cache N] [-cache BYTES]
   misketch bench         [-candidates N] [-top K] [-iters N] [-out FILE]
   (legacy aliases: "sketch" = store ingest, "store-rank" = store rank)`)
 }
@@ -564,6 +567,36 @@ func runBench(args []string) {
 		_, werr := f.Write(append(line, '\n'))
 		die(errors.Join(werr, f.Close()))
 	}
+}
+
+// runServe runs the long-running discovery service over a sketch store:
+// one open store, a compiled-probe cache, and pooled estimator scratch
+// shared across requests, with the total rank-worker fan-out bounded by
+// -max-workers. Ctrl-C (or SIGTERM) drains in-flight requests and
+// persists the manifest before exiting.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	storeDir := fs.String("store", "", "sketch store directory")
+	addr := fs.String("addr", ":8080", "listen address")
+	maxWorkers := fs.Int("max-workers", 0, "total rank-worker bound across requests (0 = GOMAXPROCS)")
+	probeCache := fs.Int("probe-cache", 0, "compiled train-probe cache entries (0 = default, negative disables)")
+	cacheBytes := fs.Int64("cache", 0, "decoded-sketch cache bytes (0 = default, negative disables)")
+	die(fs.Parse(args))
+	requireFlags(map[string]string{"store": *storeDir})
+
+	st, err := misketch.OpenStoreWithOptions(*storeDir, misketch.OpenStoreOptions{CacheBytes: *cacheBytes})
+	die(err)
+	n, err := st.Len()
+	die(err)
+	srv := misketch.NewServer(st, misketch.ServerOptions{
+		MaxWorkers: *maxWorkers,
+		ProbeCache: *probeCache,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("misketch serve: %d sketches in %s, listening on %s\n", n, *storeDir, *addr)
+	die(srv.ListenAndServe(ctx, *addr))
+	fmt.Println("misketch serve: drained and persisted, bye")
 }
 
 // runStoreRebuild re-derives a store's manifest from the sketch files on

@@ -5,6 +5,55 @@ import (
 	"testing"
 )
 
+// FuzzReadSketchHeader hardens the header-only decode path (the one
+// manifest rebuilds and services run over untrusted files) against
+// truncated and corrupt input: it must never panic, and it must agree
+// with the full decoder — any input ReadSketch accepts must yield a
+// header whose fields match the decoded sketch, and any input whose
+// header is rejected must be rejected by ReadSketch too.
+func FuzzReadSketchHeader(f *testing.F) {
+	valid := &Sketch{
+		Method: TUPSK, Role: RoleCandidate, Seed: 3, Size: 8, Numeric: true,
+		SourceRows: 3, KeyHashes: []uint32{1, 2, 3}, Nums: []float64{0.5, -1, 2},
+	}
+	var buf bytes.Buffer
+	if _, err := valid.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	full := buf.Bytes()
+	f.Add(full)
+	for _, cut := range []int{0, 1, 4, 5, 9, len(full) / 2, len(full) - 1} {
+		if cut < len(full) {
+			f.Add(full[:cut]) // truncations at every layout boundary region
+		}
+	}
+	f.Add([]byte("MISY\x01"))
+	f.Add([]byte("MISK\xff"))
+	f.Add([]byte("MISK\x01\x05TUPSK\x00\x00\x00\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, herr := ReadSketchHeader(bytes.NewReader(data))
+		s, serr := ReadSketch(bytes.NewReader(data))
+		if herr != nil {
+			if serr == nil {
+				t.Fatalf("header rejected (%v) but full decode accepted", herr)
+			}
+			return
+		}
+		if h.Entries < 0 || h.Size < 0 || h.SourceRows < 0 {
+			t.Fatalf("accepted header with negative fields: %+v", h)
+		}
+		if serr != nil {
+			return // truncated body behind a valid header is fine
+		}
+		if h.Method != s.Method || h.Role != s.Role || h.Seed != s.Seed ||
+			h.Size != s.Size || h.Numeric != s.Numeric ||
+			h.SourceRows != s.SourceRows || h.Entries != s.Len() {
+			t.Fatalf("header %+v disagrees with sketch %+v", h, s)
+		}
+	})
+}
+
 // FuzzReadSketch hardens the sketch decoder against corrupt and
 // adversarial input: it must never panic or allocate absurdly, and any
 // sketch it accepts must round-trip to identical bytes.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"slices"
+	"sync"
 
 	"misketch/internal/mi"
 )
@@ -97,6 +98,32 @@ type Scratch struct {
 	nextJoined []int32
 	xOrder     []int32 // joined x ordering hint (train value order filtered)
 	yOrder     []int32 // joined y ordering hint (cand value order filtered)
+}
+
+// ScratchPool recycles Scratch values across ranking queries. A
+// long-running service serves many queries whose workers each need a
+// Scratch; drawing them from a pool keeps the grown-to-size join
+// buffers, neighbor structures, and interning maps hot across requests
+// instead of reallocating them per query. The zero value is ready to
+// use; a ScratchPool is safe for concurrent use.
+type ScratchPool struct {
+	p sync.Pool
+}
+
+// Get returns a Scratch ready for use, recycled when one is available.
+func (sp *ScratchPool) Get() *Scratch {
+	if v := sp.p.Get(); v != nil {
+		return v.(*Scratch)
+	}
+	return new(Scratch)
+}
+
+// Put returns a Scratch to the pool. The caller must not use s after
+// Put.
+func (sp *ScratchPool) Put(s *Scratch) {
+	if s != nil {
+		sp.p.Put(s)
+	}
 }
 
 // JoinScratch matches every train-sketch entry against the candidate

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"misketch/internal/core"
+	"misketch/internal/store"
+)
+
+// fuzzServer is shared across fuzz iterations: request decoding must be
+// hardened independently of store contents, so one tiny store suffices.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+func fuzzHandler(f *testing.F) *Server {
+	fuzzOnce.Do(func() {
+		st, err := store.Open(f.TempDir())
+		if err != nil {
+			panic(err)
+		}
+		cb, err := core.NewStreamBuilder(core.RoleCandidate, true, core.Options{Method: core.TUPSK, Size: 8})
+		if err != nil {
+			panic(err)
+		}
+		cb.AddNum("k", 1)
+		if err := st.Put("fuzz/c", cb.Sketch()); err != nil {
+			panic(err)
+		}
+		fuzzSrv = New(st, Options{MaxWorkers: 1})
+	})
+	return fuzzSrv
+}
+
+// FuzzRankRequest throws arbitrary bytes at the /v1/rank decode path and
+// the full handler: the server must never panic, and every response must
+// be a well-formed JSON object — either a ranking or a structured error,
+// with 5xx reserved for genuine server faults (which a malformed request
+// can never cause).
+func FuzzRankRequest(f *testing.F) {
+	srv := fuzzHandler(f)
+
+	// Seed corpus: valid requests, near-valid mutations, garbage.
+	tb, err := core.NewStreamBuilder(core.RoleTrain, true, core.Options{Method: core.TUPSK, Size: 8})
+	if err != nil {
+		f.Fatal(err)
+	}
+	tb.AddNum("k", 2)
+	var buf bytes.Buffer
+	if _, err := tb.Sketch().WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid, _ := json.Marshal(RankRequest{Sketch: base64.StdEncoding.EncodeToString(buf.Bytes())})
+	f.Add(valid)
+	f.Add([]byte(`{"train":"fuzz/c"}`))
+	f.Add([]byte(`{"sketch":"` + base64.StdEncoding.EncodeToString([]byte("MISK\x01")) + `"}`))
+	f.Add([]byte(`{"sketch":"!!!","min_join":-5,"workers":-1}`))
+	f.Add([]byte(`{"train":"x","top":999999999,"k":-3}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"train":1e999}`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/rank", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req) // must not panic
+		resp := rec.Result()
+		defer resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			t.Fatalf("request body %q produced status %d", body, resp.StatusCode)
+		}
+		var v map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("non-JSON response for body %q: %v", body, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			if _, ok := v["error"].(string); !ok {
+				t.Fatalf("error response without error field: %v", v)
+			}
+		}
+	})
+}

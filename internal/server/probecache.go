@@ -1,0 +1,85 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"misketch/internal/core"
+)
+
+// probeDigest identifies a train sketch by the SHA-256 of its serialized
+// bytes. Content addressing (rather than a client-supplied name) makes
+// the cache safe by construction: two sketches share a compiled probe
+// exactly when their bytes are identical, so an overwritten stored
+// sketch or a re-uploaded query can never be served a stale index.
+type probeDigest [sha256.Size]byte
+
+// probeCache memoizes compiled core.TrainProbe values by sketch digest,
+// bounded to max entries with LRU eviction. Compiling a probe is the
+// per-query fixed cost of ranking (hash-table build over the train
+// sketch); a service answering repeated queries against the same train
+// sketch skips it entirely on a hit. Probes are immutable and shared
+// across concurrent requests.
+type probeCache struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List // front = most recently used
+	byKey  map[probeDigest]*list.Element
+	hits   int64
+	misses int64
+}
+
+type probeEntry struct {
+	key   probeDigest
+	probe *core.TrainProbe
+}
+
+// newProbeCache returns a cache bounded to max probes; max < 1 disables
+// caching (every lookup misses and nothing is retained).
+func newProbeCache(max int) *probeCache {
+	return &probeCache{max: max, ll: list.New(), byKey: make(map[probeDigest]*list.Element)}
+}
+
+// get returns the cached probe for the digest, marking it most recently
+// used.
+func (c *probeCache) get(key probeDigest) (*core.TrainProbe, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(e)
+		c.hits++
+		return e.Value.(*probeEntry).probe, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// add inserts a compiled probe, evicting the least recently used entry
+// beyond the bound. Racing adds of the same digest are harmless: probes
+// compiled from identical bytes are interchangeable.
+func (c *probeCache) add(key probeDigest, p *core.TrainProbe) {
+	if c.max < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*probeEntry).probe = p
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&probeEntry{key: key, probe: p})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.byKey, last.Value.(*probeEntry).key)
+	}
+}
+
+// stats returns hit/miss counters and the resident entry count.
+func (c *probeCache) stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

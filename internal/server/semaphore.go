@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// semaphore is a weighted counting semaphore with FIFO waiters and
+// context cancellation — the admission controller bounding the total
+// rank-worker fan-out across concurrent requests. Each /v1/rank request
+// acquires as many units as the workers it will spin up, so the server
+// never runs more estimation goroutines than its configured capacity no
+// matter how many requests arrive at once. (The standard library has no
+// weighted semaphore and the module is dependency-free, so this is a
+// minimal x/sync/semaphore equivalent.)
+type semaphore struct {
+	mu      sync.Mutex
+	cap     int
+	cur     int
+	waiters []*semWaiter
+}
+
+type semWaiter struct {
+	n     int
+	ready chan struct{} // closed when the units are granted
+}
+
+func newSemaphore(capacity int) *semaphore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &semaphore{cap: capacity}
+}
+
+// acquire blocks until n units are available or ctx is done. Units
+// granted to a caller whose context was cancelled concurrently are
+// returned to the pool; a cancelled waiter never leaks capacity.
+func (s *semaphore) acquire(ctx context.Context, n int) error {
+	if n > s.cap {
+		n = s.cap
+	}
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	if len(s.waiters) == 0 && s.cur+n <= s.cap {
+		s.cur += n
+		s.mu.Unlock()
+		return nil
+	}
+	w := &semWaiter{n: n, ready: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted between cancellation and locking: give it back.
+			s.mu.Unlock()
+			s.release(n)
+		default:
+			for i, x := range s.waiters {
+				if x == w {
+					s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+					break
+				}
+			}
+			s.mu.Unlock()
+		}
+		return ctx.Err()
+	}
+}
+
+// release returns n units and wakes FIFO waiters that now fit.
+func (s *semaphore) release(n int) {
+	s.mu.Lock()
+	s.cur -= n
+	if s.cur < 0 {
+		s.cur = 0 // defensive; a double release must not wedge the pool
+	}
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		if s.cur+w.n > s.cap {
+			break
+		}
+		s.cur += w.n
+		s.waiters = s.waiters[1:]
+		close(w.ready)
+	}
+	s.mu.Unlock()
+}
+
+// inFlight reports the units currently held and the waiters queued.
+func (s *semaphore) inFlight() (held, waiting int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur, len(s.waiters)
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSemaphoreWeightedFIFO(t *testing.T) {
+	s := newSemaphore(4)
+	ctx := context.Background()
+	if err := s.acquire(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if held, _ := s.inFlight(); held != 3 {
+		t.Fatalf("held = %d, want 3", held)
+	}
+
+	// A 2-unit waiter queues; a later 1-unit request must not jump it
+	// (FIFO prevents starvation of wide requests). Releasing a single
+	// unit (3 held -> 2) leaves room for the queued 2 but granting it
+	// fills the pool, so the later 1-unit waiter must stay queued.
+	var wg sync.WaitGroup
+	granted2 := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := s.acquire(ctx, 2); err != nil {
+			t.Error(err)
+			return
+		}
+		close(granted2)
+	}()
+	for {
+		if _, waiting := s.inFlight(); waiting == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	granted1 := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := s.acquire(ctx, 1); err != nil {
+			t.Error(err)
+			return
+		}
+		close(granted1)
+	}()
+	for {
+		if _, waiting := s.inFlight(); waiting == 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	s.release(1)
+	select {
+	case <-granted2:
+	case <-time.After(2 * time.Second):
+		t.Fatal("FIFO head (weight 2) not granted after release")
+	}
+	select {
+	case <-granted1:
+		t.Fatal("1-unit waiter jumped the queue into a full pool")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if held, waiting := s.inFlight(); held != 4 || waiting != 1 {
+		t.Fatalf("mid state: %d held, %d waiting (want 4, 1)", held, waiting)
+	}
+
+	s.release(2)
+	select {
+	case <-granted1:
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued 1-unit waiter never granted")
+	}
+	wg.Wait()
+	s.release(2) // the initial 3 minus the 1 released above
+	s.release(1)
+	if held, waiting := s.inFlight(); held != 0 || waiting != 0 {
+		t.Fatalf("end state: %d held, %d waiting", held, waiting)
+	}
+}
+
+func TestSemaphoreCancelWhileQueued(t *testing.T) {
+	s := newSemaphore(1)
+	if err := s.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.acquire(ctx, 1) }()
+	for {
+		if _, waiting := s.inFlight(); waiting == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled acquire returned %v", err)
+	}
+	if _, waiting := s.inFlight(); waiting != 0 {
+		t.Fatal("cancelled waiter still queued")
+	}
+	// Capacity was not leaked to the cancelled waiter.
+	s.release(1)
+	if err := s.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	s.release(1)
+}
+
+func TestSemaphoreOversizedRequestClamped(t *testing.T) {
+	s := newSemaphore(2)
+	// Asking for more than capacity must clamp, not deadlock.
+	done := make(chan error, 1)
+	go func() { done <- s.acquire(context.Background(), 10) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("oversized acquire deadlocked")
+	}
+	if held, _ := s.inFlight(); held != 2 {
+		t.Fatalf("held = %d, want clamped 2", held)
+	}
+	s.release(2)
+}

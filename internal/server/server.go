@@ -1,0 +1,658 @@
+// Package server exposes a sketch store as a long-running HTTP/JSON
+// discovery service — the layer that turns the one-shot CLI workflow
+// into something that can serve sustained query traffic. One open
+// store.Store is shared across all requests (no per-query store open or
+// manifest load), compiled train probes are cached by sketch content so
+// repeated queries skip compilation, per-worker estimator scratch is
+// pooled across requests, and a weighted semaphore bounds the total
+// rank-worker fan-out regardless of request concurrency.
+//
+// Endpoints (all request/response bodies are JSON unless noted):
+//
+//	POST /v1/rank    rank stored candidates against a train sketch
+//	                 (inline base64 or a stored sketch name)
+//	POST /v1/sketch  build a sketch from a posted CSV body
+//	POST /v1/put     ingest a serialized sketch (raw binary body)
+//	GET  /v1/ls      manifest listing (no sketch reads)
+//	GET  /v1/stats   store + server counters
+//	GET  /healthz    liveness: {"ok":true}
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"misketch/internal/core"
+	"misketch/internal/mi"
+	"misketch/internal/store"
+	"misketch/internal/table"
+)
+
+// Defaults for Options zero values.
+const (
+	// DefaultProbeCache bounds the compiled-probe cache entry count.
+	DefaultProbeCache = 64
+	// DefaultMaxBodyBytes caps request bodies (sketch uploads, CSVs).
+	DefaultMaxBodyBytes = 256 << 20
+	// DefaultShutdownTimeout bounds the graceful drain on shutdown.
+	DefaultShutdownTimeout = 30 * time.Second
+	// defaultMinJoin is the paper's "JoinSize <= 100" confidence filter,
+	// applied when a rank request leaves min_join unset.
+	defaultMinJoin = 100
+	// defaultSketchSize mirrors the root package's DefaultSketchSize
+	// (the root package sits above this one, so the constant is
+	// duplicated rather than imported).
+	defaultSketchSize = 1024
+)
+
+// Options tunes a discovery server.
+type Options struct {
+	// MaxWorkers bounds the total rank-estimation fan-out across all
+	// concurrent requests; zero means GOMAXPROCS. A request asking for
+	// more workers than the bound is clamped to it.
+	MaxWorkers int
+	// ProbeCache bounds the compiled train-probe cache entry count; zero
+	// means DefaultProbeCache, negative disables probe caching.
+	ProbeCache int
+	// MaxBodyBytes caps request body sizes; zero means
+	// DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// ShutdownTimeout bounds how long ListenAndServe waits for in-flight
+	// requests on shutdown; zero means DefaultShutdownTimeout.
+	ShutdownTimeout time.Duration
+}
+
+// Server is the discovery service: an http.Handler over one open store.
+type Server struct {
+	st      *store.Store
+	opt     Options
+	sem     *semaphore
+	probes  *probeCache
+	scratch *core.ScratchPool
+	mux     *http.ServeMux
+
+	// digests memoizes the content digest of stored train sketches by
+	// (name, store generation), so warm by-name rank requests skip
+	// re-serializing the sketch just to key the probe cache.
+	digestMu sync.Mutex
+	digests  map[string]digestMemo
+
+	rankRequests   atomic.Int64
+	rankFailures   atomic.Int64
+	rankRejected   atomic.Int64 // admission aborted: client gone before capacity freed
+	sketchRequests atomic.Int64
+	putRequests    atomic.Int64
+}
+
+type digestMemo struct {
+	gen    uint64
+	digest probeDigest
+}
+
+// maxDigestMemo bounds the stored-train digest memo.
+const maxDigestMemo = 1024
+
+// New wraps an open store in a discovery server. The caller keeps
+// ownership of the store handle; ListenAndServe flushes its manifest on
+// graceful shutdown, and Close flushes it on demand.
+func New(st *store.Store, opt Options) *Server {
+	if opt.MaxWorkers <= 0 {
+		opt.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	probeMax := opt.ProbeCache
+	if probeMax == 0 {
+		probeMax = DefaultProbeCache
+	}
+	if opt.MaxBodyBytes <= 0 {
+		opt.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if opt.ShutdownTimeout <= 0 {
+		opt.ShutdownTimeout = DefaultShutdownTimeout
+	}
+	s := &Server{
+		st:      st,
+		opt:     opt,
+		sem:     newSemaphore(opt.MaxWorkers),
+		probes:  newProbeCache(probeMax),
+		scratch: new(core.ScratchPool),
+		digests: make(map[string]digestMemo),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/rank", s.handleRank)
+	s.mux.HandleFunc("POST /v1/sketch", s.handleSketch)
+	s.mux.HandleFunc("POST /v1/put", s.handlePut)
+	s.mux.HandleFunc("GET /v1/ls", s.handleLs)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close flushes the store manifest.
+func (s *Server) Close() error { return s.st.Flush() }
+
+// ListenAndServe serves on addr until ctx is cancelled, then shuts down
+// gracefully: stop accepting, drain in-flight requests (bounded by
+// Options.ShutdownTimeout), and persist the store manifest. It returns
+// nil after a clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.ServeListener(ctx, ln)
+}
+
+// ServeListener is ListenAndServe over an existing listener (which it
+// takes ownership of) — the entry point when the caller needs the bound
+// address, e.g. after listening on port 0.
+func (s *Server) ServeListener(ctx context.Context, ln net.Listener) error {
+	// The shutdown goroutine must not outlive this call when Serve fails
+	// on its own (bad listener, external close) under a long-lived ctx.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hs := &http.Server{Handler: s}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), s.opt.ShutdownTimeout)
+		defer cancel()
+		done <- hs.Shutdown(shCtx)
+	}()
+	err := hs.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		err = <-done // wait for the drain before persisting
+	}
+	if ferr := s.st.Flush(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// errorResponse is the error body of every non-2xx JSON response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// bodyErrStatus distinguishes a body over the MaxBodyBytes cap (413,
+// retryable with a smaller payload) from a malformed request (400).
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// RankRequest is the body of POST /v1/rank. Exactly one of Sketch and
+// Train selects the train side.
+type RankRequest struct {
+	// Sketch is the serialized train sketch, standard base64.
+	Sketch string `json:"sketch,omitempty"`
+	// Train names a stored sketch to use as the train side instead of
+	// uploading one.
+	Train string `json:"train,omitempty"`
+	// Prefix restricts ranking to stored names with this prefix.
+	Prefix string `json:"prefix,omitempty"`
+	// MinJoin drops candidates whose sketch join has at most this many
+	// samples; unset means 100 (the paper's confidence filter), -1 keeps
+	// even empty joins.
+	MinJoin *int `json:"min_join,omitempty"`
+	// K is the KSG-family neighbor parameter; 0 means the default.
+	K int `json:"k,omitempty"`
+	// Top bounds the result to the best K candidates; 0 returns all.
+	Top int `json:"top,omitempty"`
+	// Workers requests an estimation fan-out; 0 means the server bound.
+	// Requests are clamped to the server's MaxWorkers and admitted
+	// through a weighted semaphore, so concurrent queries queue rather
+	// than oversubscribe.
+	Workers int `json:"workers,omitempty"`
+}
+
+// RankedResult is one row of a RankResponse.
+type RankedResult struct {
+	Name      string  `json:"name"`
+	MI        float64 `json:"mi"`
+	Estimator string  `json:"estimator"`
+	JoinSize  int     `json:"join_size"`
+}
+
+// RankResponse is the body of a successful POST /v1/rank.
+type RankResponse struct {
+	Ranked []RankedResult `json:"ranked"`
+	// Skipped lists prefix-matching stored sketches that could not be
+	// joined (incompatible seed or role, or mutated mid-query).
+	Skipped []string `json:"skipped,omitempty"`
+	// ProbeCached reports whether the compiled train probe came from the
+	// server's cache (a warm query) or was compiled for this request.
+	ProbeCached bool `json:"probe_cached"`
+	// Workers is the admitted estimation fan-out after clamping.
+	Workers int `json:"workers"`
+	// ElapsedNS is the server-side wall time of the ranking itself.
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// decodeRankRequest parses and validates a rank request body.
+func decodeRankRequest(body []byte) (*RankRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req RankRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding rank request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("trailing data after rank request")
+	}
+	if (req.Sketch == "") == (req.Train == "") {
+		return nil, fmt.Errorf("exactly one of \"sketch\" and \"train\" must be set")
+	}
+	if req.K < 0 || req.Top < 0 || req.Workers < 0 {
+		return nil, fmt.Errorf("k, top, and workers must be non-negative")
+	}
+	if req.MinJoin != nil && *req.MinJoin < -1 {
+		return nil, fmt.Errorf("min_join must be >= -1")
+	}
+	return &req, nil
+}
+
+// trainSketch resolves the request's train side to (sketch, content
+// digest). An inline sketch is digested from its uploaded bytes; a
+// stored sketch is serialized once to derive its digest, which is then
+// memoized by (name, store generation) so the warm path skips the
+// re-serialization until the next store mutation.
+func (s *Server) trainSketch(req *RankRequest) (*core.Sketch, probeDigest, error) {
+	if req.Sketch != "" {
+		raw, err := base64.StdEncoding.DecodeString(req.Sketch)
+		if err != nil {
+			return nil, probeDigest{}, fmt.Errorf("decoding sketch base64: %w", err)
+		}
+		sk, err := core.ReadSketch(bytes.NewReader(raw))
+		if err != nil {
+			return nil, probeDigest{}, err
+		}
+		return sk, sha256.Sum256(raw), nil
+	}
+	gen := s.st.Gen()
+	sk, err := s.st.Get(req.Train)
+	if err != nil {
+		return nil, probeDigest{}, err
+	}
+	s.digestMu.Lock()
+	memo, ok := s.digests[req.Train]
+	s.digestMu.Unlock()
+	if ok && memo.gen == gen {
+		return sk, memo.digest, nil
+	}
+	var buf bytes.Buffer
+	if _, err := sk.WriteTo(&buf); err != nil {
+		return nil, probeDigest{}, err
+	}
+	d := probeDigest(sha256.Sum256(buf.Bytes()))
+	s.digestMu.Lock()
+	if len(s.digests) >= maxDigestMemo {
+		clear(s.digests) // crude bound; repopulates from live queries
+	}
+	s.digests[req.Train] = digestMemo{gen: gen, digest: d}
+	s.digestMu.Unlock()
+	return sk, d, nil
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	s.rankRequests.Add(1)
+	body, err := readBody(r)
+	if err != nil {
+		s.rankFailures.Add(1)
+		httpError(w, bodyErrStatus(err), "reading body: %v", err)
+		return
+	}
+	req, err := decodeRankRequest(body)
+	if err != nil {
+		s.rankFailures.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	train, digest, err := s.trainSketch(req)
+	if err != nil {
+		s.rankFailures.Add(1)
+		status := http.StatusBadRequest
+		if req.Train != "" {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, "train sketch: %v", err)
+		return
+	}
+	if train.Role != core.RoleTrain {
+		s.rankFailures.Add(1)
+		httpError(w, http.StatusBadRequest, "train sketch: role is %d, want train", train.Role)
+		return
+	}
+
+	probe, cached := s.probes.get(digest)
+	if !cached {
+		probe = core.CompileTrainProbe(train)
+		s.probes.add(digest, probe)
+	} else {
+		// The cached probe was compiled from bit-identical sketch bytes;
+		// rank against its train so probe and train always agree.
+		train = probe.Train()
+	}
+
+	workers := req.Workers
+	if workers <= 0 || workers > s.opt.MaxWorkers {
+		workers = s.opt.MaxWorkers
+	}
+	ctx := r.Context()
+	if err := s.sem.acquire(ctx, workers); err != nil {
+		// The client went away while queued; the waiter is already
+		// unlinked, so its slots were never held.
+		s.rankRejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "cancelled while queued for capacity: %v", err)
+		return
+	}
+	defer s.sem.release(workers)
+
+	minJoin := defaultMinJoin
+	if req.MinJoin != nil {
+		minJoin = *req.MinJoin
+	}
+	k := req.K
+	if k == 0 {
+		k = mi.DefaultK
+	}
+	started := time.Now()
+	ranked, skipped, err := s.st.RankQuery(ctx, train, store.RankOptions{
+		Prefix:      req.Prefix,
+		MinJoinSize: minJoin,
+		K:           k,
+		TopK:        req.Top,
+		Workers:     workers,
+		Probe:       probe,
+		ScratchPool: s.scratch,
+	})
+	if err != nil {
+		s.rankFailures.Add(1)
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, "rank: %v", err)
+		return
+	}
+	resp := RankResponse{
+		Ranked:      make([]RankedResult, len(ranked)),
+		Skipped:     skipped,
+		ProbeCached: cached,
+		Workers:     workers,
+		ElapsedNS:   time.Since(started).Nanoseconds(),
+	}
+	for i, rs := range ranked {
+		resp.Ranked[i] = RankedResult{
+			Name: rs.Name, MI: rs.MI, Estimator: string(rs.Estimator), JoinSize: rs.JoinSize,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SketchResponse is the body of a successful POST /v1/sketch.
+type SketchResponse struct {
+	// Sketch is the serialized sketch, standard base64; feed it back to
+	// /v1/rank (train role) or /v1/put (candidate role).
+	Sketch     string `json:"sketch"`
+	Entries    int    `json:"entries"`
+	Numeric    bool   `json:"numeric"`
+	Method     string `json:"method"`
+	Seed       uint32 `json:"seed"`
+	SourceRows int    `json:"source_rows"`
+}
+
+// handleSketch builds a sketch from a posted CSV. Query parameters:
+// key (join-key column, required), value (value column, required),
+// role (train|candidate, default train), size, seed, method, agg.
+func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
+	s.sketchRequests.Add(1)
+	q := r.URL.Query()
+	keyCol, valCol := q.Get("key"), q.Get("value")
+	if keyCol == "" || valCol == "" {
+		httpError(w, http.StatusBadRequest, "query parameters \"key\" and \"value\" are required")
+		return
+	}
+	role := core.RoleTrain
+	switch q.Get("role") {
+	case "", "train":
+	case "candidate":
+		role = core.RoleCandidate
+	default:
+		httpError(w, http.StatusBadRequest, "role must be \"train\" or \"candidate\"")
+		return
+	}
+	opt := core.Options{Method: core.TUPSK, Size: defaultSketchSize}
+	if m := q.Get("method"); m != "" {
+		opt.Method = core.Method(m)
+	}
+	var err error
+	if opt.Size, err = intParam(q.Get("size"), defaultSketchSize); err != nil || opt.Size < 1 {
+		httpError(w, http.StatusBadRequest, "invalid size %q", q.Get("size"))
+		return
+	}
+	seed, err := intParam(q.Get("seed"), 0)
+	if err != nil || seed < 0 {
+		httpError(w, http.StatusBadRequest, "invalid seed %q", q.Get("seed"))
+		return
+	}
+	opt.Seed = uint32(seed)
+	opt.Agg = table.AggFunc(q.Get("agg"))
+
+	tb, err := table.ReadCSV(r.Body)
+	if err != nil {
+		httpError(w, bodyErrStatus(err), "reading CSV: %v", err)
+		return
+	}
+	sk, err := core.Build(tb, keyCol, valCol, role, opt)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "building sketch: %v", err)
+		return
+	}
+	var buf bytes.Buffer
+	if _, err := sk.WriteTo(&buf); err != nil {
+		httpError(w, http.StatusInternalServerError, "serializing sketch: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SketchResponse{
+		Sketch:     base64.StdEncoding.EncodeToString(buf.Bytes()),
+		Entries:    sk.Len(),
+		Numeric:    sk.Numeric,
+		Method:     string(sk.Method),
+		Seed:       sk.Seed,
+		SourceRows: sk.SourceRows,
+	})
+}
+
+// PutResponse is the body of a successful POST /v1/put.
+type PutResponse struct {
+	Name    string `json:"name"`
+	Entries int    `json:"entries"`
+	Numeric bool   `json:"numeric"`
+	Seed    uint32 `json:"seed"`
+}
+
+// handlePut ingests a serialized sketch (raw binary request body, as
+// written by WriteSketch or returned base64-decoded from /v1/sketch)
+// into the store under ?name=.
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	s.putRequests.Add(1)
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "query parameter \"name\" is required")
+		return
+	}
+	sk, err := core.ReadSketch(r.Body)
+	if err != nil {
+		httpError(w, bodyErrStatus(err), "decoding sketch: %v", err)
+		return
+	}
+	if err := s.st.Put(name, sk); err != nil {
+		httpError(w, http.StatusInternalServerError, "storing sketch: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PutResponse{
+		Name: name, Entries: sk.Len(), Numeric: sk.Numeric, Seed: sk.Seed,
+	})
+}
+
+// MetaResult is one manifest record in an LsResponse.
+type MetaResult struct {
+	Name       string `json:"name"`
+	Method     string `json:"method"`
+	Role       string `json:"role"`
+	Seed       uint32 `json:"seed"`
+	Size       int    `json:"size"`
+	Numeric    bool   `json:"numeric"`
+	SourceRows int    `json:"source_rows"`
+	Entries    int    `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+}
+
+// LsResponse is the body of GET /v1/ls.
+type LsResponse struct {
+	Sketches []MetaResult `json:"sketches"`
+	Count    int          `json:"count"`
+}
+
+func (s *Server) handleLs(w http.ResponseWriter, r *http.Request) {
+	prefix := r.URL.Query().Get("prefix")
+	metas := s.st.Metas()
+	resp := LsResponse{Sketches: []MetaResult{}}
+	for _, m := range metas {
+		if !strings.HasPrefix(m.Name, prefix) {
+			continue
+		}
+		role := "candidate"
+		if m.Role == core.RoleTrain {
+			role = "train"
+		}
+		resp.Sketches = append(resp.Sketches, MetaResult{
+			Name: m.Name, Method: string(m.Method), Role: role, Seed: m.Seed,
+			Size: m.Size, Numeric: m.Numeric, SourceRows: m.SourceRows,
+			Entries: m.Entries, Bytes: m.Bytes,
+		})
+	}
+	resp.Count = len(resp.Sketches)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ServerStats are the server-side counters of GET /v1/stats.
+type ServerStats struct {
+	RankRequests   int64 `json:"rank_requests"`
+	RankFailures   int64 `json:"rank_failures"`
+	RankRejected   int64 `json:"rank_rejected"`
+	SketchRequests int64 `json:"sketch_requests"`
+	PutRequests    int64 `json:"put_requests"`
+	ProbeHits      int64 `json:"probe_hits"`
+	ProbeMisses    int64 `json:"probe_misses"`
+	ProbesCached   int   `json:"probes_cached"`
+	WorkersHeld    int   `json:"workers_held"`
+	RanksQueued    int   `json:"ranks_queued"`
+	MaxWorkers     int   `json:"max_workers"`
+}
+
+// StoreStats mirrors store.Stats for the JSON response.
+type StoreStats struct {
+	Sketches    int   `json:"sketches"`
+	CacheBytes  int64 `json:"cache_bytes"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Evictions   int64 `json:"evictions"`
+	DiskReads   int64 `json:"disk_reads"`
+	Puts        int64 `json:"puts"`
+	Deletes     int64 `json:"deletes"`
+	RankQueries int64 `json:"rank_queries"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Store  StoreStats  `json:"store"`
+	Server ServerStats `json:"server"`
+}
+
+// Stats snapshots the server's counters (also served at /v1/stats).
+func (s *Server) Stats() StatsResponse {
+	ss := s.st.Stats()
+	hits, misses, entries := s.probes.stats()
+	held, waiting := s.sem.inFlight()
+	return StatsResponse{
+		Store: StoreStats{
+			Sketches: ss.Sketches, CacheBytes: ss.CacheBytes,
+			CacheHits: ss.CacheHits, CacheMisses: ss.CacheMisses,
+			Evictions: ss.Evictions, DiskReads: ss.DiskReads,
+			Puts: ss.Puts, Deletes: ss.Deletes, RankQueries: ss.RankQueries,
+		},
+		Server: ServerStats{
+			RankRequests:   s.rankRequests.Load(),
+			RankFailures:   s.rankFailures.Load(),
+			RankRejected:   s.rankRejected.Load(),
+			SketchRequests: s.sketchRequests.Load(),
+			PutRequests:    s.putRequests.Load(),
+			ProbeHits:      hits,
+			ProbeMisses:    misses,
+			ProbesCached:   entries,
+			WorkersHeld:    held,
+			RanksQueued:    waiting,
+			MaxWorkers:     s.opt.MaxWorkers,
+		},
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sketches": s.st.Stats().Sketches})
+}
+
+// readBody drains a request body honoring the MaxBytesReader cap.
+func readBody(r *http.Request) ([]byte, error) {
+	defer r.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// intParam parses an optional decimal query parameter.
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}

@@ -48,7 +48,10 @@ type Store struct {
 	// read concurrent with any write skips populating the cache.
 	gen uint64
 
-	diskReads atomic.Int64 // full sketch decodes from disk
+	diskReads   atomic.Int64 // full sketch decodes from disk
+	puts        atomic.Int64 // successful Put calls
+	deletes     atomic.Int64 // successful Delete calls
+	rankQueries atomic.Int64 // RankQuery calls (including failed ones)
 }
 
 // sketchExt is the file extension of stored sketches.
@@ -301,6 +304,7 @@ func (s *Store) Put(name string, sk *core.Sketch) error {
 		s.cache.add(name, sk)
 	}
 	s.mu.Unlock()
+	s.puts.Add(1)
 	return nil
 }
 
@@ -353,6 +357,9 @@ func (s *Store) Delete(name string) error {
 	if os.IsNotExist(err) {
 		return fmt.Errorf("store: no sketch %q", name)
 	}
+	if err == nil {
+		s.deletes.Add(1)
+	}
 	return err
 }
 
@@ -400,13 +407,23 @@ type Stats struct {
 	// DiskReads counts full sketch deserializations from disk — the
 	// expensive operation manifest filtering exists to avoid.
 	DiskReads int64
+	// Puts/Deletes count successful mutations through this handle.
+	Puts, Deletes int64
+	// RankQueries counts discovery queries served by this handle.
+	RankQueries int64
 }
 
 // Stats returns a snapshot of the handle's counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := Stats{Sketches: len(s.manifest), DiskReads: s.diskReads.Load()}
+	st := Stats{
+		Sketches:    len(s.manifest),
+		DiskReads:   s.diskReads.Load(),
+		Puts:        s.puts.Load(),
+		Deletes:     s.deletes.Load(),
+		RankQueries: s.rankQueries.Load(),
+	}
 	if s.cache != nil {
 		st.CacheBytes = s.cache.used
 		st.CacheHits = s.cache.hits
@@ -444,6 +461,16 @@ type RankOptions struct {
 	TopK int
 	// Workers overrides the estimation fan-out; <= 0 means GOMAXPROCS.
 	Workers int
+	// Probe, when non-nil, is a pre-compiled index over the train sketch
+	// (core.CompileTrainProbe on the same sketch); the query probes it
+	// instead of compiling its own. Long-running services cache probes by
+	// train-sketch content so repeated queries skip compilation.
+	Probe *core.TrainProbe
+	// ScratchPool, when non-nil, supplies the per-worker estimator
+	// scratch: workers draw from it and return their scratch when done,
+	// so consecutive queries reuse grown-to-size buffers instead of
+	// allocating fresh ones.
+	ScratchPool *core.ScratchPool
 }
 
 // RankContext is RankQuery with positional options, kept for callers of
@@ -464,13 +491,22 @@ func (s *Store) RankContext(ctx context.Context, train *core.Sketch, prefix stri
 // cannot be joined). A malformed candidate with duplicated key hashes
 // fails the query only when a duplicate actually joins the train
 // sketch; duplicates that match nothing cannot affect any result and
-// are ranked normally. The query is compiled once (core.TrainProbe) and
-// estimation fans out across opt.Workers workers, each owning a
-// core.Scratch so the per-candidate hot path performs no steady-state
-// allocations. Estimation stops early when ctx is cancelled; the result
-// order is deterministic regardless of scheduling.
+// are ranked normally. The query is compiled once (core.TrainProbe,
+// reused from opt.Probe when set) and estimation fans out across
+// opt.Workers workers, each owning a core.Scratch so the per-candidate
+// hot path performs no steady-state allocations. Estimation stops early
+// when ctx is cancelled; the result order is deterministic regardless
+// of scheduling.
+//
+// The query runs against a snapshot of the manifest: candidates
+// admitted by the snapshot whose sketch is concurrently overwritten
+// with an incompatible one (different seed, train role) or deleted
+// before the worker reads it are moved to the skipped list rather than
+// failing the query or surfacing a half-visible entry — a Put or Delete
+// racing an in-flight rank is safe from both sides.
 func (s *Store) RankQuery(ctx context.Context, train *core.Sketch, opt RankOptions) (ranked []RankedSketch, skipped []string, err error) {
-	var eligible []string
+	s.rankQueries.Add(1)
+	var eligible []Meta
 	s.mu.Lock()
 	for name, m := range s.manifest {
 		if !strings.HasPrefix(name, opt.Prefix) {
@@ -483,13 +519,15 @@ func (s *Store) RankQuery(ctx context.Context, train *core.Sketch, opt RankOptio
 		if m.Entries == 0 && opt.MinJoinSize >= 0 {
 			continue // an empty sketch joins nothing; filter without a read
 		}
-		eligible = append(eligible, name)
+		eligible = append(eligible, m)
 	}
 	s.mu.Unlock()
-	sort.Strings(eligible)
-	sort.Strings(skipped)
+	sort.Slice(eligible, func(i, j int) bool { return eligible[i].Name < eligible[j].Name })
 
-	probe := core.CompileTrainProbe(train)
+	probe := opt.Probe
+	if probe == nil {
+		probe = core.CompileTrainProbe(train)
+	}
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -519,11 +557,18 @@ func (s *Store) RankQuery(ctx context.Context, train *core.Sketch, opt RankOptio
 		cancel()
 	}
 	results := make([][]RankedSketch, workers)
+	lateSkipped := make([][]string, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			var scratch core.Scratch
+			var scratch *core.Scratch
+			if opt.ScratchPool != nil {
+				scratch = opt.ScratchPool.Get()
+				defer opt.ScratchPool.Put(scratch)
+			} else {
+				scratch = new(core.Scratch)
+			}
 			var top rankHeap
 			var all []RankedSketch
 			for {
@@ -535,21 +580,35 @@ func (s *Store) RankQuery(ctx context.Context, train *core.Sketch, opt RankOptio
 				if i >= len(eligible) {
 					break
 				}
-				name := eligible[i]
-				cand, err := s.Get(name)
+				m := eligible[i]
+				cand, err := s.Get(m.Name)
 				if err != nil {
+					// The snapshot admitted this candidate; distinguish a
+					// concurrent mutation (the manifest no longer carries the
+					// snapshotted record — skip, the racing writer wins) from
+					// genuine corruption behind an unchanged manifest (fail).
+					if cur, ok := s.Meta(m.Name); !ok || cur != m {
+						lateSkipped[w] = append(lateSkipped[w], m.Name)
+						continue
+					}
 					setErr(err)
 					return
 				}
-				r, err := core.EstimateMIScratch(probe, cand, opt.K, &scratch)
+				if cand.Seed != train.Seed || cand.Role != core.RoleCandidate {
+					// A Put overwrote the sketch with an incompatible one
+					// after the snapshot filtered on the old metadata.
+					lateSkipped[w] = append(lateSkipped[w], m.Name)
+					continue
+				}
+				r, err := core.EstimateMIScratch(probe, cand, opt.K, scratch)
 				if err != nil {
-					setErr(fmt.Errorf("store: estimating %q: %w", name, err))
+					setErr(fmt.Errorf("store: estimating %q: %w", m.Name, err))
 					return
 				}
 				if r.N <= opt.MinJoinSize {
 					continue
 				}
-				rs := RankedSketch{Name: name, MI: r.MI, Estimator: r.Estimator, JoinSize: r.N}
+				rs := RankedSketch{Name: m.Name, MI: r.MI, Estimator: r.Estimator, JoinSize: r.N}
 				if opt.TopK > 0 {
 					top.offer(rs, opt.TopK)
 				} else {
@@ -567,6 +626,10 @@ func (s *Store) RankQuery(ctx context.Context, train *core.Sketch, opt RankOptio
 	if firstErr != nil {
 		return nil, nil, firstErr
 	}
+	for _, names := range lateSkipped {
+		skipped = append(skipped, names...)
+	}
+	sort.Strings(skipped)
 	// Each worker kept the top K of its subset, so merging the subsets'
 	// survivors and cutting at K yields the exact global top K — and the
 	// (MI, name) sort makes the cut deterministic across partitions.
@@ -617,6 +680,16 @@ func (h *rankHeap) offer(r RankedSketch, k int) {
 		(*h)[0] = r
 		heap.Fix(h, 0)
 	}
+}
+
+// Gen returns the store's mutation generation, which increments on
+// every Put and Delete. Callers caching derived state (e.g. a content
+// digest of a stored sketch) can key it by (name, Gen) and revalidate
+// when the generation moves.
+func (s *Store) Gen() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
 }
 
 // Len returns the number of stored sketches.
