@@ -441,6 +441,124 @@ func BenchmarkStoreRank(b *testing.B) {
 	})
 }
 
+// benchBatchStore fills a store with nCand candidate sketches over
+// sliding key windows and returns it with nTrains train sketches over
+// staggered windows — the multi-target sweep workload: every train
+// joins a different subset of the corpus, so a large fraction of
+// (train, candidate) pairs fall under the min-join bar and are
+// prunable from key hashes alone.
+func benchBatchStore(b *testing.B, nCand, nTrains int) (*Store, []*Sketch) {
+	b.Helper()
+	st, err := OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	sopt := Options{Size: 256}
+	trains := make([]*Sketch, nTrains)
+	for q := range trains {
+		tb, err := NewStreamBuilder(RoleTrain, true, sopt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo := q * 45
+		for i := 0; i < 4000; i++ {
+			tb.AddNum(fmt.Sprintf("g%d", lo+rng.Intn(150)), rng.NormFloat64())
+		}
+		trains[q] = tb.Sketch()
+	}
+	for c := 0; c < nCand; c++ {
+		cb, err := NewStreamBuilder(RoleCandidate, true, sopt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c%4 == 0 {
+			// Local candidate: a contiguous key window. Joins heavily with
+			// the trains it overlaps — these survive the min-join filter
+			// and feed the rankings.
+			lo := (c * 29) % 350
+			for g := lo; g < lo+150; g++ {
+				cb.AddNum(fmt.Sprintf("g%d", g), float64(g%7)+rng.NormFloat64())
+			}
+		} else {
+			// Diffuse candidate: keys spread over the whole universe. Every
+			// train joins it a little — a moderate join (~60–90 samples)
+			// that the min-join confidence filter rejects, but that costs a
+			// real estimator run to reject without the prefilter.
+			for j := 0; j < 120; j++ {
+				cb.AddNum(fmt.Sprintf("g%d", rng.Intn(500)), float64(j%7)+rng.NormFloat64())
+			}
+		}
+		if err := st.Put(fmt.Sprintf("batch/t%04d#x", c), cb.Sketch()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if err := st.Close(); err != nil {
+			b.Error(err)
+		}
+	})
+	return st, trains
+}
+
+// BenchmarkStoreRankBatch measures the batch pipeline against its
+// baseline: "batch8" ranks 8 train sketches over 1000 stored candidates
+// in ONE RankBatch pass (shared candidate loads, key-overlap prefilter),
+// "sequential8" issues the same 8 queries as independent RankQuery
+// calls, the way a client loops today. Both are warm and return
+// identical rankings; the acceptance bar is batch >= 1.5x sequential.
+// The prune rate is reported as the pruned-pairs/op metric.
+func BenchmarkStoreRankBatch(b *testing.B) {
+	const (
+		nCand   = 1000
+		nTrains = 8
+		minJoin = 100 // the paper's confidence filter, and the prefilter bar
+		topK    = 10
+	)
+	st, trains := benchBatchStore(b, nCand, nTrains)
+	ctx := context.Background()
+
+	b.Run("batch8", func(b *testing.B) {
+		b.ReportAllocs()
+		var pruned int64
+		for i := 0; i < b.N; i++ {
+			res, err := RankBatch(ctx, st, trains, BatchRankOptions{
+				Prefix: "batch/", MinJoinSize: minJoin, K: DefaultK, TopK: topK,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pruned = 0
+			for _, q := range res.Queries {
+				if len(q.Ranked) == 0 {
+					b.Fatal("empty ranking")
+				}
+				pruned += int64(q.Pruned)
+			}
+		}
+		b.ReportMetric(float64(pruned), "pruned-pairs/op")
+	})
+	b.Run("sequential8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, tr := range trains {
+				ranked, _, err := st.RankQuery(ctx, tr, RankOptions{
+					Prefix: "batch/", MinJoinSize: minJoin, K: DefaultK, TopK: topK,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ranked) == 0 {
+					b.Fatal("empty ranking")
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkAblationAggregation isolates design choice 3: the cost of the
 // candidate-side aggregation step for each featurization function.
 func BenchmarkAblationAggregation(b *testing.B) {

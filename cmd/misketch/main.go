@@ -24,6 +24,13 @@
 //
 //	misketch store ingest -store ./sketches -key date ./candidates
 //	misketch store rank   -store ./sketches -train taxi.csv -train-key date -target num_trips
+//
+// Sweep several target columns in one batch — the store is walked once
+// and the key-overlap prefilter prunes (target, candidate) pairs whose
+// join is provably too small:
+//
+//	misketch store rank -store ./sketches -train taxi.csv -train-key date \
+//	                    -trains num_trips,avg_fare,tip_ratio
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -78,7 +86,7 @@ func usage() {
   misketch estimate      -train FILE -train-key COL -target COL -cand FILE -cand-key COL -feature COL [flags]
   misketch rank          -train FILE -train-key COL -target COL [flags] CANDIDATE_DIR
   misketch store ingest  -store DIR -key COL [-workers N] [flags] CSV_OR_DIR...
-  misketch store rank    -store DIR -train FILE -train-key COL -target COL [-workers N] [-stats] [flags]
+  misketch store rank    -store DIR -train FILE -train-key COL -target COL [-trains COL,COL,...] [-workers N] [-stats] [flags]
   misketch store ls      -store DIR
   misketch store rebuild -store DIR
   misketch serve         -store DIR [-addr :8080] [-max-workers N] [-probe-cache N] [-cache BYTES]
@@ -407,26 +415,53 @@ func ingestFile(st *misketch.Store, path, key string, opt misketch.Options, agg 
 }
 
 // runStoreRank answers a discovery query against a sketch store. The
-// ranking is top-K bounded and cancellable with Ctrl-C.
+// ranking is top-K bounded and cancellable with Ctrl-C. With -trains, a
+// comma-separated list of target columns is swept as one batch: every
+// target becomes a train sketch over the same join key and the store is
+// walked once (Store.RankBatch), with the key-overlap prefilter pruning
+// (target, candidate) pairs whose join provably fails the min-join bar.
 func runStoreRank(args []string) {
 	fs := flag.NewFlagSet("store rank", flag.ExitOnError)
 	storeDir := fs.String("store", "", "sketch store directory")
 	train, trainKey, target, size, _, seed := commonFlags(fs)
+	trains := fs.String("trains", "", "comma-separated target columns to sweep as one batch (overrides -target)")
 	minJoin := fs.Int("min-join", 100, "drop candidates whose sketch join has at most this many samples")
 	top := fs.Int("top", 20, "return only the top-K candidates")
 	prefix := fs.String("prefix", "", "only rank stored sketches whose name has this prefix")
 	workers := fs.Int("workers", 0, "estimation worker fan-out (0 = GOMAXPROCS)")
 	stats := fs.Bool("stats", false, "print cache and disk-read counters after the query")
 	die(fs.Parse(args))
-	requireFlags(map[string]string{"store": *storeDir, "train": *train, "train-key": *trainKey, "target": *target})
+	requireFlags(map[string]string{"store": *storeDir, "train": *train, "train-key": *trainKey})
+	targets := []string{*target}
+	if *trains != "" {
+		targets = nil
+		for _, col := range strings.Split(*trains, ",") {
+			if col = strings.TrimSpace(col); col != "" {
+				targets = append(targets, col)
+			}
+		}
+	}
+	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "") {
+		fmt.Fprintln(os.Stderr, "missing required flag -target (or -trains)")
+		os.Exit(2)
+	}
 
-	st := buildTrainSketch(*train, *trainKey, *target, *size, *seed)
+	tb, err := misketch.ReadCSVFile(*train)
+	die(err)
+	trainSks := make([]*misketch.Sketch, len(targets))
+	for i, col := range targets {
+		sk, err := misketch.SketchTrain(tb, *trainKey, col, misketch.Options{
+			Size: *size, Seed: uint32(*seed),
+		})
+		die(err)
+		trainSks[i] = sk
+	}
 	sketches, err := misketch.OpenStore(*storeDir)
 	die(err)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	started := time.Now()
-	ranked, skipped, err := sketches.RankQuery(ctx, st, misketch.RankOptions{
+	res, err := misketch.RankBatch(ctx, sketches, trainSks, misketch.BatchRankOptions{
 		Prefix:      *prefix,
 		MinJoinSize: *minJoin,
 		K:           misketch.DefaultK,
@@ -435,17 +470,24 @@ func runStoreRank(args []string) {
 	})
 	die(err)
 	elapsed := time.Since(started)
-	fmt.Printf("%-44s %10s %10s %10s\n", "candidate", "MI (nats)", "estimator", "join size")
-	for _, r := range ranked {
-		fmt.Printf("%-44s %10.4f %10s %10d\n", r.Name, r.MI, r.Estimator, r.JoinSize)
+	for q, col := range targets {
+		if len(targets) > 1 {
+			fmt.Printf("== target %s (%d candidates pruned by key-overlap prefilter)\n",
+				col, res.Queries[q].Pruned)
+		}
+		fmt.Printf("%-44s %10s %10s %10s\n", "candidate", "MI (nats)", "estimator", "join size")
+		for _, r := range res.Queries[q].Ranked {
+			fmt.Printf("%-44s %10.4f %10s %10d\n", r.Name, r.MI, r.Estimator, r.JoinSize)
+		}
 	}
-	if len(skipped) > 0 {
-		fmt.Printf("(%d sketches skipped: incompatible seed or role)\n", len(skipped))
+	if len(res.Skipped) > 0 {
+		fmt.Printf("(%d sketches skipped: incompatible seed or role)\n", len(res.Skipped))
 	}
 	ss := sketches.Stats()
 	fmt.Printf("(%d sketches indexed, %d read from disk)\n", ss.Sketches, ss.DiskReads)
 	if *stats {
-		fmt.Printf("query time:   %s\n", elapsed)
+		fmt.Printf("query time:   %s (%d targets in one pass)\n", elapsed, len(targets))
+		fmt.Printf("prefilter:    %d (target, candidate) pairs pruned\n", ss.PrunedPairs)
 		fmt.Printf("cache:        %d hits, %d misses, %d evictions, %d bytes resident\n",
 			ss.CacheHits, ss.CacheMisses, ss.Evictions, ss.CacheBytes)
 		fmt.Printf("disk reads:   %d full sketch decodes\n", ss.DiskReads)

@@ -155,6 +155,77 @@ func TestE2EServiceMatchesDirectRanking(t *testing.T) {
 		}
 	}
 
+	// Batch the same query together with a second target over
+	// /v1/rank/batch: each slice of the batch must be bit-for-bit the
+	// corresponding direct Store.RankQuery result, and the key-overlap
+	// prefilter must report its pruning.
+	train2CSV := e2eCSV(rng, 900, 1)
+	resp2, err := http.Post(ts.URL+"/v1/sketch?key=key&value=val&role=train&size=128", "text/csv", strings.NewReader(train2CSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("train2 sketch: status %d: %s", resp2.StatusCode, raw2)
+	}
+	var train2Reply SketchReply
+	if err := json.Unmarshal(raw2, &train2Reply); err != nil {
+		t.Fatal(err)
+	}
+	batchBody, _ := json.Marshal(RankBatchRequest{
+		Trains: []BatchTrainRef{
+			{Name: "t1", Sketch: trainReply.Sketch},
+			{Name: "t2", Sketch: train2Reply.Sketch},
+		},
+		Prefix: "e2e/", MinJoin: &minJoin, K: DefaultK, Top: 10,
+	})
+	bresp, err := http.Post(ts.URL+"/v1/rank/batch", "application/json", bytes.NewReader(batchBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	braw, _ := io.ReadAll(bresp.Body)
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("rank batch: status %d: %s", bresp.StatusCode, braw)
+	}
+	var br RankBatchResponse
+	if err := json.Unmarshal(braw, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Queries) != 2 || br.Queries[0].Name != "t1" || br.Queries[1].Name != "t2" {
+		t.Fatalf("batch queries: %+v", br.Queries)
+	}
+	if br.ProbesCached < 1 {
+		t.Fatalf("batch reused %d probes; the single-rank queries above compiled t1's", br.ProbesCached)
+	}
+	for q, b64 := range []string{trainReply.Sketch, train2Reply.Sketch} {
+		skRaw, err := base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, err := ReadSketch(bytes.NewReader(skRaw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, _, err := st.RankQuery(context.Background(), sk, RankOptions{
+			Prefix: "e2e/", MinJoinSize: 10, K: DefaultK, TopK: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := br.Queries[q].Ranked
+		if len(got) != len(direct) {
+			t.Fatalf("batch query %d: %d results, direct %d", q, len(got), len(direct))
+		}
+		for i := range direct {
+			if got[i].Name != direct[i].Name || got[i].MI != direct[i].MI ||
+				got[i].Estimator != string(direct[i].Estimator) || got[i].JoinSize != direct[i].JoinSize {
+				t.Fatalf("batch query %d rank[%d]: %+v != direct %+v", q, i, got[i], direct[i])
+			}
+		}
+	}
+
 	// The ingested corpus is visible through /v1/ls and the root store.
 	lsResp, err := http.Get(ts.URL + "/v1/ls?prefix=e2e/")
 	if err != nil {
@@ -184,7 +255,9 @@ func TestE2EServiceMatchesDirectRanking(t *testing.T) {
 	if stats.Store.Sketches != 25 || stats.Store.Puts != 25 {
 		t.Fatalf("store stats: %+v", stats.Store)
 	}
-	if stats.Server.RankRequests != 2 || stats.Server.ProbeHits != 1 {
-		t.Fatalf("server stats: %+v", stats.Server)
+	// Two probe hits: the warm single rank, plus t1's slice of the batch.
+	if stats.Server.RankRequests != 2 || stats.Server.BatchRequests != 1 ||
+		stats.Server.ProbeHits != 2 || stats.Store.RankBatches != 1 {
+		t.Fatalf("server stats: %+v / %+v", stats.Server, stats.Store)
 	}
 }

@@ -122,6 +122,46 @@ func main() {
 	fmt.Printf("\ntop %d of %d stored sketches in %v — %d sketch reads, %d skipped by manifest filters\n",
 		len(ranked), stats.Sketches, elapsed.Round(time.Microsecond), stats.DiskReads, len(skipped))
 	fmt.Println("(no join was materialized, and no excluded sketch was deserialized)")
+
+	// Batch sweep: an analyst rarely stops at one target. Treat the four
+	// most key-dependent tables as a sweep of query targets and rank them
+	// all in ONE corpus pass — candidates load once, and the key-overlap
+	// prefilter skips every (target, candidate) pair whose coordinated
+	// key intersection proves the join too small to rank.
+	var sweep []*misketch.Sketch
+	var labels []string
+	for _, t := range repo.Tables {
+		if t.Dependence >= 0.5 && len(sweep) < 4 {
+			sk, err := misketch.SketchTrain(t.T, corpus.KeyCol, corpus.ValCol, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sweep = append(sweep, sk)
+			labels = append(labels, fmt.Sprintf("table-%03d", t.ID))
+		}
+	}
+	if len(sweep) == 0 {
+		return
+	}
+	start = time.Now()
+	batch, err := misketch.RankBatch(ctx, cold, sweep, misketch.BatchRankOptions{
+		Prefix: "wbf/", MinJoinSize: 100, K: misketch.DefaultK, TopK: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbatch sweep: %d targets in one corpus pass (%v)\n",
+		len(sweep), time.Since(start).Round(time.Microsecond))
+	for q, label := range labels {
+		best := "-"
+		if rs := batch.Queries[q].Ranked; len(rs) > 0 {
+			best = fmt.Sprintf("%s (MI %.3f)", rs[0].Name, rs[0].MI)
+		}
+		fmt.Printf("  %s: best %s, %d pairs pruned before estimation\n",
+			label, best, batch.Queries[q].Pruned)
+	}
+	fmt.Printf("(prefilter skipped %d of %d (target, candidate) estimator runs)\n",
+		cold.Stats().PrunedPairs, len(sweep)*stats.Sketches)
 }
 
 // runClient answers the discovery query over the HTTP service instead of

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"misketch/internal/table"
+)
+
+// overlapTables builds a (train, candidate) table pair whose key ranges
+// overlap partially, so sketch joins of every size (including zero)
+// appear across seeds.
+func overlapTables(rng *rand.Rand, trainKeys, candLo, candHi, rows int) (*table.Table, *table.Table) {
+	tk := make([]string, rows)
+	tv := make([]float64, rows)
+	for i := range tk {
+		tk[i] = fmt.Sprintf("k%d", rng.Intn(trainKeys))
+		tv[i] = rng.NormFloat64()
+	}
+	ck := make([]string, rows)
+	cv := make([]float64, rows)
+	for i := range ck {
+		ck[i] = fmt.Sprintf("k%d", candLo+rng.Intn(candHi-candLo))
+		cv[i] = rng.NormFloat64()
+	}
+	train := table.New(table.NewStringColumn("k", tk), table.NewFloatColumn("v", tv))
+	cand := table.New(table.NewStringColumn("k", ck), table.NewFloatColumn("v", cv))
+	return train, cand
+}
+
+// TestKeyOverlapMatchesJoinSize pins the prefilter's core contract: the
+// overlap computed from key hashes alone equals the size of the sample
+// the join actually recovers, for both the reference and the compiled
+// probe implementation, across overlap regimes from disjoint to full.
+func TestKeyOverlapMatchesJoinSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		name           string
+		candLo, candHi int
+	}{
+		{"disjoint", 200, 400},
+		{"partial", 100, 300},
+		{"contained", 0, 50},
+		{"full", 0, 200},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			trainT, candT := overlapTables(rng, 200, tc.candLo, tc.candHi, 1500)
+			opt := Options{Method: TUPSK, Size: 128}
+			train, err := Build(trainT, "k", "v", RoleTrain, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cand, err := Build(candT, "k", "v", RoleCandidate, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			js, err := Join(train, cand)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := KeyOverlap(train, cand); got != js.Size {
+				t.Fatalf("KeyOverlap = %d, join size = %d", got, js.Size)
+			}
+			probe := CompileTrainProbe(train)
+			if got := probe.KeyOverlap(cand); got != js.Size {
+				t.Fatalf("probe.KeyOverlap = %d, join size = %d", got, js.Size)
+			}
+		})
+	}
+}
+
+// TestKeyOverlapEmpty covers the degenerate sketches the manifest filter
+// may still admit.
+func TestKeyOverlapEmpty(t *testing.T) {
+	empty := &Sketch{Numeric: true}
+	full := &Sketch{Numeric: true, KeyHashes: []uint32{1, 2, 3}, Nums: []float64{1, 2, 3}}
+	if got := KeyOverlap(empty, full); got != 0 {
+		t.Fatalf("empty train overlap = %d", got)
+	}
+	if got := CompileTrainProbe(empty).KeyOverlap(full); got != 0 {
+		t.Fatalf("empty train probe overlap = %d", got)
+	}
+	if got := CompileTrainProbe(full).KeyOverlap(empty); got != 0 {
+		t.Fatalf("empty cand overlap = %d", got)
+	}
+}
+
+// TestKeyOverlapCountsDuplicates pins the documented duplicate-hash
+// semantics: a duplicated candidate hash contributes once per entry (the
+// pair count of the join that would be attempted), and repeated train
+// keys contribute their full multiplicity.
+func TestKeyOverlapCountsDuplicates(t *testing.T) {
+	train := &Sketch{Numeric: true, KeyHashes: []uint32{5, 5, 9}, Nums: []float64{1, 2, 3}}
+	cand := &Sketch{Numeric: true, KeyHashes: []uint32{5, 5, 7}, Nums: []float64{4, 5, 6}}
+	want := 4 // each of the two cand "5" entries matches both train "5" entries
+	if got := KeyOverlap(train, cand); got != want {
+		t.Fatalf("KeyOverlap = %d, want %d", got, want)
+	}
+	if got := CompileTrainProbe(train).KeyOverlap(cand); got != want {
+		t.Fatalf("probe.KeyOverlap = %d, want %d", got, want)
+	}
+}
+
+func TestHasDuplicateKeyHashes(t *testing.T) {
+	dup := &Sketch{KeyHashes: []uint32{1, 2, 1}}
+	if !dup.HasDuplicateKeyHashes() {
+		t.Fatal("duplicate not detected")
+	}
+	if !dup.HasDuplicateKeyHashes() { // memoized path
+		t.Fatal("memoized duplicate not detected")
+	}
+	uniq := &Sketch{KeyHashes: []uint32{1, 2, 3}}
+	if uniq.HasDuplicateKeyHashes() {
+		t.Fatal("false duplicate")
+	}
+	if uniq.HasDuplicateKeyHashes() {
+		t.Fatal("memoized false duplicate")
+	}
+	var empty Sketch
+	if empty.HasDuplicateKeyHashes() {
+		t.Fatal("empty sketch reported a duplicate")
+	}
+}

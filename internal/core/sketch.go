@@ -154,6 +154,11 @@ type Sketch struct {
 	// NumValOrder). Cached sketches serve many ranking queries, so the
 	// one-time sort amortizes to nothing.
 	valOrder atomic.Pointer[[]int32]
+
+	// dupKeys lazily memoizes whether KeyHashes contains a duplicate
+	// (see HasDuplicateKeyHashes); batch ranking consults it before
+	// trusting a key-overlap prefilter decision.
+	dupKeys atomic.Uint32
 }
 
 // NumValOrder returns the ascending order of the sketch's numeric

@@ -1,0 +1,293 @@
+package mi
+
+// property_test.go is the estimators' invariant layer: instead of
+// pinning outputs on hand-picked inputs, it drives all three estimator
+// families (MLE, Mixed-KSG, DC-KSG — plus KSG for the scratch/legacy
+// contract) through a fixed-seed randomized generator loop and asserts
+// the properties any MI estimate must satisfy regardless of input:
+//
+//   - nonnegativity after clamping (Estimate never returns MI < 0);
+//   - MLE symmetry under (x, y) swap, to the last bit;
+//   - invariance under injective relabeling of categorical values, to
+//     the last bit (interning is first-appearance order, which a
+//     consistent relabel preserves);
+//   - invariance under row permutation, up to float summation order;
+//   - bitwise agreement between the reused-Scratch entry points and the
+//     fresh-state package-level wrappers, including the hinted
+//     Mixed-KSG path the ranking hot path uses.
+//
+// The generator is a plain seeded loop (rapid-style shrinking is not
+// needed: every failure prints its case index, and re-running with the
+// same seed reproduces it deterministically; no new dependencies).
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// propCases is the number of randomized cases per property. Each case
+// draws its own size, k, and data shape, so the loop covers the
+// degenerate (n = 0, 1), the tie-heavy, and the continuous regimes.
+const propCases = 150
+
+// propSizes are the sample sizes the generator draws from: empty,
+// single, below-k, sketch-join scale, and (once per run, to keep the
+// loop fast) grid-threshold scale.
+var propSizes = []int{0, 1, 2, 3, 8, 33, 120, 256}
+
+// genNumeric draws a paired numeric sample. Modes: 0 = continuous
+// Gaussian, 1 = tie-heavy (small integer grid, exercising the rho = 0
+// discrete regions of Mixed-KSG), 2 = mixture of both, 3 = constant
+// column (zero entropy edge).
+func genNumeric(rng *rand.Rand, n, mode int) (xs, ys []float64) {
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := 0; i < n; i++ {
+		switch mode {
+		case 0:
+			xs[i] = rng.NormFloat64()
+			ys[i] = xs[i]*0.5 + rng.NormFloat64()
+		case 1:
+			xs[i] = float64(rng.Intn(4))
+			ys[i] = float64(int(xs[i]) + rng.Intn(3))
+		case 2:
+			if rng.Intn(2) == 0 {
+				xs[i] = float64(rng.Intn(5))
+			} else {
+				xs[i] = rng.NormFloat64()
+			}
+			ys[i] = xs[i] + float64(rng.Intn(2))
+		default:
+			xs[i] = 7.5
+			ys[i] = rng.NormFloat64()
+		}
+	}
+	return xs, ys
+}
+
+// genLabels draws a categorical column over an alphabet of the given
+// size (at least 1).
+func genLabels(rng *rand.Rand, n, alpha int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("v%d", rng.Intn(alpha))
+	}
+	return out
+}
+
+// drawCase picks a case shape: size, neighbor parameter, numeric mode,
+// alphabet size.
+func drawCase(rng *rand.Rand) (n, k, mode, alpha int) {
+	n = propSizes[rng.Intn(len(propSizes))]
+	k = 1 + rng.Intn(4)
+	mode = rng.Intn(4)
+	alpha = []int{1, 2, 6, 24}[rng.Intn(4)]
+	return
+}
+
+// TestPropertyEstimateNonnegativeAndFinite: after clamping, every
+// estimator family returns a finite MI >= 0 with the sample size echoed
+// back, across all three column-type dispatches.
+func TestPropertyEstimateNonnegativeAndFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	var s Scratch
+	for c := 0; c < propCases; c++ {
+		n, k, mode, alpha := drawCase(rng)
+		xs, ys := genNumeric(rng, n, mode)
+		cs := genLabels(rng, n, alpha)
+		ds := genLabels(rng, n, alpha)
+		for _, pair := range []struct {
+			name string
+			x, y Column
+			est  Estimator
+		}{
+			{"num-num", NumericColumn(xs), NumericColumn(ys), EstMixedKSG},
+			{"cat-cat", CategoricalColumn(cs), CategoricalColumn(ds), EstMLE},
+			{"num-cat", NumericColumn(xs), CategoricalColumn(ds), EstDCKSG},
+			{"cat-num", CategoricalColumn(cs), NumericColumn(ys), EstDCKSG},
+		} {
+			r := s.Estimate(pair.x, pair.y, k)
+			if r.MI < 0 || math.IsNaN(r.MI) || math.IsInf(r.MI, 0) {
+				t.Fatalf("case %d %s (n=%d k=%d mode=%d): MI = %v", c, pair.name, n, k, mode, r.MI)
+			}
+			if r.N != n {
+				t.Fatalf("case %d %s: N = %d, want %d", c, pair.name, r.N, n)
+			}
+			if r.Estimator != pair.est {
+				t.Fatalf("case %d %s: estimator %s, want %s", c, pair.name, r.Estimator, pair.est)
+			}
+		}
+	}
+}
+
+// TestPropertyMLESymmetry: MI is symmetric in its arguments, and the
+// plug-in estimator's interning preserves that to the last bit — joint
+// cells first-appear in the same order under either argument order.
+func TestPropertyMLESymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	var s Scratch
+	for c := 0; c < propCases; c++ {
+		n, _, _, alpha := drawCase(rng)
+		xs := genLabels(rng, n, alpha)
+		ys := genLabels(rng, n, alpha+1)
+		ab := s.MLE(xs, ys)
+		ba := s.MLE(ys, xs)
+		if math.Float64bits(ab) != math.Float64bits(ba) {
+			t.Fatalf("case %d (n=%d alpha=%d): MLE(x,y) = %v != MLE(y,x) = %v", c, n, alpha, ab, ba)
+		}
+	}
+}
+
+// TestPropertyRelabelInvariance: MI depends on the joint distribution,
+// not the category names. An injective relabel preserves first-
+// appearance interning order, so MLE and DC-KSG must agree bitwise.
+func TestPropertyRelabelInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	var s Scratch
+	relabel := func(vals []string) []string {
+		out := make([]string, len(vals))
+		for i, v := range vals {
+			out[i] = "relabeled/" + v // injective: distinct inputs stay distinct
+		}
+		return out
+	}
+	for c := 0; c < propCases; c++ {
+		n, k, mode, alpha := drawCase(rng)
+		cs := genLabels(rng, n, alpha)
+		ds := genLabels(rng, n, alpha)
+		_, ys := genNumeric(rng, n, mode)
+
+		mle := s.MLE(cs, ds)
+		mleR := s.MLE(relabel(cs), relabel(ds))
+		if math.Float64bits(mle) != math.Float64bits(mleR) {
+			t.Fatalf("case %d (n=%d): MLE changed under relabeling: %v != %v", c, n, mle, mleR)
+		}
+		if n > k {
+			dc := s.DCKSG(cs, ys, k)
+			dcR := s.DCKSG(relabel(cs), ys, k)
+			if math.Float64bits(dc) != math.Float64bits(dcR) {
+				t.Fatalf("case %d (n=%d k=%d): DCKSG changed under relabeling: %v != %v", c, n, k, dc, dcR)
+			}
+		}
+	}
+}
+
+// permuted applies one shared random permutation to paired columns —
+// the row order of a sample carries no information, so MI must not
+// move beyond float summation order.
+func permuted[T any](rng *rand.Rand, vals []T) func([]T) []T {
+	perm := rng.Perm(len(vals))
+	return func(in []T) []T {
+		out := make([]T, len(in))
+		for i, p := range perm {
+			out[i] = in[p]
+		}
+		return out
+	}
+}
+
+// approxEqual compares estimates that are mathematically equal but may
+// differ in floating-point summation order.
+func approxEqual(a, b float64) bool {
+	if math.Float64bits(a) == math.Float64bits(b) {
+		return true
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+// TestPropertyRowPermutationInvariance: permuting the rows of the
+// paired sample leaves every estimator's value unchanged up to
+// summation order.
+func TestPropertyRowPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	var s Scratch
+	for c := 0; c < propCases; c++ {
+		n, k, mode, alpha := drawCase(rng)
+		xs, ys := genNumeric(rng, n, mode)
+		cs := genLabels(rng, n, alpha)
+		ds := genLabels(rng, n, alpha)
+		permF := permuted(rng, xs)
+		permS := permuted(rng, cs) // same seed state: independent perms are fine per property
+		pxs, pys := permF(xs), permF(ys)
+		pcs, pds := permS(cs), permS(ds)
+
+		if a, b := s.MLE(cs, ds), s.MLE(pcs, pds); !approxEqual(a, b) {
+			t.Fatalf("case %d (n=%d): MLE moved under permutation: %v != %v", c, n, a, b)
+		}
+		if n > k {
+			if a, b := s.MixedKSG(xs, ys, k), s.MixedKSG(pxs, pys, k); !approxEqual(a, b) {
+				t.Fatalf("case %d (n=%d k=%d): MixedKSG moved under permutation: %v != %v", c, n, k, a, b)
+			}
+		}
+	}
+}
+
+// TestPropertyDCKSGPermutationInvariance pins DC-KSG's permutation
+// invariance with the permutation applied to (class, value) PAIRS —
+// the property only holds when both columns move together.
+func TestPropertyDCKSGPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	var s Scratch
+	for c := 0; c < propCases; c++ {
+		n, k, mode, alpha := drawCase(rng)
+		if n <= k {
+			continue
+		}
+		cs := genLabels(rng, n, alpha)
+		_, ys := genNumeric(rng, n, mode)
+		perm := rng.Perm(n)
+		pcs := make([]string, n)
+		pys := make([]float64, n)
+		for i, p := range perm {
+			pcs[i] = cs[p]
+			pys[i] = ys[p]
+		}
+		if a, b := s.DCKSG(cs, ys, k), s.DCKSG(pcs, pys, k); !approxEqual(a, b) {
+			t.Fatalf("case %d (n=%d k=%d): DCKSG moved under permutation: %v != %v", c, n, k, a, b)
+		}
+	}
+}
+
+// TestPropertyScratchMatchesLegacyBitwise: the reused-Scratch entry
+// points (the ranking hot path) agree with the fresh-state package-
+// level wrappers to the last bit, case after case on the SAME scratch —
+// no state leaks between estimates — and the hinted Mixed-KSG path
+// agrees with both.
+func TestPropertyScratchMatchesLegacyBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	var s Scratch
+	for c := 0; c < propCases; c++ {
+		n, k, mode, alpha := drawCase(rng)
+		xs, ys := genNumeric(rng, n, mode)
+		cs := genLabels(rng, n, alpha)
+		ds := genLabels(rng, n, alpha)
+
+		if a, b := s.MLE(cs, ds), MLE(cs, ds); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("case %d: scratch MLE %v != legacy %v", c, a, b)
+		}
+		if n > k {
+			if a, b := s.KSG(xs, ys, k), KSG(xs, ys, k); math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("case %d: scratch KSG %v != legacy %v", c, a, b)
+			}
+			if a, b := s.MixedKSG(xs, ys, k), MixedKSG(xs, ys, k); math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("case %d: scratch MixedKSG %v != legacy %v", c, a, b)
+			}
+			if a, b := s.DCKSG(cs, ys, k), DCKSG(cs, ys, k); math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("case %d: scratch DCKSG %v != legacy %v", c, a, b)
+			}
+		}
+		// Full dispatch, hinted and unhinted: all three must agree bitwise.
+		x, y := NumericColumn(xs), NumericColumn(ys)
+		plain := Estimate(x, y, k)
+		scr := s.Estimate(x, y, k)
+		hinted := s.EstimateHinted(x, y, k, Hints{XOrder: ascOrder(xs), YOrder: ascOrder(ys)})
+		if math.Float64bits(plain.MI) != math.Float64bits(scr.MI) ||
+			math.Float64bits(plain.MI) != math.Float64bits(hinted.MI) {
+			t.Fatalf("case %d (n=%d k=%d mode=%d): legacy %v, scratch %v, hinted %v diverge",
+				c, n, k, mode, plain.MI, scr.MI, hinted.MI)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package server
+
+// POST /v1/rank/batch: the batch discovery endpoint. An analyst sweeping
+// many target columns over the same catalog sends them as one request;
+// the server resolves every train (inline or stored), reuses the
+// compiled-probe cache per train, and runs store.RankBatch so the corpus
+// is walked once with the key-overlap prefilter pruning dead pairs. The
+// batch is admitted through the same weighted semaphore as single rank
+// requests — its worker fan-out is clamped to the server bound exactly
+// like theirs, so one batch queues behind (and never starves) concurrent
+// single queries.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"misketch/internal/core"
+	"misketch/internal/mi"
+	"misketch/internal/store"
+)
+
+// MaxBatchTrains bounds how many train sketches one batch request may
+// carry; larger sweeps should be split into multiple requests so the
+// admission semaphore can interleave them with other traffic.
+const MaxBatchTrains = 64
+
+// BatchTrainRef selects one train side of a batch rank request. Exactly
+// one of Sketch and Train must be set, mirroring RankRequest.
+type BatchTrainRef struct {
+	// Name labels this query's slice of the response. Required for
+	// inline sketches; defaults to the stored name for by-name trains.
+	// Names must be unique within a batch.
+	Name string `json:"name,omitempty"`
+	// Sketch is the serialized train sketch, standard base64.
+	Sketch string `json:"sketch,omitempty"`
+	// Train names a stored sketch to use as the train side.
+	Train string `json:"train,omitempty"`
+}
+
+// RankBatchRequest is the body of POST /v1/rank/batch. The shared knobs
+// (prefix, min_join, k, top, workers) mean what they mean on /v1/rank
+// and apply to every query in the batch.
+type RankBatchRequest struct {
+	Trains  []BatchTrainRef `json:"trains"`
+	Prefix  string          `json:"prefix,omitempty"`
+	MinJoin *int            `json:"min_join,omitempty"`
+	K       int             `json:"k,omitempty"`
+	Top     int             `json:"top,omitempty"`
+	Workers int             `json:"workers,omitempty"`
+}
+
+// BatchQueryResponse is one train's slice of a RankBatchResponse.
+type BatchQueryResponse struct {
+	Name   string         `json:"name"`
+	Ranked []RankedResult `json:"ranked"`
+	// Pruned counts the candidates the key-overlap prefilter removed
+	// for this train without running an estimator.
+	Pruned int `json:"pruned"`
+}
+
+// RankBatchResponse is the body of a successful POST /v1/rank/batch.
+type RankBatchResponse struct {
+	// Queries holds one result per requested train, in request order.
+	Queries []BatchQueryResponse `json:"queries"`
+	// Skipped lists prefix-matching stored sketches no query could join.
+	Skipped []string `json:"skipped,omitempty"`
+	// ProbesCached counts how many of the batch's compiled train probes
+	// came from the server's cache.
+	ProbesCached int `json:"probes_cached"`
+	// Workers is the admitted estimation fan-out after clamping.
+	Workers int `json:"workers"`
+	// ElapsedNS is the server-side wall time of the batch ranking.
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// decodeRankBatchRequest parses and validates a batch rank request body.
+func decodeRankBatchRequest(body []byte) (*RankBatchRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req RankBatchRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding batch rank request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("trailing data after batch rank request")
+	}
+	if len(req.Trains) == 0 {
+		return nil, fmt.Errorf("\"trains\" must carry at least one train")
+	}
+	if len(req.Trains) > MaxBatchTrains {
+		return nil, fmt.Errorf("batch carries %d trains, max %d", len(req.Trains), MaxBatchTrains)
+	}
+	seen := make(map[string]bool, len(req.Trains))
+	for i := range req.Trains {
+		tr := &req.Trains[i]
+		if (tr.Sketch == "") == (tr.Train == "") {
+			return nil, fmt.Errorf("trains[%d]: exactly one of \"sketch\" and \"train\" must be set", i)
+		}
+		if tr.Name == "" {
+			if tr.Train == "" {
+				return nil, fmt.Errorf("trains[%d]: inline sketches require a \"name\"", i)
+			}
+			tr.Name = tr.Train
+		}
+		if seen[tr.Name] {
+			return nil, fmt.Errorf("trains[%d]: duplicate name %q", i, tr.Name)
+		}
+		seen[tr.Name] = true
+	}
+	if req.K < 0 || req.Top < 0 || req.Workers < 0 {
+		return nil, fmt.Errorf("k, top, and workers must be non-negative")
+	}
+	if req.MinJoin != nil && *req.MinJoin < -1 {
+		return nil, fmt.Errorf("min_join must be >= -1")
+	}
+	return &req, nil
+}
+
+func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
+	s.batchRequests.Add(1)
+	body, err := readBody(r)
+	if err != nil {
+		s.batchFailures.Add(1)
+		httpError(w, bodyErrStatus(err), "reading body: %v", err)
+		return
+	}
+	req, err := decodeRankBatchRequest(body)
+	if err != nil {
+		s.batchFailures.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Resolve every train and its compiled probe before admission, so a
+	// queued batch holds no capacity while its sketches decode.
+	trains := make([]*core.Sketch, len(req.Trains))
+	probes := make([]*core.TrainProbe, len(req.Trains))
+	probesCached := 0
+	for i := range req.Trains {
+		ref := &req.Trains[i]
+		train, digest, err := s.trainSketch(&RankRequest{Sketch: ref.Sketch, Train: ref.Train})
+		if err != nil {
+			s.batchFailures.Add(1)
+			status := http.StatusBadRequest
+			if ref.Train != "" {
+				status = http.StatusNotFound
+			}
+			httpError(w, status, "trains[%d] %q: %v", i, ref.Name, err)
+			return
+		}
+		if train.Role != core.RoleTrain {
+			s.batchFailures.Add(1)
+			httpError(w, http.StatusBadRequest, "trains[%d] %q: role is %d, want train", i, ref.Name, train.Role)
+			return
+		}
+		if i > 0 && train.Seed != trains[0].Seed {
+			s.batchFailures.Add(1)
+			httpError(w, http.StatusBadRequest,
+				"trains[%d] %q: seed %#x differs from trains[0]'s %#x (a batch shares one candidate filter)",
+				i, ref.Name, train.Seed, trains[0].Seed)
+			return
+		}
+		probe, cached := s.probes.get(digest)
+		if !cached {
+			probe = core.CompileTrainProbe(train)
+			s.probes.add(digest, probe)
+		} else {
+			train = probe.Train()
+			probesCached++
+		}
+		trains[i] = train
+		probes[i] = probe
+	}
+
+	workers := req.Workers
+	if workers <= 0 || workers > s.opt.MaxWorkers {
+		workers = s.opt.MaxWorkers
+	}
+	ctx := r.Context()
+	if err := s.sem.acquire(ctx, workers); err != nil {
+		// Counted as a rejection only, mirroring handleRank: the client
+		// left before capacity freed, which is not a batch failure.
+		s.rankRejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "cancelled while queued for capacity: %v", err)
+		return
+	}
+	defer s.sem.release(workers)
+
+	minJoin := defaultMinJoin
+	if req.MinJoin != nil {
+		minJoin = *req.MinJoin
+	}
+	k := req.K
+	if k == 0 {
+		k = mi.DefaultK
+	}
+	started := time.Now()
+	res, err := s.st.RankBatch(ctx, trains, store.BatchOptions{
+		Prefix:      req.Prefix,
+		MinJoinSize: minJoin,
+		K:           k,
+		TopK:        req.Top,
+		Workers:     workers,
+		Probes:      probes,
+		ScratchPool: s.scratch,
+	})
+	if err != nil {
+		s.batchFailures.Add(1)
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, "rank batch: %v", err)
+		return
+	}
+	resp := RankBatchResponse{
+		Queries:      make([]BatchQueryResponse, len(res.Queries)),
+		Skipped:      res.Skipped,
+		ProbesCached: probesCached,
+		Workers:      workers,
+		ElapsedNS:    time.Since(started).Nanoseconds(),
+	}
+	for q, qr := range res.Queries {
+		out := BatchQueryResponse{
+			Name:   req.Trains[q].Name,
+			Ranked: make([]RankedResult, len(qr.Ranked)),
+			Pruned: qr.Pruned,
+		}
+		for i, rs := range qr.Ranked {
+			out.Ranked[i] = RankedResult{
+				Name: rs.Name, MI: rs.MI, Estimator: string(rs.Estimator), JoinSize: rs.JoinSize,
+			}
+		}
+		resp.Queries[q] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -70,23 +70,75 @@ func FuzzRankRequest(f *testing.F) {
 	f.Add([]byte(`{"train":1e999}`))
 
 	f.Fuzz(func(t *testing.T, body []byte) {
-		req := httptest.NewRequest(http.MethodPost, "/v1/rank", bytes.NewReader(body))
-		req.Header.Set("Content-Type", "application/json")
-		rec := httptest.NewRecorder()
-		srv.ServeHTTP(rec, req) // must not panic
-		resp := rec.Result()
-		defer resp.Body.Close()
-		if resp.StatusCode >= 500 {
-			t.Fatalf("request body %q produced status %d", body, resp.StatusCode)
+		fuzzPost(t, srv, "/v1/rank", body)
+	})
+}
+
+// fuzzPost drives one handler invocation and asserts the shared
+// contract: no panic, no 5xx for client-supplied garbage, and every
+// response is a JSON object (with an "error" field on non-200s).
+func fuzzPost(t *testing.T, srv *Server, path string, body []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req) // must not panic
+	resp := rec.Result()
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		t.Fatalf("request body %q produced status %d", body, resp.StatusCode)
+	}
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("non-JSON response for body %q: %v", body, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		if _, ok := v["error"].(string); !ok {
+			t.Fatalf("error response without error field: %v", v)
 		}
-		var v map[string]any
-		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-			t.Fatalf("non-JSON response for body %q: %v", body, err)
-		}
-		if resp.StatusCode != http.StatusOK {
-			if _, ok := v["error"].(string); !ok {
-				t.Fatalf("error response without error field: %v", v)
-			}
-		}
+	}
+}
+
+// FuzzRankBatchRequest throws arbitrary bytes at the /v1/rank/batch
+// decode path and the full handler. The batch-specific hazards the seed
+// corpus encodes: zero trains, duplicate names, refs setting both or
+// neither train source, malformed base64, oversized batches, and
+// mixed-seed trains — all must come back as structured 4xx errors,
+// never a panic or a 5xx.
+func FuzzRankBatchRequest(f *testing.F) {
+	srv := fuzzHandler(f)
+
+	tb, err := core.NewStreamBuilder(core.RoleTrain, true, core.Options{Method: core.TUPSK, Size: 8})
+	if err != nil {
+		f.Fatal(err)
+	}
+	tb.AddNum("k", 2)
+	var buf bytes.Buffer
+	if _, err := tb.Sketch().WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	b64 := base64.StdEncoding.EncodeToString(buf.Bytes())
+	valid, _ := json.Marshal(RankBatchRequest{Trains: []BatchTrainRef{
+		{Name: "a", Sketch: b64},
+		{Name: "b", Sketch: b64},
+	}})
+	f.Add(valid)
+	f.Add([]byte(`{"trains":[]}`))
+	f.Add([]byte(`{"trains":[{"name":"a","sketch":"` + b64 + `"},{"name":"a","sketch":"` + b64 + `"}]}`))
+	f.Add([]byte(`{"trains":[{"name":"a","sketch":"!!!not-base64!!!"}]}`))
+	f.Add([]byte(`{"trains":[{"sketch":"` + b64 + `"}]}`))
+	f.Add([]byte(`{"trains":[{"name":"a","sketch":"` + b64 + `","train":"x"}]}`))
+	f.Add([]byte(`{"trains":[{"name":"a"}]}`))
+	f.Add([]byte(`{"trains":[{"train":"fuzz/c"}]}`))
+	f.Add([]byte(`{"trains":[{"train":"no/such"}],"min_join":-2,"workers":-1}`))
+	f.Add([]byte(`{"trains":[{"name":"a","sketch":"` + b64 + `"}],"top":999999999,"k":-3}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"trains":1e999}`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fuzzPost(t, srv, "/v1/rank/batch", body)
 	})
 }

@@ -9,13 +9,15 @@
 //
 // Endpoints (all request/response bodies are JSON unless noted):
 //
-//	POST /v1/rank    rank stored candidates against a train sketch
-//	                 (inline base64 or a stored sketch name)
-//	POST /v1/sketch  build a sketch from a posted CSV body
-//	POST /v1/put     ingest a serialized sketch (raw binary body)
-//	GET  /v1/ls      manifest listing (no sketch reads)
-//	GET  /v1/stats   store + server counters
-//	GET  /healthz    liveness: {"ok":true}
+//	POST /v1/rank        rank stored candidates against a train sketch
+//	                     (inline base64 or a stored sketch name)
+//	POST /v1/rank/batch  rank N train sketches in one corpus pass, with
+//	                     the key-overlap prefilter pruning dead pairs
+//	POST /v1/sketch      build a sketch from a posted CSV body
+//	POST /v1/put         ingest a serialized sketch (raw binary body)
+//	GET  /v1/ls          manifest listing (no sketch reads)
+//	GET  /v1/stats       store + server counters
+//	GET  /healthz        liveness: {"ok":true}
 package server
 
 import (
@@ -93,6 +95,8 @@ type Server struct {
 	rankRequests   atomic.Int64
 	rankFailures   atomic.Int64
 	rankRejected   atomic.Int64 // admission aborted: client gone before capacity freed
+	batchRequests  atomic.Int64
+	batchFailures  atomic.Int64
 	sketchRequests atomic.Int64
 	putRequests    atomic.Int64
 }
@@ -132,6 +136,7 @@ func New(st *store.Store, opt Options) *Server {
 		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/rank", s.handleRank)
+	s.mux.HandleFunc("POST /v1/rank/batch", s.handleRankBatch)
 	s.mux.HandleFunc("POST /v1/sketch", s.handleSketch)
 	s.mux.HandleFunc("POST /v1/put", s.handlePut)
 	s.mux.HandleFunc("GET /v1/ls", s.handleLs)
@@ -574,6 +579,8 @@ type ServerStats struct {
 	RankRequests   int64 `json:"rank_requests"`
 	RankFailures   int64 `json:"rank_failures"`
 	RankRejected   int64 `json:"rank_rejected"`
+	BatchRequests  int64 `json:"batch_requests"`
+	BatchFailures  int64 `json:"batch_failures"`
 	SketchRequests int64 `json:"sketch_requests"`
 	PutRequests    int64 `json:"put_requests"`
 	ProbeHits      int64 `json:"probe_hits"`
@@ -595,6 +602,8 @@ type StoreStats struct {
 	Puts        int64 `json:"puts"`
 	Deletes     int64 `json:"deletes"`
 	RankQueries int64 `json:"rank_queries"`
+	RankBatches int64 `json:"rank_batches"`
+	PrunedPairs int64 `json:"pruned_pairs"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -614,11 +623,14 @@ func (s *Server) Stats() StatsResponse {
 			CacheHits: ss.CacheHits, CacheMisses: ss.CacheMisses,
 			Evictions: ss.Evictions, DiskReads: ss.DiskReads,
 			Puts: ss.Puts, Deletes: ss.Deletes, RankQueries: ss.RankQueries,
+			RankBatches: ss.RankBatches, PrunedPairs: ss.PrunedPairs,
 		},
 		Server: ServerStats{
 			RankRequests:   s.rankRequests.Load(),
 			RankFailures:   s.rankFailures.Load(),
 			RankRejected:   s.rankRejected.Load(),
+			BatchRequests:  s.batchRequests.Load(),
+			BatchFailures:  s.batchFailures.Load(),
 			SketchRequests: s.sketchRequests.Load(),
 			PutRequests:    s.putRequests.Load(),
 			ProbeHits:      hits,

@@ -1,0 +1,314 @@
+package store
+
+// Batch discovery: rank N train sketches against the stored corpus in a
+// single pass. An analyst sweeping dozens of target columns over the
+// same catalog would otherwise issue N independent RankQuery calls, each
+// re-admitting, re-loading, and re-estimating every candidate. RankBatch
+// shares the per-candidate work across the whole batch — one manifest
+// snapshot, one load per candidate, one compiled probe per train — and
+// adds the key-overlap prefilter: because the sketches are coordinated
+// samples, the sketch join size of a (train, candidate) pair is
+// computable from key hashes alone (core.KeyOverlap), so any pair the
+// min-join confidence filter would drop is pruned before its estimator
+// ever runs, at a small fraction of the estimator's cost. Rankings are
+// bit-identical to running RankQuery per train.
+//
+// rankTrains below is the one copy of the ranking machinery — manifest
+// snapshot, worker pool, mutation-race triage, bounded heaps,
+// deterministic merge — shared by RankQuery (one train, no prefilter:
+// it is the reference semantics batch results are measured against)
+// and RankBatch (N trains, prefilter on).
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"misketch/internal/core"
+)
+
+// BatchOptions tunes a batch discovery query; see RankBatch. The fields
+// shared with RankOptions (Prefix, MinJoinSize, K, TopK, Workers,
+// ScratchPool) mean exactly what they mean there and apply to every
+// query in the batch.
+type BatchOptions struct {
+	// Prefix restricts ranking to stored sketches whose name has this
+	// prefix; empty ranks everything.
+	Prefix string
+	// MinJoinSize drops candidates whose sketch join has at most this
+	// many samples. It is also the prefilter threshold: pairs whose
+	// key-hash overlap proves the join at or below it are pruned without
+	// estimation.
+	MinJoinSize int
+	// K is the neighbor parameter of the KSG-family estimators.
+	K int
+	// TopK > 0 bounds each query's result to its K best candidates;
+	// <= 0 returns every candidate per query.
+	TopK int
+	// Workers overrides the estimation fan-out; <= 0 means GOMAXPROCS.
+	Workers int
+	// Probes, when non-nil, must be parallel to the trains slice;
+	// non-nil entries are pre-compiled indexes (core.CompileTrainProbe
+	// on the same sketch) reused instead of compiling. Nil entries are
+	// compiled here. Long-running services cache probes by train-sketch
+	// content across batches.
+	Probes []*core.TrainProbe
+	// ScratchPool, when non-nil, supplies the per-worker estimator
+	// scratch, shared across every query in the batch.
+	ScratchPool *core.ScratchPool
+}
+
+// BatchQueryResult is one train's slice of a batch discovery result.
+type BatchQueryResult struct {
+	// Ranked is the query's result, ordered exactly as RankQuery orders
+	// it (decreasing MI, ties by name, bounded to TopK when positive).
+	Ranked []RankedSketch
+	// Pruned counts the candidates the key-overlap prefilter removed
+	// for this train: their key-hash overlap proved the sketch join
+	// would have at most MinJoinSize samples, so no estimator ran.
+	Pruned int
+}
+
+// BatchResult is the result of a batch discovery query.
+type BatchResult struct {
+	// Queries holds one result per train, in input order.
+	Queries []BatchQueryResult
+	// Skipped lists prefix-matching stored sketches no query could join
+	// (incompatible seed or role, or mutated mid-query). The list is
+	// shared: every query in a batch filters on the same seed.
+	Skipped []string
+}
+
+// RankBatch ranks every train sketch against the stored candidates in
+// one corpus pass. Each train's ranking — estimates, order, top-K cut —
+// is bit-for-bit identical to an independent RankQuery call with the
+// same options, but the batch pays the per-candidate costs once instead
+// of once per train: one manifest snapshot, one candidate load (and one
+// cache slot touch) per candidate, and the key-overlap prefilter
+// (core.KeyOverlap on the compiled train index) skips the estimator for
+// every (train, candidate) pair whose coordinated-sample key
+// intersection already proves the join at or below MinJoinSize. Pruned
+// pair counts are reported per query and aggregated in Stats.
+//
+// All trains must share a hash seed (they could not share a candidate
+// filter otherwise); a batch mixing seeds fails up front. An empty
+// batch returns an empty result. Estimation stops early when ctx is
+// cancelled, and any worker's error cancels the whole batch.
+func (s *Store) RankBatch(ctx context.Context, trains []*core.Sketch, opt BatchOptions) (*BatchResult, error) {
+	s.rankBatches.Add(1)
+	if len(trains) == 0 {
+		return &BatchResult{Queries: []BatchQueryResult{}}, nil
+	}
+	if opt.Probes != nil && len(opt.Probes) != len(trains) {
+		return nil, fmt.Errorf("store: RankBatch got %d probes for %d trains", len(opt.Probes), len(trains))
+	}
+	for q, tr := range trains {
+		if tr.Seed != trains[0].Seed {
+			return nil, fmt.Errorf("store: batch trains must share a hash seed (train 0 has %#x, train %d has %#x)", trains[0].Seed, q, tr.Seed)
+		}
+	}
+	res, err := s.rankTrains(ctx, trains, opt, true)
+	if err != nil {
+		return nil, err
+	}
+	var pruned int64
+	for q := range res.Queries {
+		pruned += int64(res.Queries[q].Pruned)
+	}
+	s.prunedPairs.Add(pruned)
+	return res, nil
+}
+
+// rankTrains is the shared ranking core. Candidates are admitted by one
+// manifest snapshot (filtered on the trains' common seed), striped
+// across a worker pool, loaded once each, and scored against every
+// train. With prefilter set (and MinJoinSize >= 0 — a negative cutoff
+// keeps even empty joins, so nothing is prunable), a (train, candidate)
+// pair whose key-hash overlap is at or below MinJoinSize is counted as
+// pruned instead of estimated; candidates with duplicated key hashes
+// are exempted so the malformed-input error behavior matches the
+// unprefiltered path exactly. Callers have validated that all trains
+// share a seed.
+func (s *Store) rankTrains(ctx context.Context, trains []*core.Sketch, opt BatchOptions, prefilter bool) (*BatchResult, error) {
+	seed := trains[0].Seed
+	res := &BatchResult{Queries: make([]BatchQueryResult, len(trains))}
+	prefilter = prefilter && opt.MinJoinSize >= 0
+
+	var eligible []Meta
+	var skipped []string
+	s.mu.Lock()
+	for name, m := range s.manifest {
+		if !strings.HasPrefix(name, opt.Prefix) {
+			continue
+		}
+		if m.Seed != seed || m.Role != core.RoleCandidate {
+			skipped = append(skipped, name)
+			continue
+		}
+		if m.Entries == 0 && opt.MinJoinSize >= 0 {
+			continue // an empty sketch joins nothing; filter without a read
+		}
+		eligible = append(eligible, m)
+	}
+	s.mu.Unlock()
+	sort.Slice(eligible, func(i, j int) bool { return eligible[i].Name < eligible[j].Name })
+
+	probes := make([]*core.TrainProbe, len(trains))
+	for q, tr := range trains {
+		if opt.Probes != nil && opt.Probes[q] != nil {
+			probes[q] = opt.Probes[q]
+		} else {
+			probes[q] = core.CompileTrainProbe(tr)
+		}
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(eligible) {
+		workers = len(eligible)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Any worker's error cancels the rest: ranking either returns every
+	// result or an error, so work after the first failure is wasted.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+		next     int64
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	// Per-worker, per-query partial results: heaps under a TopK bound,
+	// plain slices otherwise, merged per query after the join.
+	results := make([][][]RankedSketch, workers)
+	pruned := make([][]int64, workers)
+	lateSkipped := make([][]string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var scratch *core.Scratch
+			if opt.ScratchPool != nil {
+				scratch = opt.ScratchPool.Get()
+				defer opt.ScratchPool.Put(scratch)
+			} else {
+				scratch = new(core.Scratch)
+			}
+			tops := make([]rankHeap, len(trains))
+			all := make([][]RankedSketch, len(trains))
+			prunedW := make([]int64, len(trains))
+			for {
+				if err := ctx.Err(); err != nil {
+					setErr(err)
+					return
+				}
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(eligible) {
+					break
+				}
+				m := eligible[i]
+				cand, err := s.Get(m.Name)
+				if err != nil {
+					// The snapshot admitted this candidate; distinguish a
+					// concurrent mutation (the manifest no longer carries the
+					// snapshotted record — skip, the racing writer wins) from
+					// genuine corruption behind an unchanged manifest (fail).
+					if cur, ok := s.Meta(m.Name); !ok || cur != m {
+						lateSkipped[w] = append(lateSkipped[w], m.Name)
+						continue
+					}
+					setErr(err)
+					return
+				}
+				if cand.Seed != seed || cand.Role != core.RoleCandidate {
+					// A Put overwrote the sketch with an incompatible one
+					// after the snapshot filtered on the old metadata.
+					lateSkipped[w] = append(lateSkipped[w], m.Name)
+					continue
+				}
+				// A candidate with duplicated key hashes is exempt from the
+				// prefilter: estimating it reproduces the unprefiltered
+				// behavior exactly (it fails the query only if a duplicate
+				// actually joins).
+				prune := prefilter && !cand.HasDuplicateKeyHashes()
+				for q := range trains {
+					if prune && probes[q].KeyOverlap(cand) <= opt.MinJoinSize {
+						prunedW[q]++
+						continue
+					}
+					r, err := core.EstimateMIScratch(probes[q], cand, opt.K, scratch)
+					if err != nil {
+						setErr(fmt.Errorf("store: estimating %q: %w", m.Name, err))
+						return
+					}
+					if r.N <= opt.MinJoinSize {
+						continue
+					}
+					rs := RankedSketch{Name: m.Name, MI: r.MI, Estimator: r.Estimator, JoinSize: r.N}
+					if opt.TopK > 0 {
+						tops[q].offer(rs, opt.TopK)
+					} else {
+						all[q] = append(all[q], rs)
+					}
+				}
+			}
+			if opt.TopK > 0 {
+				for q := range trains {
+					all[q] = tops[q]
+				}
+			}
+			results[w] = all
+			pruned[w] = prunedW
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for _, names := range lateSkipped {
+		skipped = append(skipped, names...)
+	}
+	sort.Strings(skipped)
+	res.Skipped = skipped
+	// Each worker kept the top K of its subset, so merging the subsets'
+	// survivors and cutting at K yields the exact global top K — and the
+	// (MI, name) sort makes the cut deterministic across partitions.
+	for q := range trains {
+		var ranked []RankedSketch
+		for w := 0; w < workers; w++ {
+			if results[w] != nil {
+				ranked = append(ranked, results[w][q]...)
+			}
+			if pruned[w] != nil {
+				res.Queries[q].Pruned += int(pruned[w][q])
+			}
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].MI != ranked[j].MI {
+				return ranked[i].MI > ranked[j].MI
+			}
+			return ranked[i].Name < ranked[j].Name
+		})
+		if opt.TopK > 0 && len(ranked) > opt.TopK {
+			ranked = ranked[:opt.TopK]
+		}
+		res.Queries[q].Ranked = ranked
+	}
+	return res, nil
+}

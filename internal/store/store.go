@@ -21,7 +21,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -52,6 +51,8 @@ type Store struct {
 	puts        atomic.Int64 // successful Put calls
 	deletes     atomic.Int64 // successful Delete calls
 	rankQueries atomic.Int64 // RankQuery calls (including failed ones)
+	rankBatches atomic.Int64 // RankBatch calls (including failed ones)
+	prunedPairs atomic.Int64 // (train, candidate) pairs pruned by the key-overlap prefilter
 }
 
 // sketchExt is the file extension of stored sketches.
@@ -397,6 +398,17 @@ func (s *Store) Metas() []Meta {
 }
 
 // Stats are observability counters for a store handle.
+//
+// Every counter is process-lifetime only: it counts activity through
+// this handle since it was opened, is never persisted, and resets to
+// zero on the next Open (Sketches and CacheBytes, which describe current
+// state rather than history, are the exceptions — they are re-derived).
+// This is deliberate: the manifest records what the store *contains*,
+// not what any particular process *did* to it, so two handles on the
+// same directory never fight over counter state and a crashed process
+// cannot leave half-written telemetry behind. Callers wanting durable
+// metrics should export Stats snapshots to their own monitoring system.
+// TestStatsAreProcessLifetime pins this contract.
 type Stats struct {
 	// Sketches is the number of indexed sketches.
 	Sketches int
@@ -411,6 +423,12 @@ type Stats struct {
 	Puts, Deletes int64
 	// RankQueries counts discovery queries served by this handle.
 	RankQueries int64
+	// RankBatches counts batch discovery queries (RankBatch calls).
+	RankBatches int64
+	// PrunedPairs counts the (train, candidate) pairs batch queries
+	// skipped via the key-overlap prefilter — estimator invocations the
+	// coordinated-sample intersection proved unnecessary.
+	PrunedPairs int64
 }
 
 // Stats returns a snapshot of the handle's counters.
@@ -423,6 +441,8 @@ func (s *Store) Stats() Stats {
 		Puts:        s.puts.Load(),
 		Deletes:     s.deletes.Load(),
 		RankQueries: s.rankQueries.Load(),
+		RankBatches: s.rankBatches.Load(),
+		PrunedPairs: s.prunedPairs.Load(),
 	}
 	if s.cache != nil {
 		st.CacheBytes = s.cache.used
@@ -506,146 +526,27 @@ func (s *Store) RankContext(ctx context.Context, train *core.Sketch, prefix stri
 // racing an in-flight rank is safe from both sides.
 func (s *Store) RankQuery(ctx context.Context, train *core.Sketch, opt RankOptions) (ranked []RankedSketch, skipped []string, err error) {
 	s.rankQueries.Add(1)
-	var eligible []Meta
-	s.mu.Lock()
-	for name, m := range s.manifest {
-		if !strings.HasPrefix(name, opt.Prefix) {
-			continue
-		}
-		if m.Seed != train.Seed || m.Role != core.RoleCandidate {
-			skipped = append(skipped, name)
-			continue
-		}
-		if m.Entries == 0 && opt.MinJoinSize >= 0 {
-			continue // an empty sketch joins nothing; filter without a read
-		}
-		eligible = append(eligible, m)
+	// One train, no prefilter: RankQuery is the reference semantics the
+	// batch pipeline's prefiltered results are measured against, so it
+	// estimates every admitted candidate. The machinery lives in
+	// rankTrains (rankbatch.go), shared with RankBatch.
+	var probes []*core.TrainProbe
+	if opt.Probe != nil {
+		probes = []*core.TrainProbe{opt.Probe}
 	}
-	s.mu.Unlock()
-	sort.Slice(eligible, func(i, j int) bool { return eligible[i].Name < eligible[j].Name })
-
-	probe := opt.Probe
-	if probe == nil {
-		probe = core.CompileTrainProbe(train)
+	res, err := s.rankTrains(ctx, []*core.Sketch{train}, BatchOptions{
+		Prefix:      opt.Prefix,
+		MinJoinSize: opt.MinJoinSize,
+		K:           opt.K,
+		TopK:        opt.TopK,
+		Workers:     opt.Workers,
+		Probes:      probes,
+		ScratchPool: opt.ScratchPool,
+	}, false)
+	if err != nil {
+		return nil, nil, err
 	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(eligible) {
-		workers = len(eligible)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	// Any worker's error cancels the rest: ranking either returns every
-	// result or an error, so work after the first failure is wasted.
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	var (
-		errMu    sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-		next     int64
-	)
-	setErr := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		cancel()
-	}
-	results := make([][]RankedSketch, workers)
-	lateSkipped := make([][]string, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var scratch *core.Scratch
-			if opt.ScratchPool != nil {
-				scratch = opt.ScratchPool.Get()
-				defer opt.ScratchPool.Put(scratch)
-			} else {
-				scratch = new(core.Scratch)
-			}
-			var top rankHeap
-			var all []RankedSketch
-			for {
-				if err := ctx.Err(); err != nil {
-					setErr(err)
-					return
-				}
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(eligible) {
-					break
-				}
-				m := eligible[i]
-				cand, err := s.Get(m.Name)
-				if err != nil {
-					// The snapshot admitted this candidate; distinguish a
-					// concurrent mutation (the manifest no longer carries the
-					// snapshotted record — skip, the racing writer wins) from
-					// genuine corruption behind an unchanged manifest (fail).
-					if cur, ok := s.Meta(m.Name); !ok || cur != m {
-						lateSkipped[w] = append(lateSkipped[w], m.Name)
-						continue
-					}
-					setErr(err)
-					return
-				}
-				if cand.Seed != train.Seed || cand.Role != core.RoleCandidate {
-					// A Put overwrote the sketch with an incompatible one
-					// after the snapshot filtered on the old metadata.
-					lateSkipped[w] = append(lateSkipped[w], m.Name)
-					continue
-				}
-				r, err := core.EstimateMIScratch(probe, cand, opt.K, scratch)
-				if err != nil {
-					setErr(fmt.Errorf("store: estimating %q: %w", m.Name, err))
-					return
-				}
-				if r.N <= opt.MinJoinSize {
-					continue
-				}
-				rs := RankedSketch{Name: m.Name, MI: r.MI, Estimator: r.Estimator, JoinSize: r.N}
-				if opt.TopK > 0 {
-					top.offer(rs, opt.TopK)
-				} else {
-					all = append(all, rs)
-				}
-			}
-			if opt.TopK > 0 {
-				results[w] = top
-			} else {
-				results[w] = all
-			}
-		}(w)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, nil, firstErr
-	}
-	for _, names := range lateSkipped {
-		skipped = append(skipped, names...)
-	}
-	sort.Strings(skipped)
-	// Each worker kept the top K of its subset, so merging the subsets'
-	// survivors and cutting at K yields the exact global top K — and the
-	// (MI, name) sort makes the cut deterministic across partitions.
-	for _, rs := range results {
-		ranked = append(ranked, rs...)
-	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].MI != ranked[j].MI {
-			return ranked[i].MI > ranked[j].MI
-		}
-		return ranked[i].Name < ranked[j].Name
-	})
-	if opt.TopK > 0 && len(ranked) > opt.TopK {
-		ranked = ranked[:opt.TopK]
-	}
-	return ranked, skipped, nil
+	return res.Queries[0].Ranked, res.Skipped, nil
 }
 
 // rankHeap is a bounded min-heap holding the best K results seen so far;

@@ -1,0 +1,49 @@
+package misketch
+
+import (
+	"context"
+
+	"misketch/internal/core"
+	"misketch/internal/store"
+)
+
+// This file exposes batch discovery: ranking many train sketches (an
+// analyst's sweep over dozens of target columns) against the stored
+// corpus in one pass, with the key-overlap prefilter pruning every
+// (train, candidate) pair whose coordinated-sample key intersection
+// already proves the join too small to pass the min-join filter.
+
+// BatchRankOptions tunes a batch discovery query (Store.RankBatch /
+// RankBatch): shared prefix, min join size, neighbor parameter, top-K
+// bound and worker fan-out, plus optional pre-compiled probes (parallel
+// to the trains) and a shared scratch pool.
+type BatchRankOptions = store.BatchOptions
+
+// BatchRanking is the result of a batch discovery query: one
+// BatchQueryRanking per train, in input order, plus the shared skipped
+// list.
+type BatchRanking = store.BatchResult
+
+// BatchQueryRanking is one train's slice of a BatchRanking: the ranked
+// candidates (bit-identical to an independent Store.RankQuery) and the
+// number of candidates the key-overlap prefilter pruned for this train.
+type BatchQueryRanking = store.BatchQueryResult
+
+// RankBatch ranks every train sketch against the store's candidates in
+// one corpus pass; see Store.RankBatch. Each train's ranking is
+// bit-for-bit what an independent Store.RankQuery call would return,
+// but candidates are loaded once for the whole batch and the
+// key-overlap prefilter skips the estimator for pairs whose sketch
+// join provably has at most MinJoinSize samples. All trains must share
+// a hash seed.
+func RankBatch(ctx context.Context, st *Store, trains []*Sketch, opt BatchRankOptions) (*BatchRanking, error) {
+	return st.RankBatch(ctx, trains, opt)
+}
+
+// KeyOverlap returns the sketch join size of (train, cand) computed
+// from key hashes alone — the quantity the batch prefilter thresholds
+// against the min-join filter. Both sketches must share a hash seed for
+// the count to be meaningful.
+func KeyOverlap(train, cand *Sketch) int {
+	return core.KeyOverlap(train, cand)
+}

@@ -25,21 +25,26 @@ type ServerOptions = server.Options
 
 // Server request/response bodies, for typed clients of the service.
 type (
-	RankRequest   = server.RankRequest
-	RankResponse  = server.RankResponse
-	RankedResult  = server.RankedResult
-	SketchReply   = server.SketchResponse
-	StatsResponse = server.StatsResponse
+	RankRequest        = server.RankRequest
+	RankResponse       = server.RankResponse
+	RankedResult       = server.RankedResult
+	RankBatchRequest   = server.RankBatchRequest
+	RankBatchResponse  = server.RankBatchResponse
+	BatchTrainRef      = server.BatchTrainRef
+	BatchQueryResponse = server.BatchQueryResponse
+	SketchReply        = server.SketchResponse
+	StatsResponse      = server.StatsResponse
 )
 
 // NewServer wraps an open store in a discovery server serving:
 //
-//	POST /v1/rank    rank stored candidates against a train sketch
-//	POST /v1/sketch  build a sketch from a posted CSV body
-//	POST /v1/put     ingest a serialized sketch into the store
-//	GET  /v1/ls      manifest listing
-//	GET  /v1/stats   store + server counters
-//	GET  /healthz    liveness
+//	POST /v1/rank        rank stored candidates against a train sketch
+//	POST /v1/rank/batch  rank N trains in one prefiltered corpus pass
+//	POST /v1/sketch      build a sketch from a posted CSV body
+//	POST /v1/put         ingest a serialized sketch into the store
+//	GET  /v1/ls          manifest listing
+//	GET  /v1/stats       store + server counters
+//	GET  /healthz        liveness
 //
 // The caller keeps ownership of the store handle; the server flushes its
 // manifest on graceful shutdown.
