@@ -87,9 +87,11 @@ func usage() {
   misketch rank          -train FILE -train-key COL -target COL [flags] CANDIDATE_DIR
   misketch store ingest  -store DIR -key COL [-workers N] [flags] CSV_OR_DIR...
   misketch store rank    -store DIR -train FILE -train-key COL -target COL [-trains COL,COL,...] [-workers N] [-stats] [flags]
-  misketch store ls      -store DIR
+  misketch store ls      -store DIR [-segments]
   misketch store rebuild -store DIR
+  misketch store compact -store DIR
   misketch serve         -store DIR [-addr :8080] [-max-workers N] [-probe-cache N] [-cache BYTES]
+                         [-backend fs|mem] [-compact-every DUR] [-segment-bytes N]
   misketch bench         [-candidates N] [-top K] [-iters N] [-out FILE]
   (legacy aliases: "sketch" = store ingest, "store-rank" = store rank)`)
 }
@@ -109,6 +111,8 @@ func runStore(args []string) {
 		runStoreLs(args[1:])
 	case "rebuild":
 		runStoreRebuild(args[1:])
+	case "compact":
+		runStoreCompact(args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -289,7 +293,7 @@ func runStoreIngest(args []string) {
 	agg := fs.String("agg", "first", "aggregation for repeated keys")
 	seed := fs.Uint("seed", 0, "hash seed (0 = default)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel ingestion workers")
-	shards := fs.Int("shards", 0, "directory fan-out for a newly created store (0 = default)")
+	shards := fs.Int("shards", 0, "legacy directory fan-out (ignored: sketches are packed into segments)")
 	die(fs.Parse(args))
 	requireFlags(map[string]string{"store": *storeDir, "key": *key})
 	if fs.NArg() == 0 {
@@ -496,16 +500,17 @@ func runStoreRank(args []string) {
 }
 
 // runStoreLs lists the manifest of a sketch store without reading any
-// sketch bodies.
+// sketch bodies; -segments adds the segment files backing them.
 func runStoreLs(args []string) {
 	fs := flag.NewFlagSet("store ls", flag.ExitOnError)
 	storeDir := fs.String("store", "", "sketch store directory")
+	segments := fs.Bool("segments", false, "also list the segment files and their live/dead byte split")
 	die(fs.Parse(args))
 	requireFlags(map[string]string{"store": *storeDir})
 	st, err := misketch.OpenStore(*storeDir)
 	die(err)
 	metas := st.Metas()
-	fmt.Printf("%-44s %-6s %-9s %8s %10s %10s\n", "name", "method", "role", "entries", "rows", "bytes")
+	fmt.Printf("%-44s %-6s %-9s %8s %10s %10s %8s\n", "name", "method", "role", "entries", "rows", "bytes", "segment")
 	for _, m := range metas {
 		role := "cand"
 		if m.Role == misketch.RoleTrain {
@@ -515,10 +520,49 @@ func runStoreLs(args []string) {
 		if m.Numeric {
 			kind = "num"
 		}
-		fmt.Printf("%-44s %-6s %-9s %8d %10d %10d\n",
-			m.Name, fmt.Sprintf("%s/%s", m.Method, kind), role, m.Entries, m.SourceRows, m.Bytes)
+		fmt.Printf("%-44s %-6s %-9s %8d %10d %10d %8d\n",
+			m.Name, fmt.Sprintf("%s/%s", m.Method, kind), role, m.Entries, m.SourceRows, m.Bytes, m.Segment)
 	}
 	fmt.Printf("(%d sketches)\n", len(metas))
+	if *segments {
+		fmt.Printf("\n%-12s %-10s %-7s %10s %10s %8s %8s %10s\n",
+			"segment", "kind", "state", "bytes", "live-bytes", "records", "live", "dead-bytes")
+		for _, info := range st.Segments() {
+			kind, state := "append", "active"
+			if info.Compacted {
+				kind = "compacted"
+			}
+			if info.Sealed {
+				state = "sealed"
+			}
+			fmt.Printf("%-12d %-10s %-7s %10d %10d %8d %8d %10d\n",
+				info.Seq, kind, state, info.Bytes, info.LiveBytes, info.Records, info.LiveRecords, info.Bytes-info.LiveBytes)
+		}
+	}
+}
+
+// runStoreCompact folds the store's segments down to their live
+// records: overwritten sketch versions and delete tombstones are
+// reclaimed, and the survivors land in one fresh compacted segment.
+func runStoreCompact(args []string) {
+	fs := flag.NewFlagSet("store compact", flag.ExitOnError)
+	storeDir := fs.String("store", "", "sketch store directory")
+	die(fs.Parse(args))
+	requireFlags(map[string]string{"store": *storeDir})
+	st, err := misketch.OpenStore(*storeDir)
+	die(err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cs, err := st.Compact(ctx)
+	die(err)
+	die(st.Close())
+	if !cs.Compacted {
+		fmt.Printf("nothing to compact: %d segment(s), %d live records, no dead bytes\n",
+			cs.SegmentsBefore, cs.Records)
+		return
+	}
+	fmt.Printf("compacted %d segment(s) (%d bytes) into 1 (%d bytes): %d live records kept, %d bytes reclaimed\n",
+		cs.SegmentsBefore, cs.BytesBefore, cs.BytesAfter, cs.Records, cs.Reclaimed)
 }
 
 // runBench builds a synthetic sketch store mirroring the repo's
@@ -623,10 +667,20 @@ func runServe(args []string) {
 	maxWorkers := fs.Int("max-workers", 0, "total rank-worker bound across requests (0 = GOMAXPROCS)")
 	probeCache := fs.Int("probe-cache", 0, "compiled train-probe cache entries (0 = default, negative disables)")
 	cacheBytes := fs.Int64("cache", 0, "decoded-sketch cache bytes (0 = default, negative disables)")
+	backend := fs.String("backend", "fs", "storage backend: fs (segments+mmap) or mem (diskless)")
+	compactEvery := fs.Duration("compact-every", 0, "background compaction check interval (0 disables)")
+	segmentBytes := fs.Int64("segment-bytes", 0, "segment roll threshold in bytes (0 = default 128 MiB)")
 	die(fs.Parse(args))
-	requireFlags(map[string]string{"store": *storeDir})
+	if *backend != misketch.BackendMem {
+		requireFlags(map[string]string{"store": *storeDir})
+	}
 
-	st, err := misketch.OpenStoreWithOptions(*storeDir, misketch.OpenStoreOptions{CacheBytes: *cacheBytes})
+	st, err := misketch.OpenStoreWithOptions(*storeDir, misketch.OpenStoreOptions{
+		CacheBytes:   *cacheBytes,
+		Backend:      *backend,
+		SegmentBytes: *segmentBytes,
+		CompactEvery: *compactEvery,
+	})
 	die(err)
 	n, err := st.Len()
 	die(err)

@@ -61,7 +61,7 @@ func main() {
 	// into the store, then persist the manifest.
 	opts := misketch.Options{Size: 1024}
 	st, err := misketch.OpenStoreWithOptions(dir, misketch.OpenStoreOptions{
-		Shards: 32, CacheBytes: 16 << 20,
+		CacheBytes: 16 << 20,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,8 +1,11 @@
 // Package binio holds the little-endian binary codec helpers shared by
-// the sketch format (internal/core/encode.go) and the store manifest
-// format (internal/store/manifest.go): sticky first-error tracking, byte
-// counting on the write side, and length-prefixed strings with a
-// corruption cap on the read side.
+// the sketch format (internal/core/encode.go), the packed record codec
+// (internal/core/packed.go), the store manifest format
+// (internal/store/manifest.go), and the segment files
+// (internal/store/segment.go): sticky first-error tracking, byte
+// counting on the write side, length-prefixed strings with a corruption
+// cap on the read side, and raw in-buffer primitives for formats that
+// are assembled in memory before hitting disk.
 package binio
 
 import (
@@ -118,4 +121,39 @@ func (r *Reader) Str() string {
 		return ""
 	}
 	return string(r.Bytes(int(n)))
+}
+
+// --- Raw in-buffer primitives ---------------------------------------------
+//
+// The packed record and segment formats are assembled in memory (the
+// whole record must exist before its CRC can be computed) and read back
+// from mmap'd byte slices, so they use plain append/load helpers instead
+// of the io-based Writer/Reader above. All little-endian.
+
+// AppendU32 appends v to dst in little-endian order.
+func AppendU32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+// AppendU64 appends v to dst in little-endian order.
+func AppendU64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+// PutU32 stores v at b[0:4] in little-endian order.
+func PutU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+
+// U32At loads the little-endian uint32 at b[off:off+4].
+func U32At(b []byte, off int) uint32 { return binary.LittleEndian.Uint32(b[off:]) }
+
+// U64At loads the little-endian uint64 at b[off:off+8].
+func U64At(b []byte, off int) uint64 { return binary.LittleEndian.Uint64(b[off:]) }
+
+// AppendPad appends zero bytes until len(dst) is a multiple of align (a
+// power of two).
+func AppendPad(dst []byte, align int) []byte {
+	for len(dst)%align != 0 {
+		dst = append(dst, 0)
+	}
+	return dst
 }

@@ -1,0 +1,89 @@
+package binio
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf}
+	w.Bytes([]byte("MAGC"))
+	w.U8(7)
+	w.U32(0xDEADBEEF)
+	w.U64(1 << 40)
+	w.Uvarint(300)
+	w.Str("héllo")
+	if w.Err != nil {
+		t.Fatal(w.Err)
+	}
+	if w.N != int64(buf.Len()) {
+		t.Errorf("N = %d, want %d", w.N, buf.Len())
+	}
+	r := &Reader{R: bufio.NewReader(bytes.NewReader(buf.Bytes()))}
+	if got := r.Bytes(4); string(got) != "MAGC" {
+		t.Errorf("magic = %q", got)
+	}
+	if got := r.U8(); got != 7 {
+		t.Errorf("u8 = %d", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("u32 = %x", got)
+	}
+	if got := r.U64(); got != 1<<40 {
+		t.Errorf("u64 = %x", got)
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Errorf("uvarint = %d", got)
+	}
+	if got := r.Str(); got != "héllo" {
+		t.Errorf("str = %q", got)
+	}
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	// Truncated input surfaces as a sticky error, not a panic.
+	r2 := &Reader{R: bufio.NewReader(bytes.NewReader(buf.Bytes()[:2]))}
+	r2.U32()
+	if r2.Err == nil {
+		t.Error("short read should error")
+	}
+	if r2.U8(); r2.Err == nil {
+		t.Error("error must stick")
+	}
+}
+
+func TestStrRejectsImplausibleLength(t *testing.T) {
+	var buf bytes.Buffer
+	(&Writer{W: &buf}).Uvarint(1 << 30) // length prefix far beyond the cap
+	r := &Reader{R: bufio.NewReader(bytes.NewReader(buf.Bytes()))}
+	if r.Str(); r.Err == nil {
+		t.Error("oversized string length must be rejected")
+	}
+}
+
+func TestRawBufferHelpers(t *testing.T) {
+	b := AppendU32(nil, 0x01020304)
+	b = AppendU64(b, 0x1122334455667788)
+	if U32At(b, 0) != 0x01020304 {
+		t.Errorf("U32At = %x", U32At(b, 0))
+	}
+	if U64At(b, 4) != 0x1122334455667788 {
+		t.Errorf("U64At = %x", U64At(b, 4))
+	}
+	if b[0] != 0x04 || b[4] != 0x88 {
+		t.Error("raw helpers are not little-endian")
+	}
+	PutU32(b[:4], 42)
+	if U32At(b, 0) != 42 {
+		t.Error("PutU32 round trip failed")
+	}
+	padded := AppendPad([]byte{1, 2, 3}, 8)
+	if len(padded) != 8 || padded[7] != 0 {
+		t.Errorf("AppendPad = %v", padded)
+	}
+	if got := AppendPad(padded, 8); len(got) != 8 {
+		t.Error("AppendPad of aligned input must be a no-op")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"math"
 	"testing"
 )
 
@@ -104,6 +105,82 @@ func FuzzReadSketch(f *testing.F) {
 		}
 		if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
 			t.Fatal("encoding is nondeterministic")
+		}
+	})
+}
+
+// FuzzDecodeRecord hardens the packed-record decoder — the path every
+// ranking query runs over mmap'd segment bytes — against corrupt and
+// adversarial input: neither decode mode may panic or read out of
+// bounds, VerifyRecord must reject anything DecodeRecord cannot parse,
+// and the borrowed and owning decodes of an accepted record must agree
+// field for field.
+func FuzzDecodeRecord(f *testing.F) {
+	num := &Sketch{
+		Method: TUPSK, Role: RoleCandidate, Seed: 3, Size: 8, Numeric: true,
+		SourceRows: 3, KeyHashes: []uint32{1, 2, 3}, Nums: []float64{0.5, -1, 2},
+	}
+	cat := &Sketch{
+		Method: CSK, Role: RoleCandidate, Seed: 1, Size: 2,
+		SourceRows: 2, KeyHashes: []uint32{9, 10}, Strs: []string{"label", ""},
+	}
+	for _, sk := range []*Sketch{num, cat} {
+		rec, err := AppendRecord(nil, "seed/name", sk)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(rec)
+		for _, cut := range []int{8, 16, 40, len(rec) - 8} {
+			if cut < len(rec) {
+				f.Add(rec[:cut:cut])
+			}
+		}
+	}
+	tomb, err := AppendTombstone(nil, "gone")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tomb)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if n, err := VerifyRecord(data, 0); err == nil {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("VerifyRecord accepted length %d of %d", n, len(data))
+			}
+		}
+		view, verr := DecodeRecord(data, 0, true)
+		own, oerr := DecodeRecord(data, 0, false)
+		if (verr == nil) != (oerr == nil) {
+			t.Fatalf("borrow/copy disagree: %v vs %v", verr, oerr)
+		}
+		if verr != nil {
+			return
+		}
+		if view.Kind != own.Kind || view.Name != own.Name || view.Len != own.Len {
+			t.Fatalf("record info differs: %+v vs %+v", view.RecordInfo, own.RecordInfo)
+		}
+		if view.Sketch == nil {
+			return
+		}
+		a, b := view.Sketch, own.Sketch
+		if a.Len() != b.Len() || a.Seed != b.Seed || a.Numeric != b.Numeric {
+			t.Fatal("borrowed and owning sketches disagree")
+		}
+		for i := range a.KeyHashes {
+			if a.KeyHashes[i] != b.KeyHashes[i] {
+				t.Fatal("key hashes disagree")
+			}
+		}
+		for i := range a.Nums {
+			if math.Float64bits(a.Nums[i]) != math.Float64bits(b.Nums[i]) {
+				t.Fatal("numeric values disagree")
+			}
+		}
+		for i := range a.Strs {
+			if a.Strs[i] != b.Strs[i] {
+				t.Fatal("string values disagree")
+			}
 		}
 	})
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"slices"
 	"sync"
 
 	"misketch/internal/mi"
@@ -89,8 +88,8 @@ type Scratch struct {
 	// scratch join fills.
 	MI mi.Scratch
 
-	match        []uint64 // packed (train entry << 32 | cand entry) matches
-	matchedTrain []int32  // per train entry: joined index + 1, or 0
+	candOf       []int32 // per train entry: matched cand entry + 1, or 0
+	matchedTrain []int32 // per train entry: joined index + 1, or 0
 	// A candidate entry can join several train entries (repeated train
 	// keys), so the joined indices per candidate entry form chains:
 	// candFirst heads them and nextJoined links them (both offset by 1).
@@ -139,7 +138,21 @@ func (p *TrainProbe) JoinScratch(cand *Sketch, s *Scratch) (JoinedSample, error)
 	if train.Seed != cand.Seed {
 		return JoinedSample{}, fmt.Errorf("core: sketches built with different seeds (%#x vs %#x)", train.Seed, cand.Seed)
 	}
-	match := s.match[:0]
+	if cap(s.candOf) < train.Len() {
+		s.candOf = make([]int32, train.Len())
+	} else {
+		s.candOf = s.candOf[:train.Len()]
+		clear(s.candOf)
+	}
+	candOf := s.candOf
+	// Scatter matches by train entry: candidate key hashes are unique,
+	// so each train entry matches at most one candidate entry, and a
+	// second hit on the same slot means a duplicated candidate hash —
+	// exactly the condition Join rejects. Emitting by ascending train
+	// entry below then recovers the train-entry order Join emits (the
+	// estimate is bit-identical to the legacy path) without
+	// materializing and sorting a match list.
+	matches := 0
 	mask := p.mask
 	for j, hk := range cand.KeyHashes {
 		i := hk & mask
@@ -150,19 +163,17 @@ func (p *TrainProbe) JoinScratch(cand *Sketch, s *Scratch) (JoinedSample, error)
 			}
 			if p.htabKey[i] == hk {
 				for _, ti := range p.order[uint32(v>>32)-1 : uint32(v)] {
-					match = append(match, uint64(ti)<<32|uint64(uint32(j)))
+					if candOf[ti] != 0 {
+						return JoinedSample{}, fmt.Errorf("core: candidate sketch has duplicate key hash %#x", train.KeyHashes[ti])
+					}
+					candOf[ti] = int32(j) + 1
+					matches++
 				}
 				break
 			}
 			i = (i + 1) & mask
 		}
 	}
-	// Candidate key hashes are unique, so each train entry matches at
-	// most once and sorting the packed pairs recovers the train-entry
-	// order Join emits — the estimate is bit-identical to the legacy
-	// path. A repeated train entry means a duplicated candidate hash.
-	slices.Sort(match)
-	s.match = match
 
 	if cap(s.matchedTrain) < train.Len() {
 		s.matchedTrain = make([]int32, train.Len())
@@ -176,22 +187,20 @@ func (p *TrainProbe) JoinScratch(cand *Sketch, s *Scratch) (JoinedSample, error)
 		s.candFirst = s.candFirst[:cand.Len()]
 		clear(s.candFirst)
 	}
-	if cap(s.nextJoined) < len(match) {
-		s.nextJoined = make([]int32, len(match))
+	if cap(s.nextJoined) < matches {
+		s.nextJoined = make([]int32, matches)
 	} else {
-		s.nextJoined = s.nextJoined[:len(match)]
+		s.nextJoined = s.nextJoined[:matches]
 	}
 
 	yNum, xNum := s.MI.JoinYNum[:0], s.MI.JoinXNum[:0]
 	yStr, xStr := s.MI.JoinYStr[:0], s.MI.JoinXStr[:0]
-	prev := -1
-	for joined, m := range match {
-		ti := int(m >> 32)
-		j := int(uint32(m))
-		if ti == prev {
-			return JoinedSample{}, fmt.Errorf("core: candidate sketch has duplicate key hash %#x", train.KeyHashes[ti])
+	joined := 0
+	for ti, cj := range candOf {
+		if cj == 0 {
+			continue
 		}
-		prev = ti
+		j := int(cj) - 1
 		if train.Numeric {
 			yNum = append(yNum, train.Nums[ti])
 		} else {
@@ -205,9 +214,10 @@ func (p *TrainProbe) JoinScratch(cand *Sketch, s *Scratch) (JoinedSample, error)
 		s.matchedTrain[ti] = int32(joined) + 1
 		s.nextJoined[joined] = s.candFirst[j]
 		s.candFirst[j] = int32(joined) + 1
+		joined++
 	}
 
-	js := JoinedSample{Size: len(match)}
+	js := JoinedSample{Size: matches}
 	if train.Numeric {
 		if yNum == nil {
 			yNum = []float64{}

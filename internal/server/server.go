@@ -593,17 +593,22 @@ type ServerStats struct {
 
 // StoreStats mirrors store.Stats for the JSON response.
 type StoreStats struct {
-	Sketches    int   `json:"sketches"`
-	CacheBytes  int64 `json:"cache_bytes"`
-	CacheHits   int64 `json:"cache_hits"`
-	CacheMisses int64 `json:"cache_misses"`
-	Evictions   int64 `json:"evictions"`
-	DiskReads   int64 `json:"disk_reads"`
-	Puts        int64 `json:"puts"`
-	Deletes     int64 `json:"deletes"`
-	RankQueries int64 `json:"rank_queries"`
-	RankBatches int64 `json:"rank_batches"`
-	PrunedPairs int64 `json:"pruned_pairs"`
+	Backend      string `json:"backend"`
+	Sketches     int    `json:"sketches"`
+	Segments     int    `json:"segments"`
+	SegmentBytes int64  `json:"segment_bytes"`
+	LiveBytes    int64  `json:"live_bytes"`
+	Compactions  int64  `json:"compactions"`
+	CacheBytes   int64  `json:"cache_bytes"`
+	CacheHits    int64  `json:"cache_hits"`
+	CacheMisses  int64  `json:"cache_misses"`
+	Evictions    int64  `json:"evictions"`
+	DiskReads    int64  `json:"disk_reads"`
+	Puts         int64  `json:"puts"`
+	Deletes      int64  `json:"deletes"`
+	RankQueries  int64  `json:"rank_queries"`
+	RankBatches  int64  `json:"rank_batches"`
+	PrunedPairs  int64  `json:"pruned_pairs"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -619,8 +624,11 @@ func (s *Server) Stats() StatsResponse {
 	held, waiting := s.sem.inFlight()
 	return StatsResponse{
 		Store: StoreStats{
-			Sketches: ss.Sketches, CacheBytes: ss.CacheBytes,
-			CacheHits: ss.CacheHits, CacheMisses: ss.CacheMisses,
+			Backend: ss.Backend, Sketches: ss.Sketches,
+			Segments: ss.Segments, SegmentBytes: ss.SegmentBytes,
+			LiveBytes: ss.LiveBytes, Compactions: ss.Compactions,
+			CacheBytes: ss.CacheBytes,
+			CacheHits:  ss.CacheHits, CacheMisses: ss.CacheMisses,
 			Evictions: ss.Evictions, DiskReads: ss.DiskReads,
 			Puts: ss.Puts, Deletes: ss.Deletes, RankQueries: ss.RankQueries,
 			RankBatches: ss.RankBatches, PrunedPairs: ss.PrunedPairs,

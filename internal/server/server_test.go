@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"misketch/internal/core"
+	"misketch/internal/mi"
 	"misketch/internal/store"
 )
 
@@ -634,5 +635,53 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	if _, ok := st2.Meta("shutdown/probe"); !ok {
 		t.Fatal("manifest not persisted on graceful shutdown")
+	}
+}
+
+// TestServeDiskless runs the whole HTTP service on the mem backend: no
+// store directory, rankings bit-for-bit equal to the same corpus served
+// from segments, and /v1/stats reporting the backend.
+func TestServeDiskless(t *testing.T) {
+	mem, err := store.OpenWithOptions("", store.OpenOptions{Backend: store.BackendMem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := buildCorpus(t, mem, 20)
+	srv := New(mem, Options{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	fsStore, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildCorpus(t, fsStore, 20)
+	want, _, err := fsStore.RankQuery(context.Background(), train, store.RankOptions{
+		Prefix: "corpus/", MinJoinSize: 10, K: mi.DefaultK, TopK: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minJoin := 10
+	rr := rankViaHTTP(t, ts.URL, RankRequest{
+		Sketch: sketchBase64(t, train),
+		Prefix: "corpus/", MinJoin: &minJoin, Top: 5,
+	})
+	assertSameRanking(t, rr.Ranked, want)
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Store.Backend != store.BackendMem || stats.Store.Segments != 0 {
+		t.Errorf("diskless stats = %+v", stats.Store)
+	}
+	if stats.Store.Sketches != 20 {
+		t.Errorf("sketches = %d", stats.Store.Sketches)
 	}
 }

@@ -1,0 +1,110 @@
+package store
+
+// The storage backend abstraction. The Store keeps the catalog index
+// (manifest map), the decoded-sketch cache, and the ranking machinery;
+// a backend owns the bytes. Two implementations exist:
+//
+//   - fs (fsbackend.go): segment-packed, mmap-backed durable storage —
+//     the production engine.
+//   - mem (below): everything in process memory, nothing on disk — the
+//     backend tests and ephemeral services run on.
+//
+// The interface is deliberately narrow: append-style mutation, two load
+// flavors (owned vs borrowed), pinning for borrowed lifetimes, and index
+// persistence. Compaction and repair are fs-specific and reached by
+// type assertion, not interface bloat — a mem store has nothing to
+// compact or repair.
+
+import (
+	"fmt"
+	"sync"
+
+	"misketch/internal/core"
+)
+
+// Backend names accepted by OpenOptions.Backend.
+const (
+	BackendFS  = "fs"
+	BackendMem = "mem"
+)
+
+// backend stores and retrieves sketch bytes for a Store.
+type backend interface {
+	// name reports the backend kind ("fs" or "mem").
+	name() string
+	// put durably stores the sketch under name and returns its location
+	// (zero for backends without one).
+	put(name string, sk *core.Sketch) (seg uint64, off, length int64, err error)
+	// tombstone durably records the deletion of name, returning the
+	// record's segment and end offset (zero for backends without one).
+	tombstone(name string) (seg uint64, end int64, err error)
+	// loadOwned returns a sketch owning all its memory.
+	loadOwned(m Meta) (*core.Sketch, error)
+	// loadView returns a sketch that may borrow backend memory, plus the
+	// segment it borrows from (0 = owns its memory). A borrowed sketch
+	// is valid only while its segment is pinned.
+	loadView(m Meta) (sk *core.Sketch, tag uint64, err error)
+	// pin takes read pins on the given segments; the returned func
+	// releases them. Both are cheap; rank queries pin once per query.
+	pin(segs map[uint64]struct{}) func()
+	// persist writes the durable catalog index (the fs manifest); the
+	// caller (Store) serializes calls and passes a consistent snapshot.
+	// covered caps, per segment, the byte offset the snapshot accounts
+	// for: a Put or Delete whose record is durable but whose index entry
+	// is not yet in metas must not be covered, or a crash after this
+	// persist would skip it on replay and lose an acked mutation. A nil
+	// map means the snapshot is complete (single-threaded open paths).
+	persist(metas map[string]Meta, covered map[uint64]int64) error
+	// close releases backend resources. The backend must not be used
+	// afterwards.
+	close() error
+}
+
+// memBackend keeps every sketch in process memory: zero durability,
+// zero syscalls. Servers and tests that want a diskless store run on it
+// (OpenOptions.Backend = "mem").
+type memBackend struct {
+	mu       sync.Mutex
+	sketches map[string]*core.Sketch
+}
+
+func newMemBackend() *memBackend {
+	return &memBackend{sketches: make(map[string]*core.Sketch)}
+}
+
+func (b *memBackend) name() string { return BackendMem }
+
+func (b *memBackend) put(name string, sk *core.Sketch) (uint64, int64, int64, error) {
+	b.mu.Lock()
+	b.sketches[name] = sk
+	b.mu.Unlock()
+	return 0, 0, sketchBytes(sk), nil
+}
+
+func (b *memBackend) tombstone(name string) (uint64, int64, error) {
+	b.mu.Lock()
+	delete(b.sketches, name)
+	b.mu.Unlock()
+	return 0, 0, nil
+}
+
+func (b *memBackend) loadOwned(m Meta) (*core.Sketch, error) {
+	sk, _, err := b.loadView(m)
+	return sk, err
+}
+
+func (b *memBackend) loadView(m Meta) (*core.Sketch, uint64, error) {
+	b.mu.Lock()
+	sk, ok := b.sketches[m.Name]
+	b.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("store: no sketch %q", m.Name)
+	}
+	return sk, 0, nil
+}
+
+func (b *memBackend) pin(map[uint64]struct{}) func() { return func() {} }
+
+func (b *memBackend) persist(map[string]Meta, map[uint64]int64) error { return nil }
+
+func (b *memBackend) close() error { return nil }

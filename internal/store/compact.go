@@ -1,0 +1,371 @@
+package store
+
+// Compaction folds the append-only history down to its live records:
+// every sealed (and frozen) segment's still-referenced records are
+// copied — raw record bytes, no decode — into one fresh compacted
+// segment, the manifest is atomically swapped to the new locations, and
+// the source segments are retired. Overwritten versions and Delete
+// tombstones simply aren't copied; that is the whole reclamation story.
+//
+// Concurrency: compaction runs against a manifest snapshot under the
+// same isolation ranking uses. Puts and Deletes proceed freely during
+// the copy phase — they append to the active segment, which compaction
+// never touches — and the swap phase moves a sketch's location only if
+// it still points into a source segment, so a racing overwrite wins.
+// In-flight ranking queries hold pins on the source segments; their
+// mappings (and files) are torn down only when the last pin drains.
+//
+// Crash safety: the compacted segment is sealed and fsynced before the
+// manifest references it, and sources are unlinked only after the swap
+// is durable. A crash in between leaves either redundant sources (the
+// swap happened: they are deleted as sub-horizon orphans on open) or a
+// redundant compacted segment (it didn't: deleted as an unreferenced
+// compacted orphan). The kill-point tests walk every window.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"misketch/internal/core"
+)
+
+// CompactStats reports one compaction pass.
+type CompactStats struct {
+	// Compacted reports whether a pass ran (false: nothing to fold).
+	Compacted bool
+	// SegmentsBefore/After count live segments around the pass.
+	SegmentsBefore, SegmentsAfter int
+	// BytesBefore/After total the live segments' file sizes.
+	BytesBefore, BytesAfter int64
+	// Records is the live record count copied; Reclaimed the dead bytes
+	// dropped.
+	Records   int
+	Reclaimed int64
+}
+
+// Compact folds all sealed segments into one fresh compacted segment,
+// dropping overwritten records and tombstones, and retires the sources.
+// It is a no-op on the mem backend and on an fs store whose records
+// already live in a single fully-live segment. Safe to run concurrently
+// with queries and mutations; concurrent Compact calls serialize.
+func (s *Store) Compact(ctx context.Context) (CompactStats, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
+	s.mu.Lock()
+	fb, ok := s.backend.(*fsBackend)
+	if !ok {
+		s.mu.Unlock()
+		return CompactStats{}, nil
+	}
+	// Roll the active segment so every record is in a compactable
+	// (immutable) segment; appends during the pass go to a new active.
+	if err := fb.roll(); err != nil {
+		s.mu.Unlock()
+		return CompactStats{}, err
+	}
+	sources, srcBytes := fb.sealedSet()
+	live := make([]Meta, 0, len(s.manifest))
+	for _, m := range s.manifest {
+		if _, ok := sources[m.Segment]; ok {
+			live = append(live, m)
+		}
+	}
+	stats := CompactStats{SegmentsBefore: len(sources), BytesBefore: srcBytes, Records: len(live)}
+	if len(sources) == 0 || (len(sources) == 1 && !hasGarbage(sources, len(live))) {
+		s.mu.Unlock()
+		stats.SegmentsAfter = stats.SegmentsBefore
+		stats.BytesAfter = stats.BytesBefore
+		return stats, nil
+	}
+	// Pin the sources for the copy phase; retirement is pin-aware, so
+	// this also covers any in-flight queries.
+	release := fb.pin(keys(sources))
+	newSeq := fb.allocSeq()
+	s.mu.Unlock()
+
+	// Copy phase, outside the store lock: raw record bytes move from the
+	// source mappings into the new segment, in name order (locality for
+	// prefix scans). No fsync per record — one seal at the end.
+	sort.Slice(live, func(i, j int) bool { return live[i].Name < live[j].Name })
+	newLocs, newSeg, err := fb.writeCompacted(ctx, newSeq, live)
+	release()
+	if err != nil {
+		return stats, err
+	}
+	if err := crashPoint("compact.sealed"); err != nil {
+		return stats, err
+	}
+
+	// Swap phase: move each still-unmoved sketch to its new location,
+	// persist the manifest, then retire the sources.
+	s.mu.Lock()
+	if s.backend != fb {
+		s.mu.Unlock() // a RebuildManifest raced us; drop the pass
+		munmapFile(newSeg.data)
+		newSeg.f.Close()
+		os.Remove(newSeg.path)
+		return stats, fmt.Errorf("store: compaction abandoned: backend was rebuilt")
+	}
+	fb.install(newSeg)
+	for name, loc := range newLocs {
+		m, ok := s.manifest[name]
+		if !ok {
+			continue // deleted during the pass; the racing writer wins
+		}
+		if _, src := sources[m.Segment]; !src {
+			continue // overwritten during the pass
+		}
+		m.Segment, m.Offset, m.Bytes = loc.seg, loc.off, loc.length
+		s.manifest[name] = m
+	}
+	s.covered[newSeg.seq] = newSeg.recEnd // sealed and fully indexed
+	for seq := range sources {
+		delete(s.covered, seq)
+	}
+	s.dirty = true
+	if err := s.flushLocked(); err != nil {
+		s.mu.Unlock()
+		return stats, err
+	}
+	if err := crashPoint("compact.swapped"); err != nil {
+		s.mu.Unlock()
+		return stats, err
+	}
+	if s.cache != nil {
+		s.cache.purgeSegments(sources)
+	}
+	fb.retire(sources)
+	s.mu.Unlock()
+
+	s.compactions.Add(1)
+	stats.Compacted = true
+	stats.SegmentsAfter = 1
+	stats.BytesAfter = newSeg.size
+	stats.Reclaimed = srcBytes - newSeg.size
+	return stats, nil
+}
+
+// hasGarbage reports whether the single source segment holds anything a
+// compaction could reclaim. (Frozen segments undercount records — their
+// count covers only the replayed tail — which at worst triggers a
+// compaction that finds nothing to drop; never the reverse.)
+func hasGarbage(sources map[uint64]*segment, liveRecords int) bool {
+	for _, seg := range sources {
+		if !seg.sealed || seg.count != liveRecords {
+			return true // dead records (overwrites or tombstones)
+		}
+	}
+	// A single fully-live segment re-packs identically; skip.
+	return false
+}
+
+func keys(m map[uint64]*segment) map[uint64]struct{} {
+	out := make(map[uint64]struct{}, len(m))
+	for k := range m {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// recLoc is a record location in the new compacted segment.
+type recLoc struct {
+	seg         uint64
+	off, length int64
+}
+
+// sealedSet snapshots the sealed/frozen segments and their total size.
+func (b *fsBackend) sealedSet() (map[uint64]*segment, int64) {
+	b.segMu.Lock()
+	defer b.segMu.Unlock()
+	out := make(map[uint64]*segment, len(b.segs))
+	var bytes int64
+	for seq, seg := range b.segs {
+		out[seq] = seg
+		bytes += seg.size
+	}
+	return out, bytes
+}
+
+// allocSeq reserves the next segment sequence number.
+func (b *fsBackend) allocSeq() uint64 {
+	b.segMu.Lock()
+	defer b.segMu.Unlock()
+	seq := b.nextSeq
+	b.nextSeq++
+	return seq
+}
+
+// writeCompacted copies the live records into a fresh compacted segment
+// and seals it. The caller holds pins on every source segment.
+func (b *fsBackend) writeCompacted(ctx context.Context, seq uint64, live []Meta) (map[string]recLoc, *segment, error) {
+	w, err := createSegment(b.dir, seq, segKindCompacted)
+	if err != nil {
+		return nil, nil, err
+	}
+	abort := func(err error) (map[string]recLoc, *segment, error) {
+		w.seg.f.Close()
+		os.Remove(w.seg.path)
+		return nil, nil, err
+	}
+	locs := make(map[string]recLoc, len(live))
+	for _, m := range live {
+		if err := ctx.Err(); err != nil {
+			return abort(err)
+		}
+		b.segMu.Lock()
+		src, ok := b.segs[m.Segment]
+		b.segMu.Unlock()
+		if !ok {
+			return abort(fmt.Errorf("store: compaction source segment %d vanished", m.Segment))
+		}
+		if m.Offset < segHeaderBytes || m.Offset+m.Bytes > src.recEnd {
+			return abort(fmt.Errorf("store: %q at segment %d [%d,%d) out of bounds", m.Name, m.Segment, m.Offset, m.Offset+m.Bytes))
+		}
+		raw := src.data[m.Offset : m.Offset+m.Bytes]
+		info, err := core.DecodeRecordInfo(raw, 0)
+		if err != nil {
+			return abort(fmt.Errorf("store: compacting %q: %w", m.Name, err))
+		}
+		off, err := w.appendRecord(raw, info, false)
+		if err != nil {
+			return abort(err)
+		}
+		locs[m.Name] = recLoc{seg: seq, off: off, length: m.Bytes}
+	}
+	seg, err := w.seal()
+	if err != nil {
+		return abort(err)
+	}
+	return locs, seg, nil
+}
+
+// install adds a freshly sealed segment to the live set.
+func (b *fsBackend) install(seg *segment) {
+	b.segMu.Lock()
+	b.segs[seg.seq] = seg
+	b.segMu.Unlock()
+}
+
+// retire removes the segments from the live set and marks them for
+// teardown (munmap, close, unlink) when their last pin drains.
+func (b *fsBackend) retire(sources map[uint64]*segment) {
+	b.segMu.Lock()
+	for seq := range sources {
+		delete(b.segs, seq)
+	}
+	b.segMu.Unlock()
+	for _, seg := range sources {
+		seg.retired.Store(true)
+		seg.release() // the segment-table ref
+	}
+}
+
+// abandon releases the backend's hold on its segments without unlinking
+// the files — the RebuildManifest swap path, where a new backend owns
+// the same directory.
+func (b *fsBackend) abandon() {
+	b.segMu.Lock()
+	segs := b.segs
+	b.segs = make(map[uint64]*segment)
+	b.active = nil
+	b.segMu.Unlock()
+	for _, seg := range segs {
+		seg.keepFile.Store(true)
+		seg.retired.Store(true)
+		seg.release()
+	}
+}
+
+// verifyClean checks that the on-disk manifest and segment files agree
+// byte-for-byte with the in-memory index: manifest checksum, segment
+// footers and whole-file CRCs, covered extents, and the absence of
+// unknown segment or legacy sketch files. A clean store needs no
+// rebuild — and the check performs no per-sketch file opens.
+func (b *fsBackend) verifyClean(metas map[string]Meta) bool {
+	man, err := loadManifestV2(filepath.Join(b.dir, ManifestFile))
+	if err != nil {
+		return false
+	}
+	files, err := scanSegmentFiles(b.dir)
+	if err != nil {
+		return false
+	}
+	legacy, err := scanLegacyFiles(b.dir)
+	if err != nil || len(legacy) > 0 {
+		return false
+	}
+	if len(man.metas) != len(metas) {
+		return false
+	}
+	for name, m := range metas {
+		if man.metas[name] != m {
+			return false
+		}
+	}
+	b.segMu.Lock()
+	segs := make(map[uint64]*segment, len(b.segs))
+	for seq, seg := range b.segs {
+		segs[seq] = seg
+	}
+	active := b.active
+	b.segMu.Unlock()
+	listed := make(map[uint64]bool, len(man.segs))
+	for _, ms := range man.segs {
+		listed[ms.seq] = true
+		if active != nil && active.seg.seq == ms.seq {
+			if ms.covered != active.off {
+				return false
+			}
+			delete(files, ms.seq)
+			continue
+		}
+		seg, ok := segs[ms.seq]
+		if !ok || ms.covered != seg.recEnd {
+			return false
+		}
+		if seg.sealed {
+			if seg.verify() != nil {
+				return false
+			}
+			// The sealed index must parse and agree with the manifest:
+			// every live record the manifest places in this segment has
+			// to appear at the indexed offset.
+			entries, err := seg.readIndex()
+			if err != nil || len(entries) != seg.count {
+				return false
+			}
+			byOff := make(map[int64]segIndexEntry, len(entries))
+			for _, e := range entries {
+				byOff[e.off] = e
+			}
+			for _, m := range metas {
+				if m.Segment != ms.seq {
+					continue
+				}
+				e, ok := byOff[m.Offset]
+				if !ok || e.info.Name != m.Name || int64(e.info.Len) != m.Bytes {
+					return false
+				}
+			}
+		} else if replayRecords(seg.data, segHeaderBytes, seg.recEnd, nil) != seg.recEnd {
+			return false // frozen segment: per-record CRC walk
+		}
+		delete(files, ms.seq)
+	}
+	if len(files) > 0 {
+		return false // segment files the manifest does not know
+	}
+	for seq := range segs {
+		if !listed[seq] {
+			return false
+		}
+	}
+	if active != nil && !listed[active.seg.seq] {
+		return false
+	}
+	return true
+}

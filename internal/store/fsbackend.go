@@ -1,0 +1,684 @@
+package store
+
+// The fs backend: durable sketch storage as append-only, mmap-backed
+// segment files (segment.go). Mutations append packed records — Puts and
+// tombstones — to the active segment, fsynced before acknowledgement;
+// the active segment seals (index + CRC footer) when it outgrows
+// rollBytes or the store closes, and sealed segments serve ranking
+// queries as zero-copy record views out of their read-only mappings.
+// Background compaction (compact.go) folds overwritten records and
+// tombstones into fresh compacted segments.
+//
+// Crash recovery invariants, in play at every open:
+//
+//   - The manifest (manifest.go, v2) records the segment list and, per
+//     segment, how many record bytes it covers. Records beyond a
+//     covered offset — acked Puts after the last manifest flush — are
+//     replayed into the index, each bounded by its own CRC, so an acked
+//     mutation is never lost even though Put itself writes no manifest.
+//   - An unsealed segment (crash before seal) is frozen: mapped as-is
+//     and replayed up to its last CRC-valid record, never truncated or
+//     sealed in place, so a read-only handle cannot corrupt a segment
+//     another handle is still appending to.
+//   - Append segments absent from the manifest with seq above the
+//     manifest's horizon are post-flush rolls: replayed whole. Below the
+//     horizon they are compaction sources whose unlink crashed after
+//     the manifest swap: deleted. Compacted segments absent from the
+//     manifest are output of a compaction whose swap never happened —
+//     their contents still live in the listed sources: deleted.
+//   - Legacy layouts (one file per sketch, flat or sharded, with a v1
+//     manifest or none) are migrated wholesale into segments on first
+//     open, then removed; a crash mid-migration re-runs it.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"misketch/internal/core"
+)
+
+// DefaultSegmentBytes is the roll threshold for the active segment.
+const DefaultSegmentBytes = 128 << 20
+
+type fsBackend struct {
+	dir       string
+	rollBytes int64
+
+	segMu   sync.Mutex
+	segs    map[uint64]*segment // sealed, live segments
+	active  *segmentWriter      // nil until the first post-open append
+	nextSeq uint64
+}
+
+func (b *fsBackend) name() string { return BackendFS }
+
+// openFSBackend opens (creating, recovering, or migrating as needed) the
+// segment store rooted at dir and returns the backend together with the
+// recovered catalog index.
+func openFSBackend(dir string, rollBytes int64) (*fsBackend, map[string]Meta, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	if rollBytes <= 0 {
+		rollBytes = DefaultSegmentBytes
+	}
+	b := &fsBackend{dir: dir, rollBytes: rollBytes, segs: make(map[uint64]*segment), nextSeq: 1}
+	removeTempOrphans(dir)
+
+	man, manErr := loadManifestV2(filepath.Join(dir, ManifestFile))
+	metas := make(map[string]Meta)
+	if manErr == nil {
+		metas = man.metas
+		b.nextSeq = man.nextSeq
+	}
+
+	// Inventory the segment files on disk.
+	segFiles, err := scanSegmentFiles(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	dirty := false
+	if manErr == nil {
+		changed, err := b.recoverWithManifest(man, segFiles, metas)
+		if err != nil {
+			// A manifest inconsistent with the files on disk (a segment
+			// deleted out of band) is not fatal: the records are the
+			// truth. Fall back to a full replay of what exists.
+			b.resetSegments()
+			clear(metas)
+			segFiles, err = scanSegmentFiles(dir)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := b.recoverFromSegments(segFiles, metas); err != nil {
+				return nil, nil, err
+			}
+			changed = true
+		}
+		dirty = changed
+	} else if len(segFiles) > 0 {
+		// Segments without a loadable manifest (missing, corrupt, or
+		// pre-checksum): the records are the truth — full replay.
+		if err := b.recoverFromSegments(segFiles, metas); err != nil {
+			return nil, nil, err
+		}
+		dirty = true
+	}
+	for seq := range b.segs {
+		if seq >= b.nextSeq {
+			b.nextSeq = seq + 1
+		}
+	}
+
+	// Legacy layouts (file-per-sketch, flat or sharded) migrate into
+	// segments; stale v1 manifests are superseded by the next flush.
+	migrated, err := b.migrateLegacy(metas)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(migrated) > 0 || dirty {
+		// The open path is single-threaded: the metas snapshot is
+		// complete, so every current byte is covered.
+		if err := b.persist(metas, nil); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(migrated) > 0 {
+		removeLegacyFiles(dir, migrated)
+	}
+	return b, metas, nil
+}
+
+// recoverWithManifest opens the manifest's segments, replays any records
+// past each covered offset, and disposes of orphan files per the rules
+// in the package comment. Replay application order is append order: the
+// manifest's list order (compacted output before the appends that
+// outlived it, then by seq), then orphan append segments by seq.
+func (b *fsBackend) recoverWithManifest(man *manifestV2, segFiles map[uint64]string, metas map[string]Meta) (changed bool, err error) {
+	var horizon uint64
+	for _, ms := range man.segs {
+		if ms.seq > horizon {
+			horizon = ms.seq
+		}
+	}
+	for _, ms := range man.segs {
+		path, ok := segFiles[ms.seq]
+		if !ok {
+			return false, fmt.Errorf("store: manifest references missing segment %d", ms.seq)
+		}
+		delete(segFiles, ms.seq)
+		seg, err := openSegment(path)
+		if err != nil {
+			return false, err
+		}
+		apply := func(info core.RecordInfo, off int64) {
+			changed = true
+			applyRecord(metas, seg.seq)(info, off)
+		}
+		if seg.sealed {
+			from := ms.covered
+			if from < segHeaderBytes {
+				from = segHeaderBytes
+			}
+			replayRecords(seg.data, from, seg.recEnd, apply)
+		} else if err := freezeSegment(seg, ms.covered, apply); err != nil {
+			return false, err
+		}
+		b.segs[seg.seq] = seg
+	}
+	// Orphans: append segments above the horizon are post-flush rolls
+	// and replay whole, in seq order; everything else is redundant.
+	var orphans []uint64
+	for seq := range segFiles {
+		orphans = append(orphans, seq)
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+	for _, seq := range orphans {
+		path := segFiles[seq]
+		seg, err := openSegment(path)
+		if err != nil {
+			return false, err
+		}
+		if seg.kind == segKindCompacted || seq < horizon {
+			// Redundant with live segments: either a compaction output
+			// whose manifest swap never happened, or a source whose
+			// unlink crashed after the swap.
+			seg.f.Close()
+			os.Remove(path)
+			delete(segFiles, seq)
+			continue
+		}
+		apply := func(info core.RecordInfo, off int64) {
+			changed = true
+			applyRecord(metas, seg.seq)(info, off)
+		}
+		if seg.sealed {
+			replayRecords(seg.data, segHeaderBytes, seg.recEnd, apply)
+		} else if err := freezeSegment(seg, 0, apply); err != nil {
+			return false, err
+		}
+		b.segs[seg.seq] = seg
+		changed = true
+	}
+	return changed, nil
+}
+
+// recoverFromSegments rebuilds the whole catalog index by replaying
+// every segment: compacted segments first (they hold the oldest live
+// records), then append segments, both in seq order.
+func (b *fsBackend) recoverFromSegments(segFiles map[uint64]string, metas map[string]Meta) error {
+	var segs []*segment
+	for _, path := range segFiles {
+		seg, err := openSegment(path)
+		if err != nil {
+			return err
+		}
+		segs = append(segs, seg)
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].kind != segs[j].kind {
+			return segs[i].kind == segKindCompacted
+		}
+		return segs[i].seq < segs[j].seq
+	})
+	for _, seg := range segs {
+		if seg.sealed {
+			replayRecords(seg.data, segHeaderBytes, seg.recEnd, applyRecord(metas, seg.seq))
+		} else if err := freezeSegment(seg, 0, applyRecord(metas, seg.seq)); err != nil {
+			return err
+		}
+		b.segs[seg.seq] = seg
+	}
+	return nil
+}
+
+// applyRecord folds one replayed record into the catalog index.
+func applyRecord(metas map[string]Meta, seq uint64) func(info core.RecordInfo, off int64) {
+	return func(info core.RecordInfo, off int64) {
+		if info.Kind == core.RecordTombstone {
+			delete(metas, info.Name)
+			return
+		}
+		metas[info.Name] = Meta{
+			Name:       info.Name,
+			Method:     info.Method,
+			Role:       info.Role,
+			Seed:       info.Seed,
+			Size:       info.Size,
+			Numeric:    info.Numeric,
+			SourceRows: info.SourceRows,
+			Entries:    info.Entries,
+			Bytes:      int64(info.Len),
+			Segment:    seq,
+			Offset:     off,
+		}
+	}
+}
+
+// put appends a sketch record to the active segment (creating or rolling
+// it as needed) and fsyncs before returning — the Put durability point.
+func (b *fsBackend) put(name string, sk *core.Sketch) (uint64, int64, int64, error) {
+	b.segMu.Lock()
+	defer b.segMu.Unlock()
+	w, err := b.activeLocked()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	off, length, err := w.appendSketch(name, sk, true)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	seq := w.seg.seq
+	if err := b.maybeRollLocked(); err != nil {
+		return 0, 0, 0, err
+	}
+	return seq, off, length, nil
+}
+
+func (b *fsBackend) tombstone(name string) (uint64, int64, error) {
+	b.segMu.Lock()
+	defer b.segMu.Unlock()
+	w, err := b.activeLocked()
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := w.appendTombstone(name, true); err != nil {
+		return 0, 0, err
+	}
+	seq, end := w.seg.seq, w.off
+	return seq, end, b.maybeRollLocked()
+}
+
+// activeLocked returns the active segment writer, creating one on first
+// use. Callers hold segMu.
+func (b *fsBackend) activeLocked() (*segmentWriter, error) {
+	if b.active != nil {
+		return b.active, nil
+	}
+	w, err := createSegment(b.dir, b.nextSeq, segKindAppend)
+	if err != nil {
+		return nil, err
+	}
+	b.nextSeq++
+	b.active = w
+	return w, nil
+}
+
+// maybeRollLocked seals the active segment once it outgrows rollBytes.
+func (b *fsBackend) maybeRollLocked() error {
+	if b.active == nil || b.active.off < b.rollBytes {
+		return nil
+	}
+	return b.rollLocked()
+}
+
+// rollLocked seals the active segment (if any) into the sealed set.
+func (b *fsBackend) rollLocked() error {
+	if b.active == nil {
+		return nil
+	}
+	seg, err := b.active.seal()
+	if err != nil {
+		return err
+	}
+	b.segs[seg.seq] = seg
+	b.active = nil
+	return nil
+}
+
+// roll seals the active segment; compaction calls it so every record is
+// in a sealed (compactable) segment.
+func (b *fsBackend) roll() error {
+	b.segMu.Lock()
+	defer b.segMu.Unlock()
+	return b.rollLocked()
+}
+
+func (b *fsBackend) loadOwned(m Meta) (*core.Sketch, error) {
+	sk, tag, err := b.load(m, false)
+	if err != nil {
+		return nil, err
+	}
+	if tag != 0 {
+		sk = core.CloneSketch(sk)
+	}
+	return sk, nil
+}
+
+func (b *fsBackend) loadView(m Meta) (*core.Sketch, uint64, error) {
+	return b.load(m, true)
+}
+
+// errSegmentGone marks a load that raced a compaction retiring its
+// segment; the caller re-reads the (already updated) manifest and
+// retries at the record's new home.
+var errSegmentGone = fmt.Errorf("store: segment retired")
+
+func (b *fsBackend) load(m Meta, borrow bool) (*core.Sketch, uint64, error) {
+	b.segMu.Lock()
+	if b.active != nil && b.active.seg.seq == m.Segment && !b.active.seg.sealed {
+		w := b.active
+		w.seg.acquire()
+		b.segMu.Unlock()
+		rec, err := w.readRecordAt(m.Offset, m.Bytes)
+		w.seg.release()
+		return finishLoad(rec, err, m, 0)
+	}
+	seg, ok := b.segs[m.Segment]
+	if !ok {
+		b.segMu.Unlock()
+		return nil, 0, errSegmentGone
+	}
+	seg.acquire()
+	b.segMu.Unlock()
+	defer seg.release()
+	if m.Offset < segHeaderBytes || m.Offset+m.Bytes > seg.recEnd {
+		return nil, 0, fmt.Errorf("store: %q at segment %d [%d,%d) out of bounds", m.Name, m.Segment, m.Offset, m.Offset+m.Bytes)
+	}
+	rec, err := core.DecodeRecord(seg.data[:m.Offset+m.Bytes], int(m.Offset), borrow)
+	return finishLoad(rec, err, m, m.Segment)
+}
+
+func finishLoad(rec core.Record, err error, m Meta, tag uint64) (*core.Sketch, uint64, error) {
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: reading %q: %w", m.Name, err)
+	}
+	if rec.Kind != core.RecordSketch || rec.Name != m.Name {
+		return nil, 0, fmt.Errorf("store: record at segment %d+%d is not sketch %q", m.Segment, m.Offset, m.Name)
+	}
+	return rec.Sketch, tag, nil
+}
+
+// pin takes read pins on the given segments so borrowed views stay valid
+// across a query even if a concurrent compaction retires the segments.
+func (b *fsBackend) pin(segs map[uint64]struct{}) func() {
+	b.segMu.Lock()
+	pinned := make([]*segment, 0, len(segs))
+	for seq := range segs {
+		if seg, ok := b.segs[seq]; ok {
+			seg.acquire()
+			pinned = append(pinned, seg)
+		} else if b.active != nil && b.active.seg.seq == seq {
+			b.active.seg.acquire()
+			pinned = append(pinned, b.active.seg)
+		}
+	}
+	b.segMu.Unlock()
+	return func() {
+		for _, seg := range pinned {
+			seg.release()
+		}
+	}
+}
+
+// persist writes the v2 manifest: the segment list with covered offsets
+// plus one record per live sketch. The covered map (when non-nil) caps
+// each segment's covered offset at what the metas snapshot actually
+// indexes — a record durable beyond that cap (a Put or Delete mid-ack)
+// stays uncovered and is replayed on the next open instead of lost.
+func (b *fsBackend) persist(metas map[string]Meta, covered map[uint64]int64) error {
+	capAt := func(seq uint64, end int64) int64 {
+		if covered == nil {
+			return end
+		}
+		v, ok := covered[seq]
+		if !ok {
+			// A segment the index has never touched: only its header is
+			// known-covered; everything else replays.
+			return segHeaderBytes
+		}
+		if v < end {
+			return v
+		}
+		return end
+	}
+	b.segMu.Lock()
+	segs := make([]manifestSeg, 0, len(b.segs)+1)
+	for _, seg := range b.segs {
+		segs = append(segs, manifestSeg{seq: seg.seq, kind: seg.kind, covered: capAt(seg.seq, seg.recEnd)})
+	}
+	if b.active != nil {
+		segs = append(segs, manifestSeg{seq: b.active.seg.seq, kind: b.active.seg.kind, covered: capAt(b.active.seg.seq, b.active.off)})
+	}
+	nextSeq := b.nextSeq
+	b.segMu.Unlock()
+	// List compacted segments before append segments (and both by seq):
+	// replay applies manifest segments in list order, and compacted
+	// records are always older than any append that outlived them.
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].kind != segs[j].kind {
+			return segs[i].kind == segKindCompacted
+		}
+		return segs[i].seq < segs[j].seq
+	})
+	return writeManifestV2(filepath.Join(b.dir, ManifestFile), nextSeq, segs, metas)
+}
+
+// coveredSnapshot reports, per segment, the byte offset currently fully
+// reflected in whatever index the caller just derived from this backend
+// — the starting point for the Store's covered-offset bookkeeping.
+func (b *fsBackend) coveredSnapshot() map[uint64]int64 {
+	b.segMu.Lock()
+	defer b.segMu.Unlock()
+	out := make(map[uint64]int64, len(b.segs)+1)
+	for seq, seg := range b.segs {
+		out[seq] = seg.recEnd
+	}
+	if b.active != nil {
+		out[b.active.seg.seq] = b.active.off
+	}
+	return out
+}
+
+// segmentInfos snapshots per-segment observability state.
+func (b *fsBackend) segmentInfos() []SegmentInfo {
+	b.segMu.Lock()
+	defer b.segMu.Unlock()
+	infos := make([]SegmentInfo, 0, len(b.segs)+1)
+	for _, seg := range b.segs {
+		infos = append(infos, SegmentInfo{
+			Seq: seg.seq, Compacted: seg.kind == segKindCompacted,
+			Sealed: seg.sealed, Bytes: seg.size, Records: seg.count,
+		})
+	}
+	if b.active != nil {
+		infos = append(infos, SegmentInfo{
+			Seq: b.active.seg.seq, Bytes: b.active.off, Records: len(b.active.index),
+		})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Seq < infos[j].Seq })
+	return infos
+}
+
+// close seals the active segment so the next open maps everything
+// without replay. Mappings and descriptors stay valid — like the
+// file-per-sketch engine before it, a closed Store remains usable (the
+// Close contract), so teardown is left to process exit or retirement.
+func (b *fsBackend) close() error {
+	return b.roll()
+}
+
+// resetSegments drops every open segment (recovery-fallback path; no
+// pins can exist during open).
+func (b *fsBackend) resetSegments() {
+	for _, seg := range b.segs {
+		if seg.data != nil {
+			munmapFile(seg.data)
+			seg.data = nil
+		}
+		seg.f.Close()
+	}
+	b.segs = make(map[uint64]*segment)
+}
+
+// scanSegmentFiles inventories dir's segment files by seq, clearing
+// crashed temp files as it goes.
+func scanSegmentFiles(dir string) (map[uint64]string, error) {
+	segFiles := map[uint64]string{}
+	segDir := filepath.Join(dir, segmentsDir)
+	entries, err := os.ReadDir(segDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return segFiles, nil
+		}
+		return nil, fmt.Errorf("store: scanning %s: %w", segDir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(segDir, e.Name()))
+			continue
+		}
+		if seq, ok := parseSegmentPath(e.Name()); ok {
+			segFiles[seq] = filepath.Join(segDir, e.Name())
+		}
+	}
+	return segFiles, nil
+}
+
+// --- Legacy layout migration ----------------------------------------------
+
+// scanLegacyFiles finds file-per-sketch files in both legacy layouts:
+// flat (dir/*.misk) and sharded (dir/shards/*/*.misk).
+func scanLegacyFiles(dir string) (map[string]string, error) {
+	found := make(map[string]string)
+	collect := func(d string) error {
+		entries, err := os.ReadDir(d)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return fmt.Errorf("store: scanning %s: %w", d, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			file := e.Name()
+			if strings.Contains(file, sketchExt+".tmp") {
+				os.Remove(filepath.Join(d, file)) // orphan of a crashed write
+				continue
+			}
+			if name, ok := decodeName(file); ok {
+				found[name] = filepath.Join(d, file)
+			}
+		}
+		return nil
+	}
+	if err := collect(dir); err != nil {
+		return nil, err
+	}
+	shardRoot := filepath.Join(dir, shardsDir)
+	dirs, err := os.ReadDir(shardRoot)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: scanning %s: %w", shardRoot, err)
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		if err := collect(filepath.Join(shardRoot, d.Name())); err != nil {
+			return nil, err
+		}
+	}
+	return found, nil
+}
+
+// migrateLegacy packs every legacy file-per-sketch into the segment
+// engine and returns the migrated files (only those are deleted —
+// foreign or unreadable files that merely look like sketches stay put,
+// unindexed, as they always did). The legacy files are left in place
+// until the caller has persisted the new manifest — a crash
+// mid-migration simply re-runs it (same names overwrite; the duplicate
+// records are garbage a compaction folds away).
+func (b *fsBackend) migrateLegacy(metas map[string]Meta) (map[string]string, error) {
+	legacy, err := scanLegacyFiles(b.dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(legacy) == 0 {
+		return nil, nil
+	}
+	names := make([]string, 0, len(legacy))
+	for name := range legacy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	migrated := make(map[string]string, len(legacy))
+	b.segMu.Lock()
+	defer b.segMu.Unlock()
+	for _, name := range names {
+		sk, err := readLegacySketch(legacy[name])
+		if err != nil {
+			continue // unreadable or foreign file; leave it unindexed
+		}
+		w, err := b.activeLocked()
+		if err != nil {
+			return nil, err
+		}
+		off, length, err := w.appendSketch(name, sk, false)
+		if err != nil {
+			return nil, err
+		}
+		applyRecord(metas, w.seg.seq)(core.RecordInfo{
+			Kind: core.RecordSketch, Name: name, Len: int(length),
+			Method: sk.Method, Role: sk.Role, Seed: sk.Seed, Size: sk.Size,
+			Numeric: sk.Numeric, SourceRows: sk.SourceRows, Entries: sk.Len(),
+		}, off)
+		migrated[name] = legacy[name]
+		if err := b.maybeRollLocked(); err != nil {
+			return nil, err
+		}
+	}
+	if b.active != nil {
+		if err := b.active.seg.f.Sync(); err != nil {
+			return nil, err
+		}
+	}
+	return migrated, nil
+}
+
+func readLegacySketch(path string) (*core.Sketch, error) {
+	f, err := openFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.ReadSketch(f)
+}
+
+// removeLegacyFiles deletes the migrated file-per-sketch files and any
+// shard directories they leave empty.
+func removeLegacyFiles(dir string, migrated map[string]string) {
+	for _, path := range migrated {
+		os.Remove(path)
+	}
+	shardRoot := filepath.Join(dir, shardsDir)
+	if dirs, err := os.ReadDir(shardRoot); err == nil {
+		for _, d := range dirs {
+			os.Remove(filepath.Join(shardRoot, d.Name())) // only if empty
+		}
+		os.Remove(shardRoot)
+	}
+}
+
+// removeTempOrphans clears crashed atomic-write leftovers in the store
+// root.
+func removeTempOrphans(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), ManifestFile+".tmp") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}

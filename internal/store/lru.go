@@ -8,7 +8,10 @@ import (
 
 // lruCache is a byte-bounded LRU of decoded sketches, replacing the
 // unbounded map a small store could get away with: a catalog of millions
-// of sketches must not grow memory with every Get. It is not safe for
+// of sketches must not grow memory with every load. Entries are tagged
+// with the segment their sketch borrows memory from (0 = the sketch owns
+// its memory), so a compaction retiring segments can purge the views
+// that alias them before the mappings go away. It is not safe for
 // concurrent use on its own; Store serializes access under its mutex.
 type lruCache struct {
 	max  int64 // byte budget
@@ -24,14 +27,18 @@ type lruEntry struct {
 	name  string
 	sk    *core.Sketch
 	bytes int64
+	seg   uint64 // segment the sketch borrows from; 0 = owned memory
 }
 
 func newLRUCache(max int64) *lruCache {
 	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// sketchBytes approximates the resident size of a decoded sketch: the
-// slice payloads plus per-string and fixed struct overhead.
+// sketchBytes approximates the resident (or, for a borrowed view, the
+// referenced) size of a decoded sketch: the array payloads plus
+// per-string and fixed struct overhead. Charging views for the mapped
+// bytes they keep hot preserves the budget's meaning as "sketch bytes
+// this cache keeps reachable".
 func sketchBytes(sk *core.Sketch) int64 {
 	n := int64(96) // struct and slice headers
 	n += 4 * int64(len(sk.KeyHashes))
@@ -42,17 +49,18 @@ func sketchBytes(sk *core.Sketch) int64 {
 	return n
 }
 
-func (c *lruCache) get(name string) (*core.Sketch, bool) {
+func (c *lruCache) get(name string) (*core.Sketch, uint64, bool) {
 	if e, ok := c.items[name]; ok {
 		c.ll.MoveToFront(e)
 		c.hits++
-		return e.Value.(*lruEntry).sk, true
+		ent := e.Value.(*lruEntry)
+		return ent.sk, ent.seg, true
 	}
 	c.misses++
-	return nil, false
+	return nil, 0, false
 }
 
-func (c *lruCache) add(name string, sk *core.Sketch) {
+func (c *lruCache) add(name string, sk *core.Sketch, seg uint64) {
 	b := sketchBytes(sk)
 	if b > c.max {
 		// Larger than the whole budget: never resident — and if an update
@@ -63,10 +71,10 @@ func (c *lruCache) add(name string, sk *core.Sketch) {
 	if e, ok := c.items[name]; ok {
 		ent := e.Value.(*lruEntry)
 		c.used += b - ent.bytes
-		ent.sk, ent.bytes = sk, b
+		ent.sk, ent.bytes, ent.seg = sk, b, seg
 		c.ll.MoveToFront(e)
 	} else {
-		c.items[name] = c.ll.PushFront(&lruEntry{name: name, sk: sk, bytes: b})
+		c.items[name] = c.ll.PushFront(&lruEntry{name: name, sk: sk, bytes: b, seg: seg})
 		c.used += b
 	}
 	// Evict from the cold end; never evict the entry just touched.
@@ -90,4 +98,21 @@ func (c *lruCache) evict(e *list.Element) {
 	delete(c.items, ent.name)
 	c.used -= ent.bytes
 	c.evictions++
+}
+
+// purgeSegments drops every entry borrowing from the given segments —
+// called before a compaction's sources are torn down.
+func (c *lruCache) purgeSegments(segs map[uint64]*segment) {
+	for e := c.ll.Front(); e != nil; {
+		next := e.Next()
+		ent := e.Value.(*lruEntry)
+		if ent.seg != 0 {
+			if _, gone := segs[ent.seg]; gone {
+				c.ll.Remove(e)
+				delete(c.items, ent.name)
+				c.used -= ent.bytes
+			}
+		}
+		e = next
+	}
 }

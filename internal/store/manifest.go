@@ -1,51 +1,70 @@
 package store
 
 // The manifest is the store's index: one metadata record per stored
-// sketch, kept in memory while the store is open and persisted as a
-// single file in the store root. Discovery queries filter candidates on
-// it (seed, role, name, entry count) without opening any sketch file;
-// losing it is never fatal because it can be rebuilt from the sketch
-// headers alone (core.ReadSketchHeader).
+// sketch plus the segment list, kept in memory while the store is open
+// and persisted as a single checksummed file in the store root.
+// Discovery queries filter candidates on it (seed, role, name, entry
+// count) without touching segment pages; losing it is never fatal
+// because it can be rebuilt by replaying the segments.
 //
-// On-disk layout (little-endian, varint = unsigned LEB128), mirroring
-// the sketch format documented in internal/core/encode.go:
+// Version 2 layout (little-endian, varint = unsigned LEB128):
 //
-//	magic "MISX" | version u8 | shards u32 | count varint |
-//	count × entry, sorted by name:
+//	magic "MISX" | version u8 = 2 | nextSeq uvarint |
+//	segCount uvarint × { seq uvarint | kind u8 | covered uvarint } |
+//	count uvarint × entry, sorted by name:
 //	  name str | method str | role u8 | seed u32 | size varint |
-//	  numeric u8 | sourceRows varint | entries varint | bytes varint
+//	  numeric u8 | sourceRows varint | entries varint |
+//	  bytes varint | segment uvarint | offset uvarint |
+//	crc u32 (CRC-32C of every preceding byte)
 //
-// str = varint length + raw bytes. "shards" records the directory
-// fan-out the store was created with, so reopening never depends on the
-// caller passing the same option. "entries" is the sketch's stored entry
-// count and "bytes" its file size. The manifest is written atomically:
-// temp file in the store root, fsync, rename.
+// str = varint length + raw bytes. "covered" is the byte offset within
+// the segment's record region that this manifest accounts for: records
+// beyond it (acked Puts after the manifest was written) are replayed at
+// open. "bytes" is the packed record's length and (segment, offset) its
+// location. The trailing checksum makes a cleanly-loading manifest
+// trustworthy as-is — opening an indexed store costs one file read and
+// zero per-sketch work regardless of catalog size.
+//
+// Version 1 (the file-per-sketch era: no segments, no checksum) is kept
+// below only so tests can fabricate legacy stores; the open path treats
+// any store whose manifest is not v2 as a candidate for recovery or
+// migration.
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/base32"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"misketch/internal/binio"
 	"misketch/internal/core"
 )
 
 const (
-	manifestMagic   = "MISX"
-	manifestVersion = 1
+	manifestMagic     = "MISX"
+	manifestVersion1  = 1
+	manifestVersion   = 2
+	manifestCRCBytes  = 4
+	manifestMinV2Size = 4 + 1 + 1 + 1 + 1 + manifestCRCBytes
 
 	// ManifestFile is the manifest's filename inside the store root.
 	ManifestFile = "MANIFEST"
 
-	// shardsDir is the subdirectory holding the sharded sketch files.
+	// shardsDir is the subdirectory the legacy sharded layout kept its
+	// sketch files in; the migration path scans it.
 	shardsDir = "shards"
 )
 
 // Meta is one manifest record: everything ranking needs to know about a
-// stored sketch before deciding to load it.
+// stored sketch before deciding to load it, plus where its packed
+// record lives.
 type Meta struct {
 	Name       string
 	Method     core.Method
@@ -57,12 +76,17 @@ type Meta struct {
 	// Entries is the sketch's stored entry count (its Len); an upper
 	// bound contributor to any join size involving it.
 	Entries int
-	// Bytes is the sketch file's size on disk.
+	// Bytes is the packed record's length on disk (for the mem backend,
+	// an in-memory size estimate).
 	Bytes int64
+	// Segment and Offset locate the packed record (fs backend; zero for
+	// mem).
+	Segment uint64
+	Offset  int64
 }
 
-// metaOf derives the manifest record for a sketch about to be stored.
-func metaOf(name string, sk *core.Sketch, bytes int64) Meta {
+// metaOf derives the manifest record for a sketch just stored.
+func metaOf(name string, sk *core.Sketch, seg uint64, off, bytes int64) Meta {
 	return Meta{
 		Name:       name,
 		Method:     sk.Method,
@@ -73,81 +97,70 @@ func metaOf(name string, sk *core.Sketch, bytes int64) Meta {
 		SourceRows: sk.SourceRows,
 		Entries:    sk.Len(),
 		Bytes:      bytes,
+		Segment:    seg,
+		Offset:     off,
 	}
 }
 
-// readMeta builds a manifest record from a sketch file using a
-// header-only decode — the rebuild/repair path.
-func readMeta(path, name string) (Meta, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return Meta{}, err
-	}
-	defer f.Close()
-	h, err := core.ReadSketchHeader(f)
-	if err != nil {
-		return Meta{}, err
-	}
-	fi, err := f.Stat()
-	if err != nil {
-		return Meta{}, err
-	}
-	return Meta{
-		Name:       name,
-		Method:     h.Method,
-		Role:       h.Role,
-		Seed:       h.Seed,
-		Size:       h.Size,
-		Numeric:    h.Numeric,
-		SourceRows: h.SourceRows,
-		Entries:    h.Entries,
-		Bytes:      fi.Size(),
-	}, nil
+// manifestSeg is one segment-list entry.
+type manifestSeg struct {
+	seq     uint64
+	kind    uint8
+	covered int64
 }
 
-// shardOf maps a sketch name to its shard directory name: an FNV-1a
-// fan-out, so sketches spread evenly regardless of naming conventions.
-func shardOf(name string, shards uint32) string {
-	h := fnv.New32a()
-	h.Write([]byte(name))
-	return fmt.Sprintf("%04x", h.Sum32()%shards)
+// manifestV2 is a parsed v2 manifest.
+type manifestV2 struct {
+	nextSeq uint64
+	segs    []manifestSeg
+	metas   map[string]Meta
 }
 
-// writeManifest atomically persists the manifest next to the shards.
-func writeManifest(path string, shards uint32, metas map[string]Meta) error {
+// errManifestVersion marks a manifest readable but not v2 (a legacy v1
+// store about to be migrated).
+var errManifestVersion = errors.New("store: manifest is not version 2")
+
+// writeManifestV2 atomically persists the manifest next to the segments.
+func writeManifestV2(path string, nextSeq uint64, segs []manifestSeg, metas map[string]Meta) error {
 	names := make([]string, 0, len(metas))
 	for name := range metas {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
+	var buf bytes.Buffer
+	mw := &binio.Writer{W: &buf}
+	mw.Bytes([]byte(manifestMagic))
+	mw.U8(manifestVersion)
+	mw.Uvarint(nextSeq)
+	mw.Uvarint(uint64(len(segs)))
+	for _, s := range segs {
+		mw.Uvarint(s.seq)
+		mw.U8(s.kind)
+		mw.Uvarint(uint64(s.covered))
+	}
+	mw.Uvarint(uint64(len(names)))
+	for _, name := range names {
+		m := metas[name]
+		mw.Str(name)
+		mw.Str(string(m.Method))
+		mw.U8(uint8(m.Role))
+		mw.U32(m.Seed)
+		mw.Uvarint(uint64(m.Size))
+		mw.U8(b2u8(m.Numeric))
+		mw.Uvarint(uint64(m.SourceRows))
+		mw.Uvarint(uint64(m.Entries))
+		mw.Uvarint(uint64(m.Bytes))
+		mw.Uvarint(m.Segment)
+		mw.Uvarint(uint64(m.Offset))
+	}
+	if mw.Err != nil {
+		return fmt.Errorf("store: encoding manifest: %w", mw.Err)
+	}
+	payload := binio.AppendU32(buf.Bytes(), crc32.Checksum(buf.Bytes(), crcTable))
 	err := atomicWrite(path, ManifestFile+".tmp*", func(f *os.File) error {
-		buf := bufio.NewWriter(f)
-		mw := &binio.Writer{W: buf}
-		mw.Bytes([]byte(manifestMagic))
-		mw.U8(manifestVersion)
-		mw.U32(shards)
-		mw.Uvarint(uint64(len(names)))
-		for _, name := range names {
-			m := metas[name]
-			mw.Str(name)
-			mw.Str(string(m.Method))
-			mw.U8(uint8(m.Role))
-			mw.U32(m.Seed)
-			mw.Uvarint(uint64(m.Size))
-			if m.Numeric {
-				mw.U8(1)
-			} else {
-				mw.U8(0)
-			}
-			mw.Uvarint(uint64(m.SourceRows))
-			mw.Uvarint(uint64(m.Entries))
-			mw.Uvarint(uint64(m.Bytes))
-		}
-		if mw.Err == nil {
-			mw.Err = buf.Flush()
-		}
-		return mw.Err
+		_, werr := f.Write(payload)
+		return werr
 	})
 	if err != nil {
 		return fmt.Errorf("store: writing manifest: %w", err)
@@ -155,10 +168,97 @@ func writeManifest(path string, shards uint32, metas map[string]Meta) error {
 	return nil
 }
 
+// loadManifestV2 reads a manifest written by writeManifestV2. A missing
+// file surfaces as an os.IsNotExist error; a v1 manifest as
+// errManifestVersion.
+func loadManifestV2(path string) (*manifestV2, error) {
+	raw, err := readFileHooked(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < manifestMinV2Size {
+		return nil, fmt.Errorf("store: manifest too short (%d bytes)", len(raw))
+	}
+	if string(raw[:4]) != manifestMagic {
+		return nil, fmt.Errorf("store: bad manifest magic %q", raw[:4])
+	}
+	if raw[4] != manifestVersion {
+		return nil, fmt.Errorf("%w (version %d)", errManifestVersion, raw[4])
+	}
+	body, tail := raw[:len(raw)-manifestCRCBytes], raw[len(raw)-manifestCRCBytes:]
+	if got, want := crc32.Checksum(body, crcTable), binio.U32At(tail, 0); got != want {
+		return nil, fmt.Errorf("store: manifest fails CRC (%08x != %08x)", got, want)
+	}
+	mr := newBytesBinioReader(body[5:])
+	man := &manifestV2{metas: make(map[string]Meta)}
+	man.nextSeq = mr.Uvarint()
+	segCount := mr.Uvarint()
+	if mr.Err != nil || segCount > uint64(len(body)) {
+		return nil, fmt.Errorf("store: reading manifest segment list: %v", mr.Err)
+	}
+	for i := uint64(0); i < segCount; i++ {
+		var s manifestSeg
+		s.seq = mr.Uvarint()
+		s.kind = mr.U8()
+		s.covered = int64(mr.Uvarint())
+		if mr.Err != nil {
+			return nil, fmt.Errorf("store: reading manifest segment %d: %w", i, mr.Err)
+		}
+		man.segs = append(man.segs, s)
+	}
+	count := mr.Uvarint()
+	if mr.Err != nil || count > uint64(len(body))/minEntryBytes {
+		return nil, fmt.Errorf("store: implausible manifest (%d sketches in %d bytes)", count, len(body))
+	}
+	man.metas = make(map[string]Meta, count)
+	for i := uint64(0); i < count; i++ {
+		var m Meta
+		m.Name = mr.Str()
+		m.Method = core.Method(mr.Str())
+		m.Role = core.Role(mr.U8())
+		m.Seed = mr.U32()
+		m.Size = int(mr.Uvarint())
+		m.Numeric = mr.U8() == 1
+		m.SourceRows = int(mr.Uvarint())
+		m.Entries = int(mr.Uvarint())
+		m.Bytes = int64(mr.Uvarint())
+		m.Segment = mr.Uvarint()
+		m.Offset = int64(mr.Uvarint())
+		if mr.Err != nil {
+			return nil, fmt.Errorf("store: reading manifest entry %d: %w", i, mr.Err)
+		}
+		man.metas[m.Name] = m
+	}
+	return man, nil
+}
+
+// minEntryBytes bounds the per-entry size from below so a corrupt count
+// cannot demand an absurd map preallocation.
+const minEntryBytes = 14
+
+// readFileHooked reads a whole file through the open-count hook.
+func readFileHooked(path string) ([]byte, error) {
+	f, err := openFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, fi.Size())
+	if _, err := f.ReadAt(buf, 0); err != nil && fi.Size() > 0 {
+		return nil, err
+	}
+	return buf, nil
+}
+
 // atomicWrite writes path via a temp file in the same directory with the
 // full durability recipe: write, fsync the file, rename into place,
 // fsync the directory so the rename itself survives power loss. No temp
-// file is left behind on failure.
+// file is left behind on failure — except at an injected crash point,
+// which by design leaves the debris a real crash would.
 func atomicWrite(path, tmpPattern string, write func(f *os.File) error) error {
 	f, err := os.CreateTemp(filepath.Dir(path), tmpPattern)
 	if err != nil {
@@ -173,9 +273,15 @@ func atomicWrite(path, tmpPattern string, write func(f *os.File) error) error {
 		err = cerr
 	}
 	if err == nil {
+		if herr := crashPoint("flush.written"); herr != nil {
+			return herr // crash before rename: tmp file left behind
+		}
 		err = os.Rename(tmp, path)
 	}
 	if err == nil {
+		if herr := crashPoint("flush.renamed"); herr != nil {
+			return herr // crash before the directory sync
+		}
 		err = syncDir(filepath.Dir(path))
 	}
 	if err != nil {
@@ -198,57 +304,79 @@ func syncDir(dir string) error {
 	return err
 }
 
-// loadManifest reads a manifest written by writeManifest. A missing file
-// surfaces as an os.IsNotExist error.
-func loadManifest(path string) (uint32, map[string]Meta, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, nil, err
+// --- Legacy (v1) manifest codec -------------------------------------------
+//
+// The file-per-sketch era's manifest: no segment list, no checksum, a
+// shard fan-out header instead. Kept so the migration tests can
+// fabricate bit-faithful legacy stores; the open path never writes it.
+
+// writeManifestV1 persists a legacy v1 manifest (tests only).
+func writeManifestV1(path string, shards uint32, metas map[string]Meta) error {
+	names := make([]string, 0, len(metas))
+	for name := range metas {
+		names = append(names, name)
 	}
-	defer f.Close()
-	fi, err := f.Stat()
-	if err != nil {
-		return 0, nil, fmt.Errorf("store: reading manifest: %w", err)
-	}
-	mr := &binio.Reader{R: bufio.NewReader(f)}
-	magic := mr.Bytes(4)
-	if mr.Err != nil {
-		return 0, nil, fmt.Errorf("store: reading manifest: %w", mr.Err)
-	}
-	if string(magic) != manifestMagic {
-		return 0, nil, fmt.Errorf("store: bad manifest magic %q", magic)
-	}
-	if v := mr.U8(); v != manifestVersion {
-		return 0, nil, fmt.Errorf("store: unsupported manifest version %d", v)
-	}
-	shards := mr.U32()
-	count := mr.Uvarint()
-	if mr.Err != nil {
-		return 0, nil, fmt.Errorf("store: reading manifest header: %w", mr.Err)
-	}
-	// Each entry occupies at least minEntryBytes on disk, so a count the
-	// file cannot physically hold is corruption — caught here, before the
-	// map preallocation could ask the runtime for absurd amounts of memory.
-	const minEntryBytes = 12
-	if shards == 0 || shards > maxShards || count > uint64(fi.Size())/minEntryBytes {
-		return 0, nil, fmt.Errorf("store: implausible manifest (%d shards, %d sketches in %d bytes)", shards, count, fi.Size())
-	}
-	metas := make(map[string]Meta, count)
-	for i := 0; i < int(count); i++ {
-		var m Meta
-		m.Name = mr.Str()
-		m.Method = core.Method(mr.Str())
-		m.Role = core.Role(mr.U8())
-		m.Seed = mr.U32()
-		m.Size = int(mr.Uvarint())
-		m.Numeric = mr.U8() == 1
-		m.SourceRows = int(mr.Uvarint())
-		m.Entries = int(mr.Uvarint())
-		m.Bytes = int64(mr.Uvarint())
-		if mr.Err != nil {
-			return 0, nil, fmt.Errorf("store: reading manifest entry %d: %w", i, mr.Err)
+	sort.Strings(names)
+	err := atomicWrite(path, ManifestFile+".tmp*", func(f *os.File) error {
+		buf := bufio.NewWriter(f)
+		mw := &binio.Writer{W: buf}
+		mw.Bytes([]byte(manifestMagic))
+		mw.U8(manifestVersion1)
+		mw.U32(shards)
+		mw.Uvarint(uint64(len(names)))
+		for _, name := range names {
+			m := metas[name]
+			mw.Str(name)
+			mw.Str(string(m.Method))
+			mw.U8(uint8(m.Role))
+			mw.U32(m.Seed)
+			mw.Uvarint(uint64(m.Size))
+			mw.U8(b2u8(m.Numeric))
+			mw.Uvarint(uint64(m.SourceRows))
+			mw.Uvarint(uint64(m.Entries))
+			mw.Uvarint(uint64(m.Bytes))
 		}
-		metas[m.Name] = m
+		if mw.Err == nil {
+			mw.Err = buf.Flush()
+		}
+		return mw.Err
+	})
+	if err != nil {
+		return fmt.Errorf("store: writing manifest: %w", err)
 	}
-	return shards, metas, nil
+	return nil
+}
+
+// --- Legacy layout helpers (shared with migration) ------------------------
+
+// sketchExt is the file extension the legacy layouts stored sketches
+// under.
+const sketchExt = ".misk"
+
+// base32Encoding encodes sketch names with '-' padding so filenames
+// stay shell-safe (legacy layout).
+var base32Encoding = base32.StdEncoding.WithPadding('-')
+
+// encodeName maps an arbitrary sketch name to its legacy filename.
+func encodeName(name string) string {
+	return base32Encoding.EncodeToString([]byte(name)) + sketchExt
+}
+
+func decodeName(file string) (string, bool) {
+	if !strings.HasSuffix(file, sketchExt) {
+		return "", false
+	}
+	raw, err := base32Encoding.DecodeString(strings.TrimSuffix(file, sketchExt))
+	if err != nil {
+		return "", false
+	}
+	return string(raw), true
+}
+
+// shardOf maps a sketch name to its legacy shard directory name: an
+// FNV-1a fan-out (migration and tests only).
+func shardOf(name string, shards uint32) string {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return fmt.Sprintf("%04x", h.Sum32()%shards)
 }

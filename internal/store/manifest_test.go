@@ -9,53 +9,94 @@ import (
 	"misketch/internal/core"
 )
 
-func TestManifestFileRoundTrip(t *testing.T) {
+func TestManifestV2RoundTrip(t *testing.T) {
 	metas := map[string]Meta{
 		"tables/a.csv#x@k": {
 			Name: "tables/a.csv#x@k", Method: core.TUPSK, Role: core.RoleCandidate,
-			Seed: 42, Size: 1024, Numeric: true, SourceRows: 123456, Entries: 1024, Bytes: 13000,
+			Seed: 42, Size: 1024, Numeric: true, SourceRows: 123456, Entries: 1024,
+			Bytes: 13000, Segment: 3, Offset: 16,
 		},
 		"b#y": {
 			Name: "b#y", Method: core.LV2SK, Role: core.RoleTrain,
-			Seed: 7, Size: 256, Numeric: false, SourceRows: 99, Entries: 80, Bytes: 900,
+			Seed: 7, Size: 256, Numeric: false, SourceRows: 99, Entries: 80,
+			Bytes: 900, Segment: 3, Offset: 13016,
 		},
 		"empty": {
 			Name: "empty", Method: core.CSK, Role: core.RoleCandidate,
-			Seed: 1, Size: 64, Numeric: true, SourceRows: 0, Entries: 0, Bytes: 40,
+			Seed: 1, Size: 64, Numeric: true, SourceRows: 0, Entries: 0,
+			Bytes: 48, Segment: 5, Offset: 16,
 		},
 	}
+	segs := []manifestSeg{
+		{seq: 3, kind: segKindCompacted, covered: 13916},
+		{seq: 5, kind: segKindAppend, covered: 64},
+	}
 	path := filepath.Join(t.TempDir(), ManifestFile)
-	if err := writeManifest(path, 32, metas); err != nil {
+	if err := writeManifestV2(path, 6, segs, metas); err != nil {
 		t.Fatal(err)
 	}
-	shards, got, err := loadManifest(path)
+	man, err := loadManifestV2(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if shards != 32 {
-		t.Errorf("shards = %d, want 32", shards)
+	if man.nextSeq != 6 {
+		t.Errorf("nextSeq = %d, want 6", man.nextSeq)
 	}
-	if !reflect.DeepEqual(got, metas) {
-		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, metas)
+	if !reflect.DeepEqual(man.segs, segs) {
+		t.Errorf("segment list mismatch:\n got %+v\nwant %+v", man.segs, segs)
+	}
+	if !reflect.DeepEqual(man.metas, metas) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", man.metas, metas)
 	}
 }
 
-func TestLoadManifestRejectsCorruptInput(t *testing.T) {
+func TestLoadManifestV2RejectsCorruptInput(t *testing.T) {
 	dir := t.TempDir()
+
+	// A valid manifest with any byte flipped must fail the checksum.
+	path := filepath.Join(dir, ManifestFile)
+	metas := map[string]Meta{"a": {Name: "a", Method: core.TUPSK, Entries: 4, Bytes: 80, Segment: 1, Offset: 16}}
+	if err := writeManifestV2(path, 2, []manifestSeg{{seq: 1, covered: 96}}, metas); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{6, len(raw) / 2, len(raw) - 1} {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x40
+		bad := filepath.Join(dir, "flipped")
+		if err := os.WriteFile(bad, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadManifestV2(bad); err == nil {
+			t.Errorf("bit flip at %d: expected error", i)
+		}
+	}
+
 	for name, content := range map[string][]byte{
 		"bad-magic":   []byte("NOPE additional bytes"),
 		"truncated":   []byte("MIS"),
-		"bad-version": append([]byte("MISX"), 99),
+		"bad-version": append([]byte("MISX"), 99, 0, 0, 0, 0, 0, 0, 0, 0),
 	} {
-		path := filepath.Join(dir, name)
-		if err := os.WriteFile(path, content, 0o644); err != nil {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, content, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := loadManifest(path); err == nil {
+		if _, err := loadManifestV2(p); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
 	}
-	if _, _, err := loadManifest(filepath.Join(dir, "missing")); !os.IsNotExist(err) {
+	// A v1 manifest is not corrupt — it is a legacy store marker.
+	v1 := filepath.Join(dir, "v1")
+	if err := writeManifestV1(v1, 64, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadManifestV2(v1); err == nil {
+		t.Error("v1 manifest: expected errManifestVersion")
+	}
+	if _, err := loadManifestV2(filepath.Join(dir, "missing")); !os.IsNotExist(err) {
 		t.Errorf("missing manifest should surface as not-exist, got %v", err)
 	}
 }

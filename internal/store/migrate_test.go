@@ -1,0 +1,206 @@
+package store
+
+// Differential tests for the storage-engine refactor: the mmap-backed
+// zero-copy ranking path must produce bit-for-bit the rankings the
+// file-per-sketch engine produced — across both legacy on-disk layouts,
+// opened in place and migrated transparently — and the open/rebuild
+// paths must cost O(segment files), never O(sketches), in file opens.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"misketch/internal/core"
+	"misketch/internal/mi"
+)
+
+// legacyCorpus builds a deterministic mixed corpus: numeric and
+// categorical candidates over overlapping key universes, plus sketches
+// an eligible query must skip (foreign seed, train role).
+func legacyCorpus(t *testing.T) (train *core.Sketch, sketches map[string]*core.Sketch) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	sopt := core.Options{Method: core.TUPSK, Size: 256}
+	tb, err := core.NewStreamBuilder(core.RoleTrain, true, sopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		tb.AddNum(fmt.Sprintf("g%d", rng.Intn(300)), rng.NormFloat64())
+	}
+	train = tb.Sketch()
+	sketches = map[string]*core.Sketch{}
+	for c := 0; c < 40; c++ {
+		numeric := c%3 != 0
+		cb, err := core.NewStreamBuilder(core.RoleCandidate, numeric, sopt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := (c * 13) % 200
+		for g := lo; g < lo+150; g++ {
+			if numeric {
+				cb.AddNum(fmt.Sprintf("g%d", g), float64(g%9)+rng.NormFloat64())
+			} else {
+				cb.AddStr(fmt.Sprintf("g%d", g), fmt.Sprintf("c%d", g%7))
+			}
+		}
+		sketches[fmt.Sprintf("corpus/t%02d#x", c)] = cb.Sketch()
+	}
+	foreign, err := core.NewStreamBuilder(core.RoleCandidate, true, core.Options{Method: core.TUPSK, Size: 256, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign.AddNum("g1", 1)
+	sketches["corpus/foreign#x"] = foreign.Sketch()
+	sketches["corpus/train-role"] = train
+	return train, sketches
+}
+
+// rankAll runs the same query (all candidates, then top-5) against a
+// store and returns both results.
+func rankAll(t *testing.T, st *Store, train *core.Sketch) (full, top []RankedSketch, skipped []string) {
+	t.Helper()
+	ctx := context.Background()
+	full, skipped, err := st.RankQuery(ctx, train, RankOptions{Prefix: "corpus/", MinJoinSize: 20, K: mi.DefaultK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, _, err = st.RankQuery(ctx, train, RankOptions{Prefix: "corpus/", MinJoinSize: 20, K: mi.DefaultK, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return full, top, skipped
+}
+
+func rankingsBitEqual(t *testing.T, label string, got, want []RankedSketch) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Name != w.Name || math.Float64bits(g.MI) != math.Float64bits(w.MI) ||
+			g.Estimator != w.Estimator || g.JoinSize != w.JoinSize {
+			t.Fatalf("%s: rank %d differs:\n got %+v\nwant %+v", label, i, g, w)
+		}
+	}
+}
+
+// TestMigrationRankingsBitForBit opens stores fabricated in both legacy
+// layouts (flat, and sharded with a v1 manifest) in place, and asserts
+// the migrated segment engine ranks bit-for-bit identically to the
+// reference: the same sketches served from memory, estimated by the
+// same query — the legacy path's semantics without its I/O.
+func TestMigrationRankingsBitForBit(t *testing.T) {
+	train, sketches := legacyCorpus(t)
+
+	// Reference rankings from a mem-backed store (no packing, no mmap —
+	// the sketches exactly as built).
+	ref, err := OpenWithOptions("", OpenOptions{Backend: BackendMem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, sk := range sketches {
+		if err := ref.Put(name, sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantFull, wantTop, wantSkipped := rankAll(t, ref, train)
+	if len(wantFull) == 0 || len(wantTop) != 5 || len(wantSkipped) != 2 {
+		t.Fatalf("degenerate reference: %d full, %d top, %v skipped", len(wantFull), len(wantTop), wantSkipped)
+	}
+
+	for _, layout := range []struct {
+		name   string
+		shards uint32
+	}{{"flat", 0}, {"sharded", 16}} {
+		t.Run(layout.name, func(t *testing.T) {
+			dir := t.TempDir()
+			writeLegacyStore(t, dir, sketches, layout.shards)
+			st, err := Open(dir) // migrates in place
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotFull, gotTop, gotSkipped := rankAll(t, st, train)
+			rankingsBitEqual(t, layout.name+"/cold-full", gotFull, wantFull)
+			rankingsBitEqual(t, layout.name+"/cold-top", gotTop, wantTop)
+			if len(gotSkipped) != len(wantSkipped) {
+				t.Errorf("skipped = %v, want %v", gotSkipped, wantSkipped)
+			}
+			// Warm pass (cache hits on borrowed views) and a fresh handle
+			// on the migrated store must agree too.
+			warmFull, warmTop, _ := rankAll(t, st, train)
+			rankingsBitEqual(t, layout.name+"/warm-full", warmFull, wantFull)
+			rankingsBitEqual(t, layout.name+"/warm-top", warmTop, wantTop)
+			st2, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reFull, reTop, _ := rankAll(t, st2, train)
+			rankingsBitEqual(t, layout.name+"/reopen-full", reFull, wantFull)
+			rankingsBitEqual(t, layout.name+"/reopen-top", reTop, wantTop)
+			// And after compaction.
+			if _, err := st2.Compact(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			coFull, coTop, _ := rankAll(t, st2, train)
+			rankingsBitEqual(t, layout.name+"/compacted-full", coFull, wantFull)
+			rankingsBitEqual(t, layout.name+"/compacted-top", coTop, wantTop)
+		})
+	}
+}
+
+// TestOpenCostIsIndependentOfSketchCount pins the open-count fix: a
+// clean (flushed) store opens — and rebuilds — with file opens
+// proportional to the segment count, not the sketch count.
+func TestOpenCostIsIndependentOfSketchCount(t *testing.T) {
+	countOpens := func(n int) (opens, rebuildOpens int) {
+		t.Helper()
+		dir := t.TempDir()
+		st, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk := buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g) })
+		for i := 0; i < n; i++ {
+			if err := st.Put(fmt.Sprintf("s%04d", i), sk); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		testHookFileOpen = func(string) { opens++ }
+		st2, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testHookFileOpen = func(string) { rebuildOpens++ }
+		if err := st2.RebuildManifest(); err != nil {
+			t.Fatal(err)
+		}
+		testHookFileOpen = nil
+		if m, _ := st2.Len(); m != n {
+			t.Fatalf("reopened store has %d sketches, want %d", m, n)
+		}
+		return opens, rebuildOpens
+	}
+	smallOpen, smallRebuild := countOpens(10)
+	bigOpen, bigRebuild := countOpens(300)
+	if bigOpen != smallOpen {
+		t.Errorf("open cost scales with sketches: %d opens at 300 vs %d at 10", bigOpen, smallOpen)
+	}
+	if bigRebuild != smallRebuild {
+		t.Errorf("clean rebuild cost scales with sketches: %d opens at 300 vs %d at 10", bigRebuild, smallRebuild)
+	}
+	// Both stores hold one segment + one manifest; a handful of opens.
+	if bigOpen > 4 {
+		t.Errorf("open performed %d file opens for a 1-segment store", bigOpen)
+	}
+	if bigRebuild > 4 {
+		t.Errorf("clean rebuild performed %d file opens", bigRebuild)
+	}
+}

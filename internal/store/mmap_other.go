@@ -1,0 +1,22 @@
+//go:build !unix
+
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without a usable mmap reads the file into the
+// heap instead: record views then borrow from the heap copy, which is
+// one bulk read per segment rather than one per sketch — the zero-copy
+// layout still pays, just without demand paging.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func munmapFile(data []byte) error { return nil }

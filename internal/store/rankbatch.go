@@ -123,6 +123,63 @@ func (s *Store) RankBatch(ctx context.Context, trains []*core.Sketch, opt BatchO
 	return res, nil
 }
 
+// getForRank loads a candidate for a ranking worker, preferring the
+// cache and falling back to a zero-copy view decoded out of the pinned
+// segment mappings. A cached entry is only trusted if it owns its
+// memory or borrows from a segment this query pinned; anything else
+// (a view into a newer, unpinned segment) is bypassed in favor of the
+// snapshot's own — pinned — location, whose bytes are immutable.
+// Like the legacy path, a cache hit may surface a newer compatible
+// version of the sketch than the snapshot admitted; the caller's
+// mutation triage handles incompatible ones.
+func (s *Store) getForRank(m Meta, pinned map[uint64]struct{}) (*core.Sketch, error) {
+	s.mu.Lock()
+	if s.cache != nil {
+		if sk, tag, ok := s.cache.get(m.Name); ok {
+			if tag == 0 {
+				s.mu.Unlock()
+				return sk, nil
+			}
+			if _, ok := pinned[tag]; ok {
+				s.mu.Unlock()
+				return sk, nil
+			}
+			// Borrowed from a segment outside the pin set; fall through.
+		}
+	}
+	b := s.backend
+	s.mu.Unlock()
+	sk, tag, err := b.loadView(m)
+	for attempt := 0; err == errSegmentGone && attempt < 3; attempt++ {
+		// A compaction retired the snapshot's segment between this
+		// query's pin and this load: the record was copied, not lost.
+		// Chase its current location with an owning load (the new
+		// segment is outside our pin set, so a borrowed view could be
+		// retired again mid-query; a clone cannot).
+		s.mu.Lock()
+		cur, ok := s.manifest[m.Name]
+		b = s.backend
+		s.mu.Unlock()
+		if !ok {
+			break // genuinely deleted meanwhile; triage skips it
+		}
+		sk, err = b.loadOwned(cur)
+		tag = 0
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.diskReads.Add(1)
+	s.mu.Lock()
+	// Cache the decode only if the sketch was not overwritten or deleted
+	// meanwhile: a stale view must not shadow the mutation's result.
+	if cur, ok := s.manifest[m.Name]; ok && cur == m && s.backend == b && s.cache != nil {
+		s.cache.add(m.Name, sk, tag)
+	}
+	s.mu.Unlock()
+	return sk, nil
+}
+
 // rankTrains is the shared ranking core. Candidates are admitted by one
 // manifest snapshot (filtered on the trains' common seed), striped
 // across a worker pool, loaded once each, and scored against every
@@ -138,8 +195,13 @@ func (s *Store) rankTrains(ctx context.Context, trains []*core.Sketch, opt Batch
 	res := &BatchResult{Queries: make([]BatchQueryResult, len(trains))}
 	prefilter = prefilter && opt.MinJoinSize >= 0
 
+	// Snapshot the manifest and pin the snapshot's segments in one
+	// critical section: the pins keep the mmap'd record bytes (which the
+	// workers' zero-copy sketch views borrow) valid even if a concurrent
+	// compaction retires the segments mid-query.
 	var eligible []Meta
 	var skipped []string
+	segSet := make(map[uint64]struct{})
 	s.mu.Lock()
 	for name, m := range s.manifest {
 		if !strings.HasPrefix(name, opt.Prefix) {
@@ -153,8 +215,11 @@ func (s *Store) rankTrains(ctx context.Context, trains []*core.Sketch, opt Batch
 			continue // an empty sketch joins nothing; filter without a read
 		}
 		eligible = append(eligible, m)
+		segSet[m.Segment] = struct{}{}
 	}
+	release := s.backend.pin(segSet)
 	s.mu.Unlock()
+	defer release()
 	sort.Slice(eligible, func(i, j int) bool { return eligible[i].Name < eligible[j].Name })
 
 	probes := make([]*core.TrainProbe, len(trains))
@@ -223,7 +288,7 @@ func (s *Store) rankTrains(ctx context.Context, trains []*core.Sketch, opt Batch
 					break
 				}
 				m := eligible[i]
-				cand, err := s.Get(m.Name)
+				cand, err := s.getForRank(m, segSet)
 				if err != nil {
 					// The snapshot admitted this candidate; distinguish a
 					// concurrent mutation (the manifest no longer carries the

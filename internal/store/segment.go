@@ -1,0 +1,493 @@
+package store
+
+// Segment files: the unit of on-disk sketch storage. A segment is an
+// append-only file of packed sketch records (internal/core/packed.go) —
+// Puts and Delete tombstones appended in arrival order, each fsynced
+// before the mutation is acknowledged — sealed with a per-record index
+// and a CRC-32C footer once it stops growing (size roll-over, store
+// close, or crash recovery). Sealed segments are immutable and mmap'd;
+// ranking borrows decoded-in-place sketch views straight out of the
+// mapping.
+//
+// On-disk layout (little-endian):
+//
+//	header (16 B): magic "MSEG" | version u8 | kind u8 | pad u16 | seq u64
+//	records:       packed records, back to back, each 8-byte aligned
+//	index:         count × { name str | kind u8 | off uvarint |
+//	               len uvarint | method u8 | role u8 | numeric u8 |
+//	               seed u32 | size uvarint | entries uvarint |
+//	               sourceRows uvarint }
+//	footer (32 B): indexOff u64 | count u64 | crc u32 | reserved u32 |
+//	               magic "MSEGIDX1"
+//
+// str = uvarint length + raw bytes. kind distinguishes WAL-order append
+// segments from compaction output (see recovery in fsbackend.go); seq is
+// the segment's identity within the store. The footer CRC covers every
+// byte before the footer. An unsealed segment (crash before seal) is
+// recognized by its missing footer and replayed record by record, each
+// record's own CRC bounding the valid prefix; recovery then truncates
+// the torn tail and seals in place.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"misketch/internal/binio"
+	"misketch/internal/core"
+)
+
+const (
+	segMagic       = "MSEG"
+	segFooterMagic = "MSEGIDX1"
+	segVersion     = 1
+
+	segHeaderBytes = 16
+	segFooterBytes = 32
+
+	// segmentsDir holds the segment files inside the store root.
+	segmentsDir = "segments"
+
+	// Segment kinds: WAL-order appends vs compaction output. Recovery
+	// treats orphans differently per kind (see fsbackend.go).
+	segKindAppend    = 0
+	segKindCompacted = 1
+)
+
+// segmentPath is the canonical file name of segment seq.
+func segmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, segmentsDir, fmt.Sprintf("%012d.seg", seq))
+}
+
+// parseSegmentPath extracts the sequence number from a segment file
+// name, reporting whether the name is well formed.
+func parseSegmentPath(name string) (uint64, bool) {
+	var seq uint64
+	if n, err := fmt.Sscanf(name, "%d.seg", &seq); n != 1 || err != nil {
+		return 0, false
+	}
+	if fmt.Sprintf("%012d.seg", seq) != name {
+		return 0, false
+	}
+	return seq, true
+}
+
+// segment is one open segment file. Sealed segments are immutable and
+// carry the read-only mapping views borrow from; the (at most one)
+// unsealed segment is the append target and is read via pread instead.
+type segment struct {
+	seq    uint64
+	kind   uint8
+	path   string
+	f      *os.File
+	data   []byte // mmap of the whole file; nil while unsealed
+	size   int64  // file size (sealed)
+	recEnd int64  // end of the record region (== index offset when sealed)
+	count  int    // records in the record region
+	sealed bool
+
+	// refs counts reasons the mapping must stay valid: 1 for segment-table
+	// membership plus one per pinned reader. retire drops the table ref;
+	// the last unpin (or retire itself) unmaps, closes, and — because
+	// retirement follows a manifest swap that no longer references the
+	// segment — unlinks the file. keepFile suppresses the unlink (the
+	// RebuildManifest swap, where a new backend owns the same file).
+	refs     atomic.Int64
+	retired  atomic.Bool
+	keepFile atomic.Bool
+}
+
+// acquire takes a reader pin. The caller must hold the backend's segment
+// table lock (or otherwise know the segment is still live).
+func (g *segment) acquire() { g.refs.Add(1) }
+
+// release drops a pin (or the table ref); the last release of a retired
+// segment tears it down.
+func (g *segment) release() {
+	if g.refs.Add(-1) == 0 && g.retired.Load() {
+		munmapFile(g.data)
+		g.data = nil
+		if g.f != nil {
+			g.f.Close()
+		}
+		if !g.keepFile.Load() {
+			os.Remove(g.path)
+		}
+	}
+}
+
+// segIndexEntry is one sealed-index record, mirroring core.RecordInfo
+// plus the record's location.
+type segIndexEntry struct {
+	info core.RecordInfo
+	off  int64
+}
+
+// segmentWriter builds the active (unsealed) segment: appends records,
+// maintains the running CRC and index, and seals the file in place.
+type segmentWriter struct {
+	seg   *segment
+	off   int64 // append offset == record region end
+	crc   uint32
+	index []segIndexEntry
+	buf   []byte // record encode scratch, reused across appends
+}
+
+// createSegment creates a fresh segment file for appending and makes its
+// directory entry durable.
+func createSegment(dir string, seq uint64, kind uint8) (*segmentWriter, error) {
+	path := segmentPath(dir, seq)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", filepath.Dir(path), err)
+	}
+	f, err := openFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating segment %d: %w", seq, err)
+	}
+	hdr := make([]byte, 0, segHeaderBytes)
+	hdr = append(hdr, segMagic...)
+	hdr = append(hdr, segVersion, kind, 0, 0)
+	hdr = binio.AppendU64(hdr, seq)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("store: writing segment %d header: %w", seq, err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	seg := &segment{seq: seq, kind: kind, path: path, f: f}
+	seg.refs.Store(1)
+	return &segmentWriter{seg: seg, off: segHeaderBytes, crc: crc32.Checksum(hdr, crcTable)}, nil
+}
+
+// crcTable is the Castagnoli table shared with the record codec.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord writes one already-encoded record at the current offset.
+// With sync set the record is fsynced before returning — the durability
+// point a Put is acknowledged at. Bulk paths (migration, compaction)
+// leave sync off and fsync once at seal.
+func (w *segmentWriter) appendRecord(rec []byte, info core.RecordInfo, sync bool) (int64, error) {
+	off := w.off
+	if _, err := w.seg.f.WriteAt(rec, off); err != nil {
+		return 0, fmt.Errorf("store: appending to segment %d: %w", w.seg.seq, err)
+	}
+	if sync {
+		if err := w.seg.f.Sync(); err != nil {
+			return 0, fmt.Errorf("store: syncing segment %d: %w", w.seg.seq, err)
+		}
+	}
+	w.crc = crc32.Update(w.crc, crcTable, rec)
+	w.off += int64(len(rec))
+	w.index = append(w.index, segIndexEntry{info: info, off: off})
+	return off, nil
+}
+
+// appendSketch encodes and appends a sketch record; see appendRecord for
+// the sync contract. It returns the record's offset and length.
+func (w *segmentWriter) appendSketch(name string, sk *core.Sketch, sync bool) (int64, int64, error) {
+	buf, err := core.AppendRecord(w.buf[:0], name, sk)
+	if err != nil {
+		return 0, 0, err
+	}
+	w.buf = buf
+	info, err := core.DecodeRecordInfo(buf, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := w.appendRecord(buf, info, sync)
+	return off, int64(len(buf)), err
+}
+
+// appendTombstone encodes and appends a deletion marker for name.
+func (w *segmentWriter) appendTombstone(name string, sync bool) error {
+	buf, err := core.AppendTombstone(w.buf[:0], name)
+	if err != nil {
+		return err
+	}
+	w.buf = buf
+	info, err := core.DecodeRecordInfo(buf, 0)
+	if err != nil {
+		return err
+	}
+	_, err = w.appendRecord(buf, info, sync)
+	return err
+}
+
+// readRecordAt pread-decodes the record at off from the unsealed
+// segment — the cache-miss path for sketches put since the segment was
+// created (sealed segments serve views from their mapping instead).
+func (w *segmentWriter) readRecordAt(off, length int64) (core.Record, error) {
+	buf := make([]byte, length)
+	if _, err := w.seg.f.ReadAt(buf, off); err != nil {
+		return core.Record{}, fmt.Errorf("store: reading segment %d @%d: %w", w.seg.seq, off, err)
+	}
+	return core.DecodeRecord(buf, 0, false)
+}
+
+// seal writes the index and footer, fsyncs, maps the now-immutable file,
+// and returns the sealed segment. The writer must not be used afterward.
+func (w *segmentWriter) seal() (*segment, error) {
+	seg := w.seg
+	if _, err := seg.f.Seek(w.off, 0); err != nil {
+		return nil, fmt.Errorf("store: sealing segment %d: %w", seg.seq, err)
+	}
+	crc := w.crc
+	buf := bufio.NewWriter(crcWriter{f: seg.f, crc: &crc})
+	bw := &binio.Writer{W: buf}
+	for _, e := range w.index {
+		bw.Str(e.info.Name)
+		bw.U8(uint8(e.info.Kind))
+		bw.Uvarint(uint64(e.off))
+		bw.Uvarint(uint64(e.info.Len))
+		bw.U8(core.MethodCode(e.info.Method))
+		bw.U8(uint8(e.info.Role))
+		bw.U8(b2u8(e.info.Numeric))
+		bw.U32(e.info.Seed)
+		bw.Uvarint(uint64(e.info.Size))
+		bw.Uvarint(uint64(e.info.Entries))
+		bw.Uvarint(uint64(e.info.SourceRows))
+	}
+	if bw.Err == nil {
+		bw.Err = buf.Flush()
+	}
+	if bw.Err != nil {
+		return nil, fmt.Errorf("store: sealing segment %d: %w", seg.seq, bw.Err)
+	}
+	footer := make([]byte, 0, segFooterBytes)
+	footer = binio.AppendU64(footer, uint64(w.off))
+	footer = binio.AppendU64(footer, uint64(len(w.index)))
+	footer = binio.AppendU32(footer, crc)
+	footer = binio.AppendU32(footer, 0)
+	footer = append(footer, segFooterMagic...)
+	if _, err := seg.f.Write(footer); err != nil {
+		return nil, fmt.Errorf("store: sealing segment %d: %w", seg.seq, err)
+	}
+	if err := seg.f.Sync(); err != nil {
+		return nil, fmt.Errorf("store: syncing segment %d: %w", seg.seq, err)
+	}
+	fi, err := seg.f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	seg.size = fi.Size()
+	seg.recEnd = w.off
+	seg.count = len(w.index)
+	seg.sealed = true
+	seg.data, err = mmapFile(seg.f, seg.size)
+	if err != nil {
+		return nil, fmt.Errorf("store: mapping segment %d: %w", seg.seq, err)
+	}
+	return seg, nil
+}
+
+// crcWriter tees writes into a running CRC.
+type crcWriter struct {
+	f   *os.File
+	crc *uint32
+}
+
+func (c crcWriter) Write(p []byte) (int, error) {
+	n, err := c.f.Write(p)
+	*c.crc = crc32.Update(*c.crc, crcTable, p[:n])
+	return n, err
+}
+
+// openSegment opens an existing segment file. A sealed segment comes
+// back mapped and ready; an unsealed one (no valid footer — the store
+// crashed before sealing it) is returned with sealed=false and must go
+// through recoverSegment before use.
+func openSegment(path string) (*segment, error) {
+	f, err := openFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := fi.Size()
+	seg := &segment{path: path, f: f}
+	if size < segHeaderBytes {
+		// The header itself was torn mid-create. The file name still
+		// carries the identity; recovery rewrites the header.
+		seq, ok := parseSegmentPath(filepath.Base(path))
+		if !ok {
+			f.Close()
+			return nil, fmt.Errorf("store: %s: torn segment with unparseable name", path)
+		}
+		seg.seq, seg.kind = seq, segKindAppend
+		seg.refs.Store(1)
+		return seg, nil
+	}
+	hdr := make([]byte, segHeaderBytes)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: reading segment header %s: %w", path, err)
+	}
+	if string(hdr[:4]) != segMagic {
+		f.Close()
+		return nil, fmt.Errorf("store: %s: bad segment magic %q", path, hdr[:4])
+	}
+	if hdr[4] != segVersion {
+		f.Close()
+		return nil, fmt.Errorf("store: %s: unsupported segment version %d", path, hdr[4])
+	}
+	seg.seq = binio.U64At(hdr, 8)
+	seg.kind = hdr[5]
+	seg.refs.Store(1)
+	if size >= segHeaderBytes+segFooterBytes {
+		footer := make([]byte, segFooterBytes)
+		if _, err := f.ReadAt(footer, size-segFooterBytes); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if string(footer[24:32]) == segFooterMagic {
+			indexOff := int64(binio.U64At(footer, 0))
+			count := int64(binio.U64At(footer, 8))
+			if indexOff < segHeaderBytes || indexOff > size-segFooterBytes {
+				f.Close()
+				return nil, fmt.Errorf("store: %s: implausible index offset %d", path, indexOff)
+			}
+			seg.size = size
+			seg.recEnd = indexOff
+			seg.count = int(count)
+			seg.sealed = true
+			seg.data, err = mmapFile(f, size)
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("store: mapping %s: %w", path, err)
+			}
+			return seg, nil
+		}
+	}
+	return seg, nil // unsealed: crashed before seal
+}
+
+// verify checks the sealed segment's footer CRC — the whole-file
+// bit-rot check run by RebuildManifest, not on the query path.
+func (g *segment) verify() error {
+	if !g.sealed {
+		return fmt.Errorf("store: segment %d is unsealed", g.seq)
+	}
+	footer := g.data[g.size-segFooterBytes:]
+	want := binio.U32At(footer, 16)
+	if got := crc32.Checksum(g.data[:g.size-segFooterBytes], crcTable); got != want {
+		return fmt.Errorf("store: segment %d fails CRC (%08x != %08x)", g.seq, got, want)
+	}
+	return nil
+}
+
+// readIndex parses the sealed segment's index section.
+func (g *segment) readIndex() ([]segIndexEntry, error) {
+	if !g.sealed {
+		return nil, fmt.Errorf("store: segment %d is unsealed", g.seq)
+	}
+	r := newBytesBinioReader(g.data[g.recEnd : g.size-segFooterBytes])
+	entries := make([]segIndexEntry, 0, g.count)
+	for i := 0; i < g.count; i++ {
+		var e segIndexEntry
+		e.info.Name = r.Str()
+		e.info.Kind = int(r.U8())
+		e.off = int64(r.Uvarint())
+		e.info.Len = int(r.Uvarint())
+		e.info.Method = core.MethodOfCode(r.U8())
+		e.info.Role = core.Role(r.U8())
+		e.info.Numeric = r.U8() == 1
+		e.info.Seed = r.U32()
+		e.info.Size = int(r.Uvarint())
+		e.info.Entries = int(r.Uvarint())
+		e.info.SourceRows = int(r.Uvarint())
+		if r.Err != nil {
+			return nil, fmt.Errorf("store: segment %d index entry %d: %w", g.seq, i, r.Err)
+		}
+		if e.off < segHeaderBytes || e.off+int64(e.info.Len) > g.recEnd {
+			return nil, fmt.Errorf("store: segment %d index entry %d out of bounds", g.seq, i)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// replayRecords iterates the records in [from, to), validating each
+// record's CRC, and returns the offset of the first invalid byte — the
+// durable prefix. It is the crash-recovery walk: a torn tail simply ends
+// the iteration.
+func replayRecords(data []byte, from, to int64, fn func(info core.RecordInfo, off int64)) int64 {
+	off := from
+	for off < to {
+		n, err := core.VerifyRecord(data[:to], int(off))
+		if err != nil {
+			break
+		}
+		if fn != nil {
+			info, err := core.DecodeRecordInfo(data, int(off))
+			if err != nil {
+				break
+			}
+			fn(info, off)
+		}
+		off += int64(n)
+	}
+	return off
+}
+
+// freezeSegment prepares an unsealed segment (the store crashed — or
+// another handle is still appending — before it was sealed) for
+// read-only use WITHOUT mutating the file: the current contents are
+// mapped, the prefix up to covered (the manifest's durable horizon, 0
+// when unknown) is trusted, and records beyond it are replayed with
+// their CRCs bounding the valid extent. Acked appends all carry valid
+// CRCs, so none are lost; at worst the unsynced torn tail of a crashed
+// write is ignored. Not truncating or sealing in place keeps a second
+// read handle safe while the writing handle keeps appending — frozen
+// bytes are never rewritten, appends land strictly beyond recEnd.
+func freezeSegment(g *segment, covered int64, fn func(info core.RecordInfo, off int64)) error {
+	fi, err := g.f.Stat()
+	if err != nil {
+		return err
+	}
+	size := fi.Size()
+	g.data, err = mmapFile(g.f, size)
+	if err != nil {
+		return fmt.Errorf("store: mapping segment %d: %w", g.seq, err)
+	}
+	g.size = size
+	if covered < segHeaderBytes {
+		covered = segHeaderBytes
+	}
+	if covered > size {
+		covered = size
+	}
+	g.recEnd = replayRecords(g.data, covered, size, func(info core.RecordInfo, off int64) {
+		g.count++
+		if fn != nil {
+			fn(info, off)
+		}
+	})
+	if g.recEnd < covered {
+		g.recEnd = covered
+	}
+	return nil
+}
+
+// newBytesBinioReader adapts an in-memory byte slice to the binio
+// reader the index codec shares with the manifest.
+func newBytesBinioReader(b []byte) *binio.Reader {
+	return &binio.Reader{R: bufio.NewReader(bytes.NewReader(b))}
+}
+
+func b2u8(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,71 +1,82 @@
-// Package store persists sketches on disk and serves data-discovery
-// queries over them. It is the system layer the paper's workflow implies:
+// Package store persists sketches and serves data-discovery queries
+// over them. It is the system layer the paper's workflow implies:
 // sketches are built once per (table, key column, value column) triple at
 // ingestion time, stored next to the dataset catalog, and ranking queries
 // ("which candidate features carry information about my target?") run
 // against the stored sketches alone — no source data access, no joins.
 //
-// Layout on disk: sketch files fan out across hashed shard directories
-// (shards/<hex>/<base32 name>.misk) so no single directory grows with the
-// catalog, and a versioned manifest (see manifest.go) indexes every
-// sketch's metadata. Ranking filters candidates on the manifest alone —
-// a cold store performs zero sketch deserializations for candidates
-// excluded by name prefix, hash seed, or role — and the decoded-sketch
-// cache is a byte-bounded LRU rather than an unbounded map.
+// Storage is pluggable (OpenOptions.Backend). The default "fs" backend
+// packs sketches into append-only segment files (segment.go, fsbackend.go):
+// Puts and Delete tombstones append fsynced records, sealed segments are
+// mmap'd and ranking decodes candidate sketches in place out of the
+// mapping — a cold discovery query performs no per-candidate syscalls
+// and no array copies — and a background (or on-demand) compaction folds
+// overwritten records and tombstones into fresh segments. The "mem"
+// backend keeps everything in process memory for diskless servers and
+// tests. Both sit under the same manifest-indexed catalog, byte-bounded
+// decoded-sketch LRU, and worker-pool ranking machinery.
 package store
 
 import (
 	"container/heap"
 	"context"
-	"encoding/base32"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"misketch/internal/core"
 	"misketch/internal/mi"
 )
 
-// Store is a sharded directory of serialized sketches with a manifest
-// index and a bounded in-memory cache. It is safe for concurrent use.
+// Store is a catalog of persisted sketches with a manifest index, a
+// bounded in-memory cache, and a pluggable storage backend. It is safe
+// for concurrent use by one process; concurrent writers from separate
+// processes are not supported (readers are).
 type Store struct {
-	dir    string
-	shards uint32
+	dir     string
+	backend backend
 
 	mu       sync.Mutex
 	manifest map[string]Meta
 	cache    *lruCache // nil when caching is disabled
 	dirty    bool      // manifest has unpersisted mutations
+	// covered tracks, per segment, the end offset of the last record
+	// whose index entry this manifest map reflects. A Flush snapshots it
+	// together with the manifest, so a mutation that is durable in its
+	// segment but not yet indexed (mid-Put, mid-Delete) stays below the
+	// persisted covered horizon and is replayed — not lost — if the
+	// process dies before the next flush.
+	covered map[uint64]int64
 	// gen counts Put/Delete mutations; Get uses it to detect a mutation
-	// racing its unlocked disk read (two sketch versions can share
-	// identical metadata, so manifest comparison is not enough). A single
+	// racing its unlocked load (two sketch versions can share identical
+	// metadata, so manifest comparison is not enough). A single
 	// store-wide counter keeps memory bounded; the cost is only that a
 	// read concurrent with any write skips populating the cache.
 	gen uint64
 
-	diskReads   atomic.Int64 // full sketch decodes from disk
+	// compactStop ends the auto-compaction loop (nil when disabled).
+	compactStop chan struct{}
+	compactDone chan struct{}
+	compactMu   sync.Mutex // serializes Compact calls
+
+	diskReads   atomic.Int64 // record decodes out of the backend
 	puts        atomic.Int64 // successful Put calls
 	deletes     atomic.Int64 // successful Delete calls
 	rankQueries atomic.Int64 // RankQuery calls (including failed ones)
 	rankBatches atomic.Int64 // RankBatch calls (including failed ones)
 	prunedPairs atomic.Int64 // (train, candidate) pairs pruned by the key-overlap prefilter
+	compactions atomic.Int64 // completed compaction passes
 }
-
-// sketchExt is the file extension of stored sketches.
-const sketchExt = ".misk"
 
 // Defaults for OpenOptions zero values.
 const (
 	DefaultCacheBytes = 64 << 20
-	DefaultShards     = 64
 
-	// maxShards bounds the directory fan-out; loadManifest rejects
-	// anything above it as corruption, so Open must never create it.
-	maxShards = 1 << 20
+	// DefaultCompactMinGarbage is the dead-byte fraction above which the
+	// auto-compaction loop compacts.
+	DefaultCompactMinGarbage = 0.3
 )
 
 // OpenOptions tunes a store handle.
@@ -73,9 +84,24 @@ type OpenOptions struct {
 	// CacheBytes bounds the decoded-sketch LRU cache. Zero means
 	// DefaultCacheBytes; a negative value disables caching entirely.
 	CacheBytes int64
-	// Shards is the directory fan-out for newly created stores; existing
-	// stores keep the fan-out recorded in their manifest. Zero means
-	// DefaultShards; values above 2^20 are clamped to it.
+	// Backend selects the storage engine: BackendFS (default) packs
+	// sketches into mmap-backed segment files under dir; BackendMem
+	// keeps everything in memory and never touches dir.
+	Backend string
+	// SegmentBytes is the fs backend's segment roll threshold (zero
+	// means DefaultSegmentBytes).
+	SegmentBytes int64
+	// CompactEvery, when positive, starts a background loop that
+	// examines the fs store every interval and compacts once the dead
+	// fraction of segment bytes exceeds CompactMinGarbage. Close stops
+	// the loop.
+	CompactEvery time.Duration
+	// CompactMinGarbage overrides the dead-byte fraction that triggers
+	// auto-compaction (zero means DefaultCompactMinGarbage).
+	CompactMinGarbage float64
+	// Shards is accepted for compatibility with the file-per-sketch
+	// layout and ignored: the segment engine has no directory fan-out,
+	// and legacy stores of any fan-out migrate on open.
 	Shards int
 }
 
@@ -86,25 +112,15 @@ func Open(dir string) (*Store, error) {
 }
 
 // OpenWithOptions opens (creating if necessary) a sketch store rooted at
-// dir. A manifest that loads cleanly is trusted as-is, so opening an
-// indexed store costs one file read regardless of catalog size. When the
-// manifest is missing or corrupt (a legacy flat-layout store, a crash
-// before the first Flush, bit rot), the store heals itself: it scans the
-// directory and re-indexes every sketch from its header alone. For
-// out-of-band changes behind a valid manifest's back (files added or
-// deleted manually, a crash after an earlier Flush), run RebuildManifest.
+// dir. A checksummed manifest that loads cleanly is trusted as-is, so
+// opening an indexed store costs one file read plus one mmap per
+// segment, regardless of catalog size; acked mutations from after the
+// last manifest write are recovered by replaying the segment tails. When
+// the manifest is missing or corrupt the store heals itself from the
+// segment records alone, and stores in either legacy file-per-sketch
+// layout (flat or sharded) are migrated into segments transparently.
 func OpenWithOptions(dir string, opt OpenOptions) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
-	}
-	shards := uint32(DefaultShards)
-	if opt.Shards > 0 {
-		if opt.Shards > maxShards {
-			opt.Shards = maxShards
-		}
-		shards = uint32(opt.Shards)
-	}
-	s := &Store{dir: dir, shards: shards, manifest: make(map[string]Meta)}
+	s := &Store{dir: dir}
 	if opt.CacheBytes >= 0 {
 		max := opt.CacheBytes
 		if max == 0 {
@@ -112,147 +128,40 @@ func OpenWithOptions(dir string, opt OpenOptions) (*Store, error) {
 		}
 		s.cache = newLRUCache(max)
 	}
-	mshards, metas, err := loadManifest(filepath.Join(dir, ManifestFile))
-	if err == nil {
-		s.shards = mshards
+	switch opt.Backend {
+	case "", BackendFS:
+		fb, metas, err := openFSBackend(dir, opt.SegmentBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.backend = fb
 		s.manifest = metas
-		return s, nil
+		s.covered = fb.coveredSnapshot()
+	case BackendMem:
+		s.backend = newMemBackend()
+		s.manifest = make(map[string]Meta)
+		s.covered = make(map[uint64]int64)
+	default:
+		return nil, fmt.Errorf("store: unknown backend %q", opt.Backend)
 	}
-	if !os.IsNotExist(err) {
-		// A corrupt manifest is not fatal: the sketches are the truth and
-		// reconcile rebuilds the index from their headers.
-		s.dirty = true
-	}
-	if err := s.reconcile(); err != nil {
-		return nil, err
+	if opt.CompactEvery > 0 {
+		minGarbage := opt.CompactMinGarbage
+		if minGarbage <= 0 {
+			minGarbage = DefaultCompactMinGarbage
+		}
+		s.compactStop = make(chan struct{})
+		s.compactDone = make(chan struct{})
+		go s.autoCompact(s.compactStop, s.compactDone, opt.CompactEvery, minGarbage)
 	}
 	return s, nil
 }
 
-// base32Encoding encodes sketch names with '-' padding so filenames
-// stay shell-safe.
-var base32Encoding = base32.StdEncoding.WithPadding('-')
-
-// encodeName maps an arbitrary sketch name to a filesystem-safe filename.
-// Base32 keeps names reversible (manifest rebuild decodes them back).
-func encodeName(name string) string {
-	return base32Encoding.EncodeToString([]byte(name)) + sketchExt
-}
-
-func decodeName(file string) (string, bool) {
-	if !strings.HasSuffix(file, sketchExt) {
-		return "", false
-	}
-	raw, err := base32Encoding.DecodeString(strings.TrimSuffix(file, sketchExt))
-	if err != nil {
-		return "", false
-	}
-	return string(raw), true
-}
-
-// sketchPath is the canonical location of a sketch under the sharded
-// layout.
-func (s *Store) sketchPath(name string) string {
-	return filepath.Join(s.dir, shardsDir, shardOf(name, s.shards), encodeName(name))
-}
-
-// reconcile makes the in-memory manifest match the files on disk and
-// persists it if anything changed. Files the manifest does not know are
-// indexed with a header-only read; stale manifest entries are dropped;
-// legacy flat-layout files (and files sharded under a different fan-out)
-// are moved to their canonical shard. Callers must hold no locks except
-// during RebuildManifest, which serializes via mu itself.
-func (s *Store) reconcile() error {
-	found := make(map[string]string) // name -> current path
-	collect := func(dir string) error {
-		entries, err := os.ReadDir(dir)
-		if err != nil {
-			if os.IsNotExist(err) {
-				return nil
-			}
-			return fmt.Errorf("store: scanning %s: %w", dir, err)
-		}
-		for _, e := range entries {
-			if e.IsDir() {
-				continue
-			}
-			file := e.Name()
-			if strings.Contains(file, sketchExt+".tmp") || strings.HasPrefix(file, ManifestFile+".tmp") {
-				os.Remove(filepath.Join(dir, file)) // orphan of a crashed write
-				continue
-			}
-			if name, ok := decodeName(file); ok {
-				found[name] = filepath.Join(dir, file)
-			}
-		}
-		return nil
-	}
-	if err := collect(s.dir); err != nil { // legacy flat layout
-		return err
-	}
-	shardRoot := filepath.Join(s.dir, shardsDir)
-	dirs, err := os.ReadDir(shardRoot)
-	if err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("store: scanning %s: %w", shardRoot, err)
-	}
-	for _, d := range dirs {
-		if !d.IsDir() {
-			continue
-		}
-		if err := collect(filepath.Join(shardRoot, d.Name())); err != nil {
-			return err
-		}
-	}
-
-	for name := range s.manifest {
-		if _, ok := found[name]; !ok {
-			delete(s.manifest, name)
-			s.dirty = true
-		}
-	}
-	for name, path := range found {
-		want := s.sketchPath(name)
-		if path != want {
-			if err := os.MkdirAll(filepath.Dir(want), 0o755); err != nil {
-				return fmt.Errorf("store: creating shard for %q: %w", name, err)
-			}
-			if err := os.Rename(path, want); err != nil {
-				return fmt.Errorf("store: migrating %q: %w", name, err)
-			}
-			s.dirty = true
-		}
-		if _, ok := s.manifest[name]; !ok {
-			m, err := readMeta(want, name)
-			if err != nil {
-				continue // unreadable or foreign file; leave it unindexed
-			}
-			s.manifest[name] = m
-			s.dirty = true
-		}
-	}
-	return s.flushLocked()
-}
-
-// RebuildManifest re-derives the manifest from the sketch files on disk
-// (header-only reads) and persists it — the repair path for stores whose
-// manifest was lost or corrupted outside the store's control.
-func (s *Store) RebuildManifest() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.manifest = make(map[string]Meta)
-	if s.cache != nil {
-		s.cache = newLRUCache(s.cache.max)
-	}
-	s.dirty = true
-	return s.reconcile()
-}
-
 // Flush persists the manifest if it has unsaved mutations. Put and
-// Delete update the manifest in memory only (rewriting the index on
-// every mutation would make bulk ingestion quadratic); a store that
-// crashes before its first Flush heals itself on the next Open via
-// header-only reads, while one that crashes after an earlier Flush
-// serves that older manifest until RebuildManifest is run.
+// Delete update the manifest in memory only (their records are already
+// durable in the backend; rewriting the index on every mutation would
+// make bulk ingestion quadratic); a store that crashes between Flushes
+// recovers the un-indexed mutations by replaying segment tails on the
+// next Open.
 func (s *Store) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -263,109 +172,162 @@ func (s *Store) flushLocked() error {
 	if !s.dirty {
 		return nil
 	}
-	if err := writeManifest(filepath.Join(s.dir, ManifestFile), s.shards, s.manifest); err != nil {
+	if err := s.backend.persist(s.manifest, s.covered); err != nil {
 		return err
 	}
 	s.dirty = false
 	return nil
 }
 
-// Close flushes the manifest. The Store remains usable afterwards; Close
-// exists so callers can defer persistence idiomatically.
-func (s *Store) Close() error { return s.Flush() }
+// Close stops the auto-compaction loop (if any), flushes the manifest,
+// and seals the active segment so the next open maps everything without
+// replay. The Store remains usable afterwards; Close exists so callers
+// can defer persistence idiomatically.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	stop := s.compactStop
+	s.compactStop = nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-s.compactDone
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	return s.backend.close()
+}
 
 // Put persists a sketch under the given name (conventionally
 // "table.csv#column@key"), overwriting any previous version. The write
-// is atomic and durable: a temp file in the target shard is synced to
-// disk before being renamed into place, the shard directory is synced
-// so the rename itself survives power loss, and no temp file is left
-// behind on failure.
+// is durable before Put returns: the record is appended to the active
+// segment and fsynced (a crash afterwards replays it from the segment on
+// the next open, manifest or no manifest).
 func (s *Store) Put(name string, sk *core.Sketch) error {
 	if name == "" {
 		return fmt.Errorf("store: empty sketch name")
 	}
-	path := s.sketchPath(name)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("store: creating shard for %q: %w", name, err)
-	}
-	var n int64
-	err := atomicWrite(path, encodeName(name)+".tmp*", func(f *os.File) error {
-		var werr error
-		n, werr = sk.WriteTo(f)
-		return werr
-	})
-	if err != nil {
-		return fmt.Errorf("store: writing %q: %w", name, err)
-	}
-	s.mu.Lock()
-	s.manifest[name] = metaOf(name, sk, n)
-	s.gen++
-	s.dirty = true
-	if s.cache != nil {
-		s.cache.add(name, sk)
-	}
-	s.mu.Unlock()
-	s.puts.Add(1)
-	return nil
-}
-
-// Get loads the named sketch (from cache when warm).
-func (s *Store) Get(name string) (*core.Sketch, error) {
-	s.mu.Lock()
-	if s.cache != nil {
-		if sk, ok := s.cache.get(name); ok {
-			s.mu.Unlock()
-			return sk, nil
+	for {
+		s.mu.Lock()
+		b := s.backend
+		s.mu.Unlock()
+		seg, off, length, err := b.put(name, sk)
+		if err != nil {
+			return fmt.Errorf("store: writing %q: %w", name, err)
 		}
+		if err := crashPoint("put.appended"); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.backend != b {
+			// A concurrent RebuildManifest swapped the backend under us;
+			// the appended record landed in an abandoned segment (where
+			// a future replay may still find it). Re-append through the
+			// new backend so this handle's index is right now.
+			s.mu.Unlock()
+			continue
+		}
+		s.manifest[name] = metaOf(name, sk, seg, off, length)
+		if end := off + length; s.covered[seg] < end {
+			s.covered[seg] = end
+		}
+		s.gen++
+		s.dirty = true
+		if s.cache != nil {
+			s.cache.add(name, sk, 0)
+		}
+		s.mu.Unlock()
+		s.puts.Add(1)
+		return nil
 	}
-	_, known := s.manifest[name]
-	gen := s.gen
-	s.mu.Unlock()
-	f, err := os.Open(s.sketchPath(name))
-	if err != nil {
-		return nil, fmt.Errorf("store: no sketch %q: %w", name, err)
-	}
-	defer f.Close()
-	sk, err := core.ReadSketch(f)
-	if err != nil {
-		return nil, fmt.Errorf("store: reading %q: %w", name, err)
-	}
-	s.diskReads.Add(1)
-	s.mu.Lock()
-	// Only cache the decode if no Put or Delete raced the unlocked read
-	// above: a stale (or deleted) version must not be resurrected into
-	// the cache over the mutation's result.
-	if _, ok := s.manifest[name]; ok && known && s.gen == gen && s.cache != nil {
-		s.cache.add(name, sk)
-	}
-	s.mu.Unlock()
-	return sk, nil
 }
 
-// Delete removes the named sketch from disk, manifest, and cache.
+// Get loads the named sketch (from cache when warm). The returned sketch
+// owns its memory (or, on the mem backend, is the stored sketch itself)
+// and stays valid indefinitely.
+func (s *Store) Get(name string) (*core.Sketch, error) {
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		if s.cache != nil {
+			if sk, tag, ok := s.cache.get(name); ok {
+				if tag != 0 {
+					// A ranking query cached a borrowed view; hand the
+					// caller an owning copy instead of a sketch whose
+					// memory a compaction could retire. The clone happens
+					// under the lock — a concurrent compaction purges and
+					// unmaps retired segments under the same lock, so the
+					// view's bytes cannot vanish mid-copy — and replaces
+					// the borrowed entry so later Gets are plain hits.
+					sk = core.CloneSketch(sk)
+					s.cache.add(name, sk, 0)
+				}
+				s.mu.Unlock()
+				return sk, nil
+			}
+		}
+		m, known := s.manifest[name]
+		gen := s.gen
+		b := s.backend
+		s.mu.Unlock()
+		if !known {
+			return nil, fmt.Errorf("store: no sketch %q", name)
+		}
+		sk, err := b.loadOwned(m)
+		if err == errSegmentGone && attempt < 3 {
+			continue // compaction moved the record; re-read its location
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.diskReads.Add(1)
+		s.mu.Lock()
+		// Only cache the load if no Put or Delete raced it: a stale (or
+		// deleted) version must not be resurrected into the cache over
+		// the mutation's result.
+		if _, ok := s.manifest[name]; ok && s.gen == gen && s.backend == b && s.cache != nil {
+			s.cache.add(name, sk, 0)
+		}
+		s.mu.Unlock()
+		return sk, nil
+	}
+}
+
+// Delete removes the named sketch: a tombstone record is appended
+// durably and the entry leaves the manifest and cache; compaction later
+// reclaims the dead bytes.
 func (s *Store) Delete(name string) error {
 	s.mu.Lock()
-	if _, known := s.manifest[name]; known {
+	_, known := s.manifest[name]
+	b := s.backend
+	s.mu.Unlock()
+	if !known {
+		return fmt.Errorf("store: no sketch %q", name)
+	}
+	seg, end, err := b.tombstone(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if _, ok := s.manifest[name]; ok {
 		delete(s.manifest, name)
 		s.dirty = true
+	}
+	if s.backend == b && s.covered[seg] < end {
+		s.covered[seg] = end
 	}
 	s.gen++
 	if s.cache != nil {
 		s.cache.remove(name)
 	}
 	s.mu.Unlock()
-	err := os.Remove(s.sketchPath(name))
-	if os.IsNotExist(err) {
-		return fmt.Errorf("store: no sketch %q", name)
-	}
-	if err == nil {
-		s.deletes.Add(1)
-	}
-	return err
+	s.deletes.Add(1)
+	return nil
 }
 
 // List returns the names of all stored sketches, sorted. It reads only
-// the manifest — no directory traversal.
+// the manifest — no storage access.
 func (s *Store) List() ([]string, error) {
 	s.mu.Lock()
 	names := make([]string, 0, len(s.manifest))
@@ -397,27 +359,86 @@ func (s *Store) Metas() []Meta {
 	return metas
 }
 
+// RebuildManifest re-derives the manifest from the storage backend — the
+// repair path for stores whose manifest was lost, corrupted, or bypassed
+// outside the store's control. On the fs backend it first verifies the
+// current index against the segment files (manifest checksum, segment
+// footers, per-segment CRCs); a store that checks out clean is left
+// untouched without replaying a single record, so repeated rebuilds of a
+// healthy store cost reads of the segment pages, never per-sketch work.
+// Otherwise the segments are re-opened and replayed from scratch. On the
+// mem backend there is nothing to rebuild.
+func (s *Store) RebuildManifest() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fb, ok := s.backend.(*fsBackend)
+	if !ok {
+		return nil
+	}
+	if s.verifyCleanLocked(fb) {
+		return nil
+	}
+	// Full repair: re-open the directory from scratch and swap the
+	// backend. The old backend's segments are released without
+	// unlinking (the new backend owns the same files); in-flight
+	// queries keep their pins on the old mappings until they finish.
+	newFB, metas, err := openFSBackend(s.dir, fb.rollBytes)
+	if err != nil {
+		return err
+	}
+	old := fb
+	s.backend = newFB
+	s.manifest = metas
+	s.covered = newFB.coveredSnapshot()
+	if s.cache != nil {
+		s.cache = newLRUCache(s.cache.max)
+	}
+	s.dirty = true
+	old.abandon()
+	return s.flushLocked()
+}
+
+// verifyCleanLocked reports whether the in-memory index, the on-disk
+// manifest, and the segment files all agree — the rebuild short-circuit.
+func (s *Store) verifyCleanLocked(fb *fsBackend) bool {
+	if s.dirty {
+		return false
+	}
+	return fb.verifyClean(s.manifest)
+}
+
 // Stats are observability counters for a store handle.
 //
-// Every counter is process-lifetime only: it counts activity through
-// this handle since it was opened, is never persisted, and resets to
-// zero on the next Open (Sketches and CacheBytes, which describe current
-// state rather than history, are the exceptions — they are re-derived).
-// This is deliberate: the manifest records what the store *contains*,
-// not what any particular process *did* to it, so two handles on the
-// same directory never fight over counter state and a crashed process
-// cannot leave half-written telemetry behind. Callers wanting durable
-// metrics should export Stats snapshots to their own monitoring system.
-// TestStatsAreProcessLifetime pins this contract.
+// Activity counters are process-lifetime only: they count work through
+// this handle since it was opened, are never persisted, and reset to
+// zero on the next Open (fields describing current state — Sketches,
+// CacheBytes, Segments, SegmentBytes, LiveBytes — are re-derived
+// instead). This is deliberate: the manifest records what the store
+// *contains*, not what any particular process *did* to it, so two
+// handles on the same directory never fight over counter state and a
+// crashed process cannot leave half-written telemetry behind. Callers
+// wanting durable metrics should export Stats snapshots to their own
+// monitoring system. TestStatsAreProcessLifetime pins this contract.
 type Stats struct {
+	// Backend is the storage engine ("fs" or "mem").
+	Backend string
 	// Sketches is the number of indexed sketches.
 	Sketches int
+	// Segments is the number of live segment files and SegmentBytes
+	// their total size; LiveBytes is the portion still referenced by
+	// the manifest — the rest is garbage awaiting compaction. All zero
+	// on the mem backend.
+	Segments     int
+	SegmentBytes int64
+	LiveBytes    int64
+	// Compactions counts completed compaction passes by this handle.
+	Compactions int64
 	// CacheBytes is the current size of the decoded-sketch cache.
 	CacheBytes int64
 	// CacheHits/CacheMisses/Evictions count cache outcomes.
 	CacheHits, CacheMisses, Evictions int64
-	// DiskReads counts full sketch deserializations from disk — the
-	// expensive operation manifest filtering exists to avoid.
+	// DiskReads counts sketch record decodes out of the backend — the
+	// operation manifest filtering and the cache exist to avoid.
 	DiskReads int64
 	// Puts/Deletes count successful mutations through this handle.
 	Puts, Deletes int64
@@ -436,7 +457,9 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
+		Backend:     s.backend.name(),
 		Sketches:    len(s.manifest),
+		Compactions: s.compactions.Load(),
 		DiskReads:   s.diskReads.Load(),
 		Puts:        s.puts.Load(),
 		Deletes:     s.deletes.Load(),
@@ -450,7 +473,58 @@ func (s *Store) Stats() Stats {
 		st.CacheMisses = s.cache.misses
 		st.Evictions = s.cache.evictions
 	}
+	if fb, ok := s.backend.(*fsBackend); ok {
+		for _, info := range fb.segmentInfos() {
+			st.Segments++
+			st.SegmentBytes += info.Bytes
+		}
+		for _, m := range s.manifest {
+			st.LiveBytes += m.Bytes
+		}
+	}
 	return st
+}
+
+// SegmentInfo describes one live segment file of an fs-backed store.
+type SegmentInfo struct {
+	// Seq is the segment's sequence number (its filename).
+	Seq uint64
+	// Compacted marks compaction output (vs WAL-order appends).
+	Compacted bool
+	// Sealed segments are immutable, indexed, and mmap'd; the one
+	// unsealed segment (if any) is the active append target.
+	Sealed bool
+	// Bytes is the segment's current size and Records its record count
+	// (live and dead alike).
+	Bytes   int64
+	Records int
+	// LiveRecords and LiveBytes count the records the manifest still
+	// references.
+	LiveRecords int
+	LiveBytes   int64
+}
+
+// Segments returns per-segment observability state, ordered by sequence
+// number. The mem backend has none.
+func (s *Store) Segments() []SegmentInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fb, ok := s.backend.(*fsBackend)
+	if !ok {
+		return nil
+	}
+	infos := fb.segmentInfos()
+	bySeq := make(map[uint64]*SegmentInfo, len(infos))
+	for i := range infos {
+		bySeq[infos[i].Seq] = &infos[i]
+	}
+	for _, m := range s.manifest {
+		if info, ok := bySeq[m.Segment]; ok {
+			info.LiveRecords++
+			info.LiveBytes += m.Bytes
+		}
+	}
+	return infos
 }
 
 // RankedSketch is one result of a discovery query.
@@ -505,25 +579,27 @@ func (s *Store) RankContext(ctx context.Context, train *core.Sketch, prefix stri
 // MI (bounded to the best opt.TopK when positive).
 //
 // Candidate selection is manifest-only: sketches excluded by prefix,
-// hash seed, or role are never read from disk. Prefix-ineligible
-// sketches are silently ignored; prefix-matching sketches with a
-// different seed or a train role are reported in the skipped list (they
-// cannot be joined). A malformed candidate with duplicated key hashes
-// fails the query only when a duplicate actually joins the train
-// sketch; duplicates that match nothing cannot affect any result and
-// are ranked normally. The query is compiled once (core.TrainProbe,
-// reused from opt.Probe when set) and estimation fans out across
-// opt.Workers workers, each owning a core.Scratch so the per-candidate
-// hot path performs no steady-state allocations. Estimation stops early
-// when ctx is cancelled; the result order is deterministic regardless
-// of scheduling.
+// hash seed, or role are never decoded. Prefix-ineligible sketches are
+// silently ignored; prefix-matching sketches with a different seed or a
+// train role are reported in the skipped list (they cannot be joined).
+// A malformed candidate with duplicated key hashes fails the query only
+// when a duplicate actually joins the train sketch; duplicates that
+// match nothing cannot affect any result and are ranked normally. The
+// query is compiled once (core.TrainProbe, reused from opt.Probe when
+// set) and estimation fans out across opt.Workers workers, each owning a
+// core.Scratch so the per-candidate hot path performs no steady-state
+// allocations. On the fs backend, candidates are decoded in place out of
+// the pinned segment mappings — no syscalls, no copies. Estimation stops
+// early when ctx is cancelled; the result order is deterministic
+// regardless of scheduling.
 //
 // The query runs against a snapshot of the manifest: candidates
 // admitted by the snapshot whose sketch is concurrently overwritten
 // with an incompatible one (different seed, train role) or deleted
 // before the worker reads it are moved to the skipped list rather than
 // failing the query or surfacing a half-visible entry — a Put or Delete
-// racing an in-flight rank is safe from both sides.
+// racing an in-flight rank is safe from both sides, as is a concurrent
+// compaction.
 func (s *Store) RankQuery(ctx context.Context, train *core.Sketch, opt RankOptions) (ranked []RankedSketch, skipped []string, err error) {
 	s.rankQueries.Add(1)
 	// One train, no prefilter: RankQuery is the reference semantics the
@@ -600,5 +676,34 @@ func (s *Store) Len() (int, error) {
 	return len(s.manifest), nil
 }
 
-// Dir returns the store's root directory.
+// Dir returns the store's root directory ("" for a mem-backed store).
 func (s *Store) Dir() string { return s.dir }
+
+// Backend returns the storage engine name ("fs" or "mem").
+func (s *Store) Backend() string { return s.backend.name() }
+
+// autoCompact is the background compaction loop: every interval it
+// measures the dead fraction of segment bytes and compacts past the
+// threshold. Close stops it. The channels arrive as parameters because
+// Close nils the struct fields under the store lock.
+func (s *Store) autoCompact(stop <-chan struct{}, done chan<- struct{}, every time.Duration, minGarbage float64) {
+	defer close(done)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		st := s.Stats()
+		if st.SegmentBytes <= 0 {
+			continue
+		}
+		garbage := float64(st.SegmentBytes-st.LiveBytes) / float64(st.SegmentBytes)
+		if garbage < minGarbage {
+			continue
+		}
+		s.Compact(context.Background()) // best effort; next tick retries
+	}
+}

@@ -145,60 +145,92 @@ func TestListIgnoresForeignFiles(t *testing.T) {
 	}
 }
 
-func TestShardedLayout(t *testing.T) {
-	dir := t.TempDir()
-	st, err := OpenWithOptions(dir, OpenOptions{Shards: 8})
-	if err != nil {
-		t.Fatal(err)
-	}
-	sk := buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g) })
-	for i := 0; i < 20; i++ {
-		if err := st.Put(fmt.Sprintf("t%02d#x", i), sk); err != nil {
-			t.Fatal(err)
+// writeLegacyStore fabricates a file-per-sketch store the way the
+// pre-segment engine laid it out: flat (shards == 0) or sharded with a
+// v1 manifest (shards > 0).
+func writeLegacyStore(t *testing.T, dir string, sketches map[string]*core.Sketch, shards uint32) {
+	t.Helper()
+	metas := make(map[string]Meta, len(sketches))
+	for name, sk := range sketches {
+		path := filepath.Join(dir, encodeName(name))
+		if shards > 0 {
+			path = filepath.Join(dir, shardsDir, shardOf(name, shards), encodeName(name))
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
 		}
-	}
-	// No sketch files in the store root; all under shards/.
-	rootEntries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, e := range rootEntries {
-		if strings.HasSuffix(e.Name(), sketchExt) && !e.IsDir() {
-			t.Errorf("sketch file %s left in store root", e.Name())
-		}
-	}
-	shardDirs, err := os.ReadDir(filepath.Join(dir, shardsDir))
-	if err != nil {
-		t.Fatal(err)
-	}
-	files := 0
-	for _, d := range shardDirs {
-		entries, err := os.ReadDir(filepath.Join(dir, shardsDir, d.Name()))
+		f, err := os.Create(path)
 		if err != nil {
 			t.Fatal(err)
 		}
-		files += len(entries)
+		n, err := sk.WriteTo(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		metas[name] = Meta{
+			Name: name, Method: sk.Method, Role: sk.Role, Seed: sk.Seed,
+			Size: sk.Size, Numeric: sk.Numeric, SourceRows: sk.SourceRows,
+			Entries: sk.Len(), Bytes: n,
+		}
 	}
-	if files != 20 {
-		t.Errorf("sharded files = %d, want 20", files)
-	}
-	if len(shardDirs) < 2 {
-		t.Errorf("20 sketches landed in %d shard(s); expected fan-out", len(shardDirs))
-	}
-	// No leftover temp files.
-	for _, d := range shardDirs {
-		entries, _ := os.ReadDir(filepath.Join(dir, shardsDir, d.Name()))
-		for _, e := range entries {
-			if strings.Contains(e.Name(), ".tmp") {
-				t.Errorf("leftover temp file %s", e.Name())
-			}
+	if shards > 0 {
+		if err := writeManifestV1(filepath.Join(dir, ManifestFile), shards, metas); err != nil {
+			t.Fatal(err)
 		}
 	}
 }
 
-func TestShardsOptionClamped(t *testing.T) {
-	// A fan-out the manifest would reject as corrupt (or that wraps
-	// uint32 to zero) must be clamped, not written or divided by.
+func TestLegacyShardedLayoutMigration(t *testing.T) {
+	dir := t.TempDir()
+	sk := buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g) })
+	sketches := make(map[string]*core.Sketch)
+	for i := 0; i < 20; i++ {
+		sketches[fmt.Sprintf("t%02d#x", i)] = sk
+	}
+	writeLegacyStore(t, dir, sketches, 8)
+
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 20 {
+		t.Fatalf("List after sharded migration = %d names", len(names))
+	}
+	got, err := st.Get("t07#x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != sk.Len() || got.Seed != sk.Seed {
+		t.Error("migrated sketch mismatch")
+	}
+	// The legacy files and shard directories are gone; the sketches now
+	// live in segments.
+	if _, err := os.Stat(filepath.Join(dir, shardsDir)); !os.IsNotExist(err) {
+		t.Error("shards directory should be removed after migration")
+	}
+	if len(st.Segments()) == 0 {
+		t.Error("expected at least one segment after migration")
+	}
+	// A reopen sees the migrated store directly (no second migration).
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := st2.Len(); n != 20 {
+		t.Errorf("Len after reopen = %d, want 20", n)
+	}
+}
+
+func TestShardsOptionAcceptedAndIgnored(t *testing.T) {
+	// The legacy fan-out option must stay accepted (callers set it) and
+	// harmless — including values the old engine had to clamp.
 	st, err := OpenWithOptions(t.TempDir(), OpenOptions{Shards: 1 << 32})
 	if err != nil {
 		t.Fatal(err)
@@ -210,31 +242,9 @@ func TestShardsOptionClamped(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(st.Dir()); err != nil {
-		t.Fatalf("reopen after clamped fan-out: %v", err)
-	}
-}
-
-func TestShardCountPersistsAcrossOpens(t *testing.T) {
-	dir := t.TempDir()
-	st, err := OpenWithOptions(dir, OpenOptions{Shards: 4})
+	st2, err := OpenWithOptions(st.Dir(), OpenOptions{Shards: 512})
 	if err != nil {
-		t.Fatal(err)
-	}
-	sk := buildSketch(t, core.RoleCandidate, 0, func(g int) float64 { return float64(g) })
-	if err := st.Put("a#x", sk); err != nil {
-		t.Fatal(err)
-	}
-	if err := st.Close(); err != nil {
-		t.Fatal(err)
-	}
-	// Reopen with a different Shards option: the manifest's fan-out wins.
-	st2, err := OpenWithOptions(dir, OpenOptions{Shards: 512})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if st2.shards != 4 {
-		t.Errorf("shards = %d after reopen, want 4 (from manifest)", st2.shards)
+		t.Fatalf("reopen with a different fan-out: %v", err)
 	}
 	if _, err := st2.Get("a#x"); err != nil {
 		t.Error(err)
@@ -266,7 +276,7 @@ func TestLegacyFlatLayoutMigration(t *testing.T) {
 	if len(names) != 2 || names[0] != "old/a#x" {
 		t.Fatalf("List after migration = %v", names)
 	}
-	// Files moved into shards; root holds none.
+	// Files packed into segments; the root holds none.
 	entries, _ := os.ReadDir(dir)
 	for _, e := range entries {
 		if !e.IsDir() && strings.HasSuffix(e.Name(), sketchExt) {
@@ -276,14 +286,14 @@ func TestLegacyFlatLayoutMigration(t *testing.T) {
 	if _, err := st.Get("old/b#y"); err != nil {
 		t.Error(err)
 	}
-	// DiskReads of the Get above is a full decode; migration itself used
-	// header-only reads and does not count.
+	// DiskReads counts the Get's record decode; the migration pass is
+	// backend-internal and does not count.
 	if got := st.Stats().DiskReads; got != 1 {
 		t.Errorf("DiskReads = %d, want 1", got)
 	}
 }
 
-func TestReconcileHealsManifest(t *testing.T) {
+func TestOpenHealsLostOrCorruptManifest(t *testing.T) {
 	dir := t.TempDir()
 	st, err := Open(dir)
 	if err != nil {
@@ -299,7 +309,7 @@ func TestReconcileHealsManifest(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Lose the manifest entirely: Open rebuilds it from sketch headers.
+	// Lose the manifest entirely: Open rebuilds it from the segments.
 	if err := os.Remove(filepath.Join(dir, ManifestFile)); err != nil {
 		t.Fatal(err)
 	}
@@ -311,10 +321,10 @@ func TestReconcileHealsManifest(t *testing.T) {
 		t.Fatalf("List after manifest loss = %v", names)
 	}
 	if _, err := os.Stat(filepath.Join(dir, ManifestFile)); err != nil {
-		t.Error("reconcile should persist the rebuilt manifest")
+		t.Error("recovery should persist the rebuilt manifest")
 	}
 
-	// Corrupt the manifest: Open must fall back to the rebuild path.
+	// Corrupt the manifest: Open must fall back to segment replay.
 	if err := os.WriteFile(filepath.Join(dir, ManifestFile), []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -325,28 +335,12 @@ func TestReconcileHealsManifest(t *testing.T) {
 	if names, _ := st3.List(); len(names) != 3 {
 		t.Fatalf("List after manifest corruption = %v", names)
 	}
-
-	// A valid manifest is trusted as-is: deleting a sketch file behind
-	// the store's back leaves a stale entry until RebuildManifest runs.
-	if err := os.Remove(st3.sketchPath("b#x")); err != nil {
-		t.Fatal(err)
-	}
-	st4, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if names, _ := st4.List(); len(names) != 3 {
-		t.Fatalf("List should trust the valid manifest, got %v", names)
-	}
-	if err := st4.RebuildManifest(); err != nil {
-		t.Fatal(err)
-	}
-	if names, _ := st4.List(); len(names) != 2 {
-		t.Fatalf("List after rebuild = %v", names)
+	if got, err := st3.Get("b#x"); err != nil || got.Len() != sk.Len() {
+		t.Errorf("Get after heal: %v", err)
 	}
 }
 
-func TestReconcileRemovesOrphanedTempFiles(t *testing.T) {
+func TestOpenRemovesOrphanedTempFiles(t *testing.T) {
 	dir := t.TempDir()
 	st, err := Open(dir)
 	if err != nil {
@@ -356,20 +350,18 @@ func TestReconcileRemovesOrphanedTempFiles(t *testing.T) {
 	if err := st.Put("a#x", sk); err != nil {
 		t.Fatal(err)
 	}
-	// Simulate a crash mid-Put and mid-Flush: orphaned temp files.
-	shard := filepath.Dir(st.sketchPath("a#x"))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate crashes mid-Flush and mid-compaction: orphaned temp files.
 	for _, orphan := range []string{
-		filepath.Join(shard, encodeName("dead#x")+".tmp123"),
 		filepath.Join(dir, ManifestFile+".tmp456"),
+		filepath.Join(dir, segmentsDir, "000000000099.seg.tmp"),
 	} {
 		if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := st.Close(); err != nil {
-		t.Fatal(err)
-	}
-	os.Remove(filepath.Join(dir, ManifestFile)) // force a reconcile scan
 	if _, err := Open(dir); err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +373,7 @@ func TestReconcileRemovesOrphanedTempFiles(t *testing.T) {
 		return nil
 	})
 	if len(leftovers) != 0 {
-		t.Errorf("orphaned temp files survive reconcile: %v", leftovers)
+		t.Errorf("orphaned temp files survive open: %v", leftovers)
 	}
 }
 
@@ -395,23 +387,35 @@ func TestRebuildManifest(t *testing.T) {
 	if err := st.Put("a#x", sk); err != nil {
 		t.Fatal(err)
 	}
-	// Drop a file externally, then repair on the live handle.
-	if err := st.Put("gone#x", sk); err != nil {
+	if err := st.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Remove(st.sketchPath("gone#x")); err != nil {
-		t.Fatal(err)
-	}
+	// A clean store rebuilds to the same index.
 	if err := st.RebuildManifest(); err != nil {
 		t.Fatal(err)
 	}
 	names, _ := st.List()
 	if len(names) != 1 || names[0] != "a#x" {
-		t.Errorf("List after rebuild = %v", names)
+		t.Errorf("List after clean rebuild = %v", names)
 	}
 	m, ok := st.Meta("a#x")
 	if !ok || m.Entries != sk.Len() || m.Seed != sk.Seed || m.Role != core.RoleCandidate {
 		t.Errorf("rebuilt meta = %+v", m)
+	}
+	// Rebuild on the live handle also repairs out-of-band damage: here,
+	// records appended behind the manifest's back by a foreign writer
+	// (simulated by corrupting the manifest on disk).
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RebuildManifest(); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := st.List(); len(names) != 1 || names[0] != "a#x" {
+		t.Errorf("List after repair rebuild = %v", names)
+	}
+	if got, err := st.Get("a#x"); err != nil || got.Len() != sk.Len() {
+		t.Errorf("Get after rebuild: %v", err)
 	}
 }
 
@@ -439,13 +443,16 @@ func TestManifestMetadataRoundTrip(t *testing.T) {
 	want := Meta{
 		Name: "meta#x", Method: sk.Method, Role: sk.Role, Seed: sk.Seed,
 		Size: sk.Size, Numeric: sk.Numeric, SourceRows: sk.SourceRows,
-		Entries: sk.Len(), Bytes: m.Bytes,
+		Entries: sk.Len(), Bytes: m.Bytes, Segment: m.Segment, Offset: m.Offset,
 	}
 	if !reflect.DeepEqual(m, want) {
 		t.Errorf("meta = %+v, want %+v", m, want)
 	}
 	if m.Bytes <= 0 {
-		t.Error("meta must record the file size")
+		t.Error("meta must record the record size")
+	}
+	if m.Segment == 0 || m.Offset < segHeaderBytes {
+		t.Errorf("meta must locate the record: segment=%d offset=%d", m.Segment, m.Offset)
 	}
 }
 

@@ -91,12 +91,38 @@ func LoadSketch(path string) (*Sketch, error) {
 	return core.ReadSketch(f)
 }
 
-// Store is a sharded, manifest-indexed directory of persisted sketches
-// serving discovery queries; see OpenStore. Ranking filters candidates
-// on the manifest alone (no sketch reads for excluded candidates),
-// supports context cancellation via RankContext, and bounds results to
-// the top K with per-worker heaps.
+// Store is a manifest-indexed catalog of persisted sketches serving
+// discovery queries; see OpenStore. Storage is pluggable
+// (OpenStoreOptions.Backend): the default "fs" engine packs sketches
+// into append-only, mmap-backed segment files — ranking decodes
+// candidates in place out of the mappings with zero per-candidate
+// syscalls or copies, mutations append fsynced records replayed on
+// crash, and Compact (or the background loop enabled by
+// OpenStoreOptions.CompactEvery) folds overwrites and deletes into
+// fresh segments. The "mem" backend keeps everything in process memory
+// for diskless services and tests. Ranking filters candidates on the
+// manifest alone (no record decodes for excluded candidates), supports
+// context cancellation via RankContext, and bounds results to the top K
+// with per-worker heaps.
 type Store = store.Store
+
+// Storage backends selectable via OpenStoreOptions.Backend.
+const (
+	// BackendFS is the default: segment-packed, mmap-backed durable
+	// storage rooted at the store directory.
+	BackendFS = store.BackendFS
+	// BackendMem keeps every sketch in process memory; nothing touches
+	// disk and the directory argument is ignored.
+	BackendMem = store.BackendMem
+)
+
+// SegmentInfo describes one live segment file of an fs-backed store;
+// see Store.Segments.
+type SegmentInfo = store.SegmentInfo
+
+// CompactStats reports one Store.Compact pass: segments and bytes
+// before/after, live records copied, dead bytes reclaimed.
+type CompactStats = store.CompactStats
 
 // RankedSketch is one result of a Store discovery query.
 type RankedSketch = store.RankedSketch
@@ -108,18 +134,22 @@ type RankOptions = store.RankOptions
 
 // OpenStoreOptions tunes a store handle: CacheBytes bounds the
 // decoded-sketch LRU cache (zero means the 64 MiB default, negative
-// disables caching), and Shards sets the directory fan-out for newly
-// created stores (zero means 64; existing stores keep the fan-out
-// recorded in their manifest).
+// disables caching), Backend selects the storage engine (BackendFS
+// default, BackendMem for diskless), SegmentBytes sets the fs segment
+// roll threshold, and CompactEvery/CompactMinGarbage enable the
+// background compaction loop. Shards is the legacy file-per-sketch
+// fan-out, accepted and ignored (legacy stores of any fan-out migrate
+// transparently on open).
 type OpenStoreOptions = store.OpenOptions
 
 // SketchMeta is one manifest record: the per-sketch metadata (seed,
 // role, method, value kind, sizes) discovery queries filter on without
-// touching sketch bytes.
+// touching sketch bytes, plus the packed record's segment location.
 type SketchMeta = store.Meta
 
-// StoreStats are observability counters for a store handle: cache
-// hits/misses/evictions, bytes cached, and full-sketch disk reads.
+// StoreStats are observability counters for a store handle: backend
+// kind, segment count/bytes/liveness, compaction passes, cache
+// hits/misses/evictions, bytes cached, and record decodes.
 type StoreStats = store.Stats
 
 // OpenStore opens (creating if necessary) a sketch store rooted at dir
