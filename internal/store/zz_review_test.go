@@ -1,0 +1,48 @@
+package store
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"misketch/internal/core"
+)
+
+func TestZZReviewManifestAfterCompact(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := core.NewSketch(core.TUPSK, core.RoleCandidate, 42, 64, false)
+	for i := 0; i < 5; i++ {
+		sk.Add(uint32(i), "", "v")
+	}
+	for i := 0; i < 10; i++ {
+		if err := st.Put("a", sk); err != nil { // overwrites => garbage
+			t.Fatal(err)
+		}
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := st.Compact(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("compacted=%v", stats.Compacted)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := loadManifestV2(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ms := range man.segs {
+		p := segmentPath(dir, ms.seq)
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("manifest lists segment %d but file missing: %v", ms.seq, err)
+		}
+	}
+}
