@@ -439,6 +439,25 @@ func BenchmarkStoreRank(b *testing.B) {
 			}
 		}
 	})
+	// Worker-fanout variants of the warm top-10 path: run with
+	// GOMAXPROCS unpinned so the workers actually parallelize the
+	// estimation; "top10" above is the 1-worker reference.
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("top10-workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ranked, _, err := st.RankQuery(ctx, train, RankOptions{
+					Prefix: "bench/", MinJoinSize: 50, K: DefaultK, TopK: 10, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ranked) != 10 {
+					b.Fatalf("ranked = %d", len(ranked))
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkStoreRankCold isolates the cold discovery path — the
@@ -474,6 +493,136 @@ func BenchmarkStoreRankCold(b *testing.B) {
 			b.Fatalf("ranked = %d", len(ranked))
 		}
 	}
+}
+
+// benchIndexedStore builds a 10k-candidate sealed catalog for the
+// index-selection benches: ~1% of candidates share a dense key window
+// with the train (join size far above the min-join bar), ~9% overlap it
+// marginally (pruned by exact key overlap), and the rest live in a
+// disjoint key range. The store is closed (sealing the segments and
+// emitting their inverted key indexes) and reopened with the decode
+// cache disabled, so DiskReads counts exactly one decode per visited
+// candidate per query.
+func benchIndexedStore(b *testing.B, nCand int) (*Store, *Sketch, int) {
+	b.Helper()
+	dir := b.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(43))
+	sopt := Options{Size: 256}
+	tb, err := NewStreamBuilder(RoleTrain, true, sopt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		tb.AddNum(fmt.Sprintf("g%d", rng.Intn(200)), rng.NormFloat64())
+	}
+	train := tb.Sketch()
+	for c := 0; c < nCand; c++ {
+		cb, err := NewStreamBuilder(RoleCandidate, true, sopt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		switch {
+		case c%100 == 0:
+			// Matching: dense window inside the train's key range.
+			lo := (c / 100) % 50
+			for g := lo; g < lo+150; g++ {
+				cb.AddNum(fmt.Sprintf("g%d", g), float64(g%7)+rng.NormFloat64())
+			}
+		case c%100 < 10:
+			// Marginal: a thin slice of train keys, overlap below the
+			// min-join bar — the index proves them prunable.
+			lo := (c * 7) % 180
+			for g := lo; g < lo+20; g++ {
+				cb.AddNum(fmt.Sprintf("g%d", g), float64(g%7)+rng.NormFloat64())
+			}
+			for g := 0; g < 100; g++ {
+				cb.AddNum(fmt.Sprintf("z%d", rng.Intn(2000)), rng.NormFloat64())
+			}
+		default:
+			// Disjoint: no train key at all.
+			for g := 0; g < 120; g++ {
+				cb.AddNum(fmt.Sprintf("z%d", rng.Intn(2000)), rng.NormFloat64())
+			}
+		}
+		if err := st.Put(fmt.Sprintf("idx/t%05d#x", c), cb.Sketch()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	st, err = OpenStoreWithOptions(dir, OpenStoreOptions{CacheBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if ss := st.Stats(); ss.IndexedSegments == 0 {
+		b.Fatalf("sealed catalog carries no key index: %+v", ss)
+	}
+	b.Cleanup(func() {
+		if err := st.Close(); err != nil {
+			b.Error(err)
+		}
+	})
+	return st, train, nCand / 100
+}
+
+// BenchmarkStoreRankIndexed measures index-driven candidate selection
+// on a sealed 10k-candidate catalog where ~1% of candidates beat the
+// min-join bar: "indexed" intersects the train's distinct key hashes
+// against the per-segment inverted indexes and decodes only the
+// matching candidates; "fullwalk" (NoIndex) is the historic reference
+// that decodes and probes all 10k; "selection-only" raises the bar
+// beyond every join size, isolating the pure selection phase. Each
+// sub-bench reports decodes/op and skipped/op from the store counters.
+func BenchmarkStoreRankIndexed(b *testing.B) {
+	const (
+		nCand   = 10000
+		minJoin = 100
+	)
+	st, train, matching := benchIndexedStore(b, nCand)
+	ctx := context.Background()
+
+	run := func(b *testing.B, opt RankOptions, wantRanked int) {
+		b.ReportAllocs()
+		before := st.Stats()
+		for i := 0; i < b.N; i++ {
+			ranked, _, err := st.RankQuery(ctx, train, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(ranked) != wantRanked {
+				b.Fatalf("ranked = %d, want %d", len(ranked), wantRanked)
+			}
+		}
+		after := st.Stats()
+		b.ReportMetric(float64(after.DiskReads-before.DiskReads)/float64(b.N), "decodes/op")
+		b.ReportMetric(float64(after.CandidatesSkippedNoDecode-before.CandidatesSkippedNoDecode)/float64(b.N), "skipped/op")
+	}
+
+	b.Run("indexed", func(b *testing.B) {
+		run(b, RankOptions{Prefix: "idx/", MinJoinSize: minJoin, K: DefaultK, TopK: 10}, 10)
+		// The acceptance counter-check: only matching candidates decode.
+		before := st.Stats()
+		if _, _, err := st.RankQuery(ctx, train, RankOptions{Prefix: "idx/", MinJoinSize: minJoin, K: DefaultK, TopK: 10}); err != nil {
+			b.Fatal(err)
+		}
+		after := st.Stats()
+		if got := after.DiskReads - before.DiskReads; got != int64(matching) {
+			b.Fatalf("indexed query decoded %d candidates, want the %d matching ones", got, matching)
+		}
+	})
+	b.Run("fullwalk", func(b *testing.B) {
+		run(b, RankOptions{Prefix: "idx/", MinJoinSize: minJoin, K: DefaultK, TopK: 10, NoIndex: true}, 10)
+	})
+	b.Run("selection-only", func(b *testing.B) {
+		// A bar no join size reaches: selection proves every candidate
+		// prunable, so the measurement is the selection phase itself.
+		run(b, RankOptions{Prefix: "idx/", MinJoinSize: 1 << 30, K: DefaultK, TopK: 10}, 0)
+	})
 }
 
 // benchBatchStore fills a store with nCand candidate sketches over

@@ -90,6 +90,7 @@ func usage() {
   misketch store ls      -store DIR [-segments]
   misketch store rebuild -store DIR
   misketch store compact -store DIR
+  misketch store index   -store DIR
   misketch serve         -store DIR [-addr :8080] [-max-workers N] [-probe-cache N] [-cache BYTES]
                          [-backend fs|mem] [-compact-every DUR] [-segment-bytes N]
   misketch bench         [-candidates N] [-top K] [-iters N] [-out FILE]
@@ -113,6 +114,8 @@ func runStore(args []string) {
 		runStoreRebuild(args[1:])
 	case "compact":
 		runStoreCompact(args[1:])
+	case "index":
+		runStoreIndex(args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -525,18 +528,21 @@ func runStoreLs(args []string) {
 	}
 	fmt.Printf("(%d sketches)\n", len(metas))
 	if *segments {
-		fmt.Printf("\n%-12s %-10s %-7s %10s %10s %8s %8s %10s\n",
-			"segment", "kind", "state", "bytes", "live-bytes", "records", "live", "dead-bytes")
+		fmt.Printf("\n%-12s %-10s %-7s %10s %10s %8s %8s %10s %8s %11s\n",
+			"segment", "kind", "state", "bytes", "live-bytes", "records", "live", "dead-bytes", "indexed", "index-bytes")
 		for _, info := range st.Segments() {
-			kind, state := "append", "active"
+			kind, state, indexed := "append", "active", "no"
 			if info.Compacted {
 				kind = "compacted"
 			}
 			if info.Sealed {
 				state = "sealed"
 			}
-			fmt.Printf("%-12d %-10s %-7s %10d %10d %8d %8d %10d\n",
-				info.Seq, kind, state, info.Bytes, info.LiveBytes, info.Records, info.LiveRecords, info.Bytes-info.LiveBytes)
+			if info.Indexed {
+				indexed = "yes"
+			}
+			fmt.Printf("%-12d %-10s %-7s %10d %10d %8d %8d %10d %8s %11d\n",
+				info.Seq, kind, state, info.Bytes, info.LiveBytes, info.Records, info.LiveRecords, info.Bytes-info.LiveBytes, indexed, info.IndexBytes)
 		}
 	}
 }
@@ -563,6 +569,35 @@ func runStoreCompact(args []string) {
 	}
 	fmt.Printf("compacted %d segment(s) (%d bytes) into 1 (%d bytes): %d live records kept, %d bytes reclaimed\n",
 		cs.SegmentsBefore, cs.BytesBefore, cs.BytesAfter, cs.Records, cs.Reclaimed)
+}
+
+// runStoreIndex backfills per-segment key indexes: segments written
+// before the inverted index existed (or whose index emission was torn
+// by a crash) are folded through a forced compaction pass, whose output
+// always carries an index. Already-indexed stores are a no-op.
+func runStoreIndex(args []string) {
+	fs := flag.NewFlagSet("store index", flag.ExitOnError)
+	storeDir := fs.String("store", "", "sketch store directory")
+	die(fs.Parse(args))
+	requireFlags(map[string]string{"store": *storeDir})
+	st, err := misketch.OpenStore(*storeDir)
+	die(err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cs, err := st.IndexSegments(ctx)
+	if err != nil {
+		st.Close()
+		die(err)
+	}
+	ss := st.Stats()
+	die(st.Close())
+	if !cs.Compacted {
+		fmt.Printf("nothing to index: %d/%d sealed segment(s) already indexed (%d posting bytes)\n",
+			ss.IndexedSegments, ss.Segments, ss.PostingBytes)
+		return
+	}
+	fmt.Printf("indexed %d segment(s) into 1: %d records, %d/%d segment(s) now indexed, %d posting bytes\n",
+		cs.SegmentsBefore, cs.Records, ss.IndexedSegments, ss.Segments, ss.PostingBytes)
 }
 
 // runBench builds a synthetic sketch store mirroring the repo's

@@ -111,7 +111,12 @@ func writeGoldenCorpus(t *testing.T) {
 // returns it with the two train sketches.
 func goldenStore(t *testing.T) (*Store, map[string]*Sketch) {
 	t.Helper()
-	st, err := OpenStore(t.TempDir())
+	return goldenStoreAt(t, t.TempDir())
+}
+
+func goldenStoreAt(t *testing.T, dir string) (*Store, map[string]*Sketch) {
+	t.Helper()
+	st, err := OpenStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,6 +200,54 @@ func computeGolden(t *testing.T, st *Store, trains map[string]*Sketch) goldenFil
 		out.Queries = append(out.Queries, q)
 	}
 	return out
+}
+
+// TestGoldenRankingsIndexed re-runs the drift alarm against a sealed
+// store: Close seals the segment and emits its inverted key index, so
+// the reopened store answers through index-driven candidate selection
+// — which must reproduce the committed rankings (and Pruned counts)
+// bit for bit, exactly like the unsealed full-walk store.
+func TestGoldenRankingsIndexed(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden regeneration runs through TestGoldenRankings")
+	}
+	dir := t.TempDir()
+	st, trains := goldenStoreAt(t, dir)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if ss := st.Stats(); ss.IndexedSegments == 0 {
+		t.Fatalf("sealed golden store carries no key index: %+v", ss)
+	}
+	got := computeGolden(t, st, trains)
+
+	raw, err := os.ReadFile(goldenRankings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("indexed rankings drifted from committed golden file:\ngot:\n%s\nwant:\n%s", gotJSON, wantJSON)
+	}
+	if skips := st.Stats().CandidatesSkippedNoDecode; skips == 0 {
+		t.Fatal("indexed golden store never skipped a decode")
+	}
 }
 
 // TestGoldenRankings compares the corpus rankings against the

@@ -149,6 +149,22 @@ func U32At(b []byte, off int) uint32 { return binary.LittleEndian.Uint32(b[off:]
 // U64At loads the little-endian uint64 at b[off:off+8].
 func U64At(b []byte, off int) uint64 { return binary.LittleEndian.Uint64(b[off:]) }
 
+// AppendUvarint appends v to dst as an unsigned LEB128 varint.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// UvarintAt decodes the unsigned LEB128 varint at b[off:], returning
+// the value and the number of bytes it occupies. n <= 0 reports corrupt
+// or truncated input (the binary.Uvarint contract), never a panic —
+// callers walking untrusted mmap'd bytes branch on it.
+func UvarintAt(b []byte, off int) (v uint64, n int) {
+	if off < 0 || off > len(b) {
+		return 0, 0
+	}
+	return binary.Uvarint(b[off:])
+}
+
 // AppendPad appends zero bytes until len(dst) is a multiple of align (a
 // power of two).
 func AppendPad(dst []byte, align int) []byte {

@@ -30,6 +30,12 @@ type TrainProbe struct {
 	// sketch (nil for categorical), from which each candidate's joined
 	// x-ordering is derived by an O(entries) filter instead of a sort.
 	valOrder []int32
+	// distinct/distMult expose the train's distinct key hashes and their
+	// entry multiplicities (parallel slices) — the exact quantities an
+	// inverted key index needs to compute KeyOverlap without touching
+	// candidate sketches.
+	distinct []uint32
+	distMult []int32
 }
 
 // CompileTrainProbe builds the per-query index over a train sketch.
@@ -58,12 +64,16 @@ func CompileTrainProbe(train *Sketch) *TrainProbe {
 		}
 		return i
 	}
+	p.distinct = make([]uint32, 0, len(counts))
+	p.distMult = make([]int32, 0, len(counts))
 	var off uint32
 	for hk, c := range counts {
 		i := slotOf(hk)
 		p.htabKey[i] = hk
 		p.htabVal[i] = uint64(off+1)<<32 | uint64(off)
 		off += c
+		p.distinct = append(p.distinct, hk)
+		p.distMult = append(p.distMult, int32(c))
 	}
 	for i, hk := range train.KeyHashes {
 		s := slotOf(hk)
@@ -77,6 +87,17 @@ func CompileTrainProbe(train *Sketch) *TrainProbe {
 
 // Train returns the sketch the probe was compiled from.
 func (p *TrainProbe) Train() *Sketch { return p.train }
+
+// DistinctKeyHashes returns the train sketch's distinct key hashes and,
+// parallel to them, how many train entries carry each hash. Summing
+// multiplicity × (candidate multiplicity) over the hashes a candidate
+// shares reproduces KeyOverlap exactly — the contract inverted key
+// indexes rely on to select candidates without decoding them. The
+// slices are owned by the probe and must not be modified; their order
+// is unspecified.
+func (p *TrainProbe) DistinctKeyHashes() (hashes []uint32, multiplicities []int32) {
+	return p.distinct, p.distMult
+}
 
 // Scratch owns the reusable per-worker state of the ranking hot path:
 // the estimator scratch (with the joined-pair buffers) plus the join

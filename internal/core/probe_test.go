@@ -216,3 +216,44 @@ func TestTrainProbeConcurrentRankers(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDistinctKeyHashes checks the probe's materialized distinct-hash
+// view against the train sketch itself: every distinct hash appears
+// exactly once with its exact multiplicity, so an inverted index probed
+// with these terms reproduces KeyOverlap term for term.
+func TestDistinctKeyHashes(t *testing.T) {
+	train := probeTrainSketch(t, 3000, 150, true, 41)
+	probe := CompileTrainProbe(train)
+	hashes, mults := probe.DistinctKeyHashes()
+	if len(hashes) != len(mults) {
+		t.Fatalf("%d hashes vs %d multiplicities", len(hashes), len(mults))
+	}
+	want := map[uint32]int32{}
+	for _, hk := range train.KeyHashes {
+		want[hk]++
+	}
+	if len(hashes) != len(want) {
+		t.Fatalf("%d distinct hashes, want %d", len(hashes), len(want))
+	}
+	seen := map[uint32]bool{}
+	for i, hk := range hashes {
+		if seen[hk] {
+			t.Fatalf("hash %#x listed twice", hk)
+		}
+		seen[hk] = true
+		if mults[i] != want[hk] {
+			t.Fatalf("hash %#x multiplicity %d, want %d", hk, mults[i], want[hk])
+		}
+	}
+	// The index-selection contract: summing multiplicities over the
+	// candidate's distinct hashes equals KeyOverlap exactly.
+	cand := probeCandSketch(t, 150, true, false, 42)
+	byHash := want
+	got := 0
+	for _, hk := range cand.KeyHashes {
+		got += int(byHash[hk])
+	}
+	if want := KeyOverlap(train, cand); got != want {
+		t.Fatalf("distinct-hash overlap %d != KeyOverlap %d", got, want)
+	}
+}

@@ -593,22 +593,27 @@ type ServerStats struct {
 
 // StoreStats mirrors store.Stats for the JSON response.
 type StoreStats struct {
-	Backend      string `json:"backend"`
-	Sketches     int    `json:"sketches"`
-	Segments     int    `json:"segments"`
-	SegmentBytes int64  `json:"segment_bytes"`
-	LiveBytes    int64  `json:"live_bytes"`
-	Compactions  int64  `json:"compactions"`
-	CacheBytes   int64  `json:"cache_bytes"`
-	CacheHits    int64  `json:"cache_hits"`
-	CacheMisses  int64  `json:"cache_misses"`
-	Evictions    int64  `json:"evictions"`
-	DiskReads    int64  `json:"disk_reads"`
-	Puts         int64  `json:"puts"`
-	Deletes      int64  `json:"deletes"`
-	RankQueries  int64  `json:"rank_queries"`
-	RankBatches  int64  `json:"rank_batches"`
-	PrunedPairs  int64  `json:"pruned_pairs"`
+	Backend         string `json:"backend"`
+	Sketches        int    `json:"sketches"`
+	Segments        int    `json:"segments"`
+	IndexedSegments int    `json:"indexed_segments"`
+	SegmentBytes    int64  `json:"segment_bytes"`
+	PostingBytes    int64  `json:"posting_bytes"`
+	LiveBytes       int64  `json:"live_bytes"`
+	Compactions     int64  `json:"compactions"`
+	CacheBytes      int64  `json:"cache_bytes"`
+	CacheHits       int64  `json:"cache_hits"`
+	CacheMisses     int64  `json:"cache_misses"`
+	Evictions       int64  `json:"evictions"`
+	DiskReads       int64  `json:"disk_reads"`
+	Puts            int64  `json:"puts"`
+	Deletes         int64  `json:"deletes"`
+	RankQueries     int64  `json:"rank_queries"`
+	RankBatches     int64  `json:"rank_batches"`
+	PrunedPairs     int64  `json:"pruned_pairs"`
+	// CandidatesSkippedNoDecode counts candidates excluded by the
+	// segment key indexes before any record decode.
+	CandidatesSkippedNoDecode int64 `json:"candidates_skipped_no_decode"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -625,13 +630,15 @@ func (s *Server) Stats() StatsResponse {
 	return StatsResponse{
 		Store: StoreStats{
 			Backend: ss.Backend, Sketches: ss.Sketches,
-			Segments: ss.Segments, SegmentBytes: ss.SegmentBytes,
+			Segments: ss.Segments, IndexedSegments: ss.IndexedSegments,
+			SegmentBytes: ss.SegmentBytes, PostingBytes: ss.PostingBytes,
 			LiveBytes: ss.LiveBytes, Compactions: ss.Compactions,
 			CacheBytes: ss.CacheBytes,
 			CacheHits:  ss.CacheHits, CacheMisses: ss.CacheMisses,
 			Evictions: ss.Evictions, DiskReads: ss.DiskReads,
 			Puts: ss.Puts, Deletes: ss.Deletes, RankQueries: ss.RankQueries,
 			RankBatches: ss.RankBatches, PrunedPairs: ss.PrunedPairs,
+			CandidatesSkippedNoDecode: ss.CandidatesSkippedNoDecode,
 		},
 		Server: ServerStats{
 			RankRequests:   s.rankRequests.Load(),

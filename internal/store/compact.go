@@ -52,6 +52,22 @@ type CompactStats struct {
 // already live in a single fully-live segment. Safe to run concurrently
 // with queries and mutations; concurrent Compact calls serialize.
 func (s *Store) Compact(ctx context.Context) (CompactStats, error) {
+	return s.compact(ctx, false)
+}
+
+// IndexSegments backfills inverted key indexes for segments that predate
+// them (legacy v1 footers, frozen crash leftovers): when any live
+// segment lacks an index, every sealed segment is folded through a
+// forced compaction pass — whose output always carries an index — and
+// a no-op otherwise. The `store index` CLI verb drives it.
+func (s *Store) IndexSegments(ctx context.Context) (CompactStats, error) {
+	return s.compact(ctx, true)
+}
+
+// compact implements Compact and IndexSegments. With force set the pass
+// runs even without reclaimable garbage, as long as some source segment
+// lacks a key index; with every source already indexed it is a no-op.
+func (s *Store) compact(ctx context.Context, force bool) (CompactStats, error) {
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
 
@@ -75,7 +91,15 @@ func (s *Store) Compact(ctx context.Context) (CompactStats, error) {
 		}
 	}
 	stats := CompactStats{SegmentsBefore: len(sources), BytesBefore: srcBytes, Records: len(live)}
-	if len(sources) == 0 || (len(sources) == 1 && !hasGarbage(sources, len(live))) {
+	allIndexed := true
+	for _, seg := range sources {
+		if seg.kixOff == 0 {
+			allIndexed = false
+			break
+		}
+	}
+	if len(sources) == 0 || (force && allIndexed) ||
+		(!force && len(sources) == 1 && !hasGarbage(sources, len(live))) {
 		s.mu.Unlock()
 		stats.SegmentsAfter = stats.SegmentsBefore
 		stats.BytesAfter = stats.BytesBefore
@@ -139,6 +163,15 @@ func (s *Store) Compact(ctx context.Context) (CompactStats, error) {
 		s.cache.purgeSegments(sources)
 	}
 	fb.retire(sources)
+	// Persist again now that the sources are out of the segment table:
+	// the manifest written above still listed them (needed in case we
+	// crashed before retiring), and leaving it that way would force a
+	// full-replay recovery on the next open.
+	s.dirty = true
+	if err := s.flushLocked(); err != nil {
+		s.mu.Unlock()
+		return stats, err
+	}
 	s.mu.Unlock()
 
 	s.compactions.Add(1)
@@ -328,6 +361,9 @@ func (b *fsBackend) verifyClean(metas map[string]Meta) bool {
 			return false
 		}
 		if seg.sealed {
+			if ms.indexed != (seg.kixOff > 0) {
+				return false // manifest's key-index flag disagrees
+			}
 			if seg.verify() != nil {
 				return false
 			}

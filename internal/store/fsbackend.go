@@ -440,7 +440,11 @@ func (b *fsBackend) persist(metas map[string]Meta, covered map[uint64]int64) err
 	b.segMu.Lock()
 	segs := make([]manifestSeg, 0, len(b.segs)+1)
 	for _, seg := range b.segs {
-		segs = append(segs, manifestSeg{seq: seg.seq, kind: seg.kind, covered: capAt(seg.seq, seg.recEnd)})
+		segs = append(segs, manifestSeg{
+			seq: seg.seq, kind: seg.kind,
+			covered: capAt(seg.seq, seg.recEnd),
+			indexed: seg.kixOff > 0,
+		})
 	}
 	if b.active != nil {
 		segs = append(segs, manifestSeg{seq: b.active.seg.seq, kind: b.active.seg.kind, covered: capAt(b.active.seg.seq, b.active.off)})
@@ -475,6 +479,19 @@ func (b *fsBackend) coveredSnapshot() map[uint64]int64 {
 	return out
 }
 
+// keyIndexOf returns the parsed key index of a sealed segment, or nil
+// when the segment has none (unsealed, frozen, legacy, or failed
+// validation). The caller must hold a pin on the segment.
+func (b *fsBackend) keyIndexOf(seq uint64) *keyIndex {
+	b.segMu.Lock()
+	seg, ok := b.segs[seq]
+	b.segMu.Unlock()
+	if !ok {
+		return nil
+	}
+	return seg.keyIndex()
+}
+
 // segmentInfos snapshots per-segment observability state.
 func (b *fsBackend) segmentInfos() []SegmentInfo {
 	b.segMu.Lock()
@@ -484,6 +501,7 @@ func (b *fsBackend) segmentInfos() []SegmentInfo {
 		infos = append(infos, SegmentInfo{
 			Seq: seg.seq, Compacted: seg.kind == segKindCompacted,
 			Sealed: seg.sealed, Bytes: seg.size, Records: seg.count,
+			Indexed: seg.kixOff > 0, IndexBytes: seg.kixLen,
 		})
 	}
 	if b.active != nil {

@@ -16,6 +16,9 @@ import "os"
 //	put.appended      — sketch record durable, store index not yet updated
 //	flush.written     — manifest temp file written+synced, not yet renamed
 //	flush.renamed     — manifest renamed into place, directory not synced
+//	seal.keyindex     — record index bytes written, key index section and
+//	                    footer not yet; the segment reopens unsealed and
+//	                    is frozen-replayed, losing only the index
 //	compact.sealed    — compacted segment durable, manifest still on sources
 //	compact.swapped   — manifest references the compacted segment, source
 //	                    segments not yet retired/unlinked
@@ -27,6 +30,11 @@ func crashPoint(p string) error {
 	}
 	return nil
 }
+
+// testHookSealLegacyFooter, when set, makes seal write the pre-key-index
+// v1 footer (no index section) — how the differential tests fabricate
+// bit-faithful legacy segments and exercise the real fallback path.
+var testHookSealLegacyFooter bool
 
 // testHookFileOpen, when non-nil, observes every file the store layer
 // opens (segment and manifest reads — not temp-file creation).

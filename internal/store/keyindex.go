@@ -1,0 +1,367 @@
+package store
+
+// The per-segment inverted key index: the structure that turns candidate
+// selection from O(catalog) into O(matching candidates). Coordinated
+// sampling makes a (train, candidate) pair's sketch join size exactly
+// computable from key hashes alone (core.KeyOverlap), so a sealed
+// segment can precompute hash → posting list of (record, multiplicity)
+// once and let every future query intersect the train's distinct hashes
+// against it — exact overlap counts, no record decoded.
+//
+// Section layout (little-endian, appended between a sealed segment's
+// record index and its footer, covered by the footer's whole-file CRC):
+//
+//	header (16 B): magic "MKIX" | version u8 = 1 | flags u8 | pad u16 |
+//	               payloadLen u32 | crc u32 (CRC-32C of the payload)
+//	payload:
+//	  recCount uvarint
+//	  recOffsets: recCount × uvarint — candidate-record offsets within
+//	              the segment, delta-coded (first absolute), ascending
+//	  dupBitmap:  ceil(recCount/8) bytes — bit set when the record's
+//	              sketch repeats a key hash (prefilter-exempt, see below)
+//	  slotCount u32 — open-addressing table size (power of two, load
+//	              factor <= 1/2; zero when the segment has no keys)
+//	  keys: slotCount × u32 — key hash per slot
+//	  refs: slotCount × u32 — posting-list offset+1 into the blob; 0 =
+//	              empty slot
+//	  postings:   per list: count uvarint, then count × (ordinal-delta
+//	              uvarint, multiplicity uvarint), ordinals strictly
+//	              ascending record positions in recOffsets
+//
+// Only candidate-role sketch records are indexed: train-role records and
+// tombstones never rank, and a record the index omits is simply never
+// selected — exactly the manifest's own admission rule. Records whose
+// sketch repeats a key hash are malformed-but-tolerated input; ranking
+// exempts them from the prefilter (they must fail or rank through the
+// estimator exactly as the full walk would), so the index marks them in
+// dupBitmap and selection always visits them.
+//
+// Fail-closed contract: the section carries its own CRC and every
+// referenced posting list is structurally validated before first use
+// (parseKeyIndex); any defect makes the whole segment fall back to the
+// full candidate walk. A corrupt index can cost time, never results.
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+
+	"misketch/internal/binio"
+)
+
+const (
+	kixMagic       = "MKIX"
+	kixVersion     = 1
+	kixHeaderBytes = 16
+
+	// maxKixMult caps a single posting's multiplicity (and with it the
+	// overlap accumulator's per-term magnitude). Both the encoder and
+	// the parser enforce it, so a segment that legitimately exceeds the
+	// cap is stored without an index rather than with one the parser
+	// would reject.
+	maxKixMult = 1 << 30
+)
+
+// kixPost is one posting: a record ordinal (position in recOffsets) and
+// how many of the record's sketch entries carry the hash.
+type kixPost struct {
+	ord  uint32
+	mult uint32
+}
+
+// keyIndexBuilder accumulates the index while the segment's records are
+// walked in offset order at seal time.
+type keyIndexBuilder struct {
+	offsets []int64
+	dup     []byte
+	posts   map[uint32][]kixPost
+	keys    []uint32 // distinct hashes, insertion order
+	bad     bool     // a cap was exceeded; emit no index
+}
+
+func newKeyIndexBuilder() *keyIndexBuilder {
+	return &keyIndexBuilder{posts: make(map[uint32][]kixPost)}
+}
+
+// add indexes one candidate record's key hashes. Records must arrive in
+// strictly ascending offset order.
+func (b *keyIndexBuilder) add(off int64, hashes []uint32) {
+	ord := uint32(len(b.offsets))
+	b.offsets = append(b.offsets, off)
+	b.dup = append(b.dup, 0)
+	dup := false
+	for _, hk := range hashes {
+		pl := b.posts[hk]
+		if n := len(pl); n > 0 && pl[n-1].ord == ord {
+			pl[n-1].mult++
+			if pl[n-1].mult > maxKixMult {
+				b.bad = true
+			}
+			dup = true
+			continue
+		}
+		if len(pl) == 0 {
+			b.keys = append(b.keys, hk)
+		}
+		b.posts[hk] = append(pl, kixPost{ord: ord, mult: 1})
+	}
+	if dup {
+		b.dup[ord/8] |= 1 << (ord % 8)
+	}
+}
+
+// encode assembles the on-disk section. ok is false when the segment
+// cannot be indexed within the format's bounds (the caller seals without
+// an index and queries fall back to the walk).
+func (b *keyIndexBuilder) encode() (section []byte, ok bool) {
+	if b.bad || len(b.offsets) > math.MaxInt32 {
+		return nil, false
+	}
+	sort.Slice(b.keys, func(i, j int) bool { return b.keys[i] < b.keys[j] })
+
+	payload := make([]byte, 0, 64+8*len(b.offsets))
+	payload = binio.AppendUvarint(payload, uint64(len(b.offsets)))
+	prev := int64(0)
+	for _, off := range b.offsets {
+		payload = binio.AppendUvarint(payload, uint64(off-prev))
+		prev = off
+	}
+	payload = append(payload, b.dup[:(len(b.offsets)+7)/8]...)
+
+	slots := 0
+	if len(b.keys) > 0 {
+		slots = 4
+		for slots < 2*len(b.keys) {
+			slots <<= 1
+		}
+	}
+	payload = binio.AppendU32(payload, uint32(slots))
+	tableAt := len(payload)
+	payload = append(payload, make([]byte, 8*slots)...)
+	keys, refs := payload[tableAt:tableAt+4*slots], payload[tableAt+4*slots:tableAt+8*slots]
+
+	var blob []byte
+	mask := uint32(slots - 1)
+	for _, hk := range b.keys {
+		if len(blob)+1 > math.MaxUint32 {
+			return nil, false
+		}
+		ref := uint32(len(blob)) + 1
+		pl := b.posts[hk]
+		blob = binio.AppendUvarint(blob, uint64(len(pl)))
+		prevOrd := uint32(0)
+		for i, p := range pl {
+			d := p.ord
+			if i > 0 {
+				d = p.ord - prevOrd
+			}
+			prevOrd = p.ord
+			blob = binio.AppendUvarint(blob, uint64(d))
+			blob = binio.AppendUvarint(blob, uint64(p.mult))
+		}
+		i := hk & mask
+		for binio.U32At(refs, int(i)*4) != 0 {
+			i = (i + 1) & mask
+		}
+		binio.PutU32(keys[i*4:], hk)
+		binio.PutU32(refs[i*4:], ref)
+	}
+	payload = append(payload, blob...)
+	if len(payload) > math.MaxUint32 {
+		return nil, false
+	}
+
+	section = make([]byte, 0, kixHeaderBytes+len(payload))
+	section = append(section, kixMagic...)
+	section = append(section, kixVersion, 0, 0, 0)
+	section = binio.AppendU32(section, uint32(len(payload)))
+	section = binio.AppendU32(section, crc32.Checksum(payload, crcTable))
+	return append(section, payload...), true
+}
+
+// keyIndex is a parsed, validated index ready to be probed straight out
+// of the segment mapping.
+type keyIndex struct {
+	recOffsets []int64
+	dup        []byte
+	keys       []byte // 4 bytes per slot
+	refs       []byte // 4 bytes per slot
+	mask       uint32
+	slots      int
+	postings   []byte
+}
+
+// records returns the number of indexed candidate records.
+func (ix *keyIndex) records() int { return len(ix.recOffsets) }
+
+// ordinalOf maps a record offset to its index ordinal.
+func (ix *keyIndex) ordinalOf(off int64) (int, bool) {
+	i := sort.Search(len(ix.recOffsets), func(i int) bool { return ix.recOffsets[i] >= off })
+	if i < len(ix.recOffsets) && ix.recOffsets[i] == off {
+		return i, true
+	}
+	return 0, false
+}
+
+// isDup reports whether the record's sketch repeats a key hash (and must
+// therefore always be visited, mirroring the prefilter exemption).
+func (ix *keyIndex) isDup(ord int) bool {
+	return ix.dup[ord/8]&(1<<(ord%8)) != 0
+}
+
+// accumulate adds weight × multiplicity into acc[ordinal] for every
+// posting of hk, appending newly touched ordinals to touched (so the
+// caller can reset acc in O(touched)). Bounds were validated at parse
+// time; acc must have records() elements.
+func (ix *keyIndex) accumulate(hk uint32, weight int64, acc []int64, touched []int32) []int32 {
+	if ix.slots == 0 {
+		return touched
+	}
+	i := hk & ix.mask
+	for probes := 0; probes < ix.slots; probes++ {
+		ref := binio.U32At(ix.refs, int(i)*4)
+		if ref == 0 {
+			return touched
+		}
+		if binio.U32At(ix.keys, int(i)*4) == hk {
+			off := int(ref) - 1
+			n, sz := binio.UvarintAt(ix.postings, off)
+			off += sz
+			var ord uint32
+			for j := uint64(0); j < n; j++ {
+				d, sz := binio.UvarintAt(ix.postings, off)
+				off += sz
+				m, sz := binio.UvarintAt(ix.postings, off)
+				off += sz
+				ord += uint32(d)
+				if acc[ord] == 0 {
+					touched = append(touched, int32(ord))
+				}
+				acc[ord] += weight * int64(m)
+			}
+			return touched
+		}
+		i = (i + 1) & ix.mask
+	}
+	return touched
+}
+
+// parseKeyIndex decodes and fully validates a key index section: header,
+// checksum (skippable so the fuzz target can reach the structural
+// checks), record offsets, table geometry, and every referenced posting
+// list — ordinals in range and strictly ascending, multiplicities within
+// [1, maxKixMult], varints well formed. Anything off returns an error
+// and the caller treats the segment as unindexed; accumulate can then
+// trust the bytes without per-probe bounds checks.
+func parseKeyIndex(section []byte, verifyCRC bool) (*keyIndex, error) {
+	if len(section) < kixHeaderBytes {
+		return nil, fmt.Errorf("store: key index section too short (%d bytes)", len(section))
+	}
+	if string(section[:4]) != kixMagic {
+		return nil, fmt.Errorf("store: bad key index magic %q", section[:4])
+	}
+	if section[4] != kixVersion {
+		return nil, fmt.Errorf("store: unsupported key index version %d", section[4])
+	}
+	// Version 1 defines no flags; an unknown flag (or scribbled pad)
+	// could change future semantics, so fail closed on any of them.
+	if section[5] != 0 || section[6] != 0 || section[7] != 0 {
+		return nil, fmt.Errorf("store: unsupported key index flags %x", section[5:8])
+	}
+	payloadLen := binio.U32At(section, 8)
+	if uint64(payloadLen) != uint64(len(section)-kixHeaderBytes) {
+		return nil, fmt.Errorf("store: key index payload length %d != %d", payloadLen, len(section)-kixHeaderBytes)
+	}
+	payload := section[kixHeaderBytes:]
+	if verifyCRC {
+		if got, want := crc32.Checksum(payload, crcTable), binio.U32At(section, 12); got != want {
+			return nil, fmt.Errorf("store: key index fails CRC (%08x != %08x)", got, want)
+		}
+	}
+
+	pos := 0
+	recCount, n := binio.UvarintAt(payload, pos)
+	if n <= 0 || recCount > uint64(len(payload)) {
+		return nil, fmt.Errorf("store: implausible key index record count %d", recCount)
+	}
+	pos += n
+	ix := &keyIndex{recOffsets: make([]int64, 0, recCount)}
+	prev := int64(0)
+	for i := uint64(0); i < recCount; i++ {
+		d, n := binio.UvarintAt(payload, pos)
+		if n <= 0 || d > math.MaxInt64 {
+			return nil, fmt.Errorf("store: key index record offset %d malformed", i)
+		}
+		pos += n
+		off := prev + int64(d)
+		if off <= prev && i > 0 || off <= 0 {
+			return nil, fmt.Errorf("store: key index record offsets not ascending at %d", i)
+		}
+		prev = off
+		ix.recOffsets = append(ix.recOffsets, off)
+	}
+	dupLen := (int(recCount) + 7) / 8
+	if len(payload)-pos < dupLen+4 {
+		return nil, fmt.Errorf("store: key index truncated in dup bitmap")
+	}
+	ix.dup = payload[pos : pos+dupLen]
+	pos += dupLen
+	slots := binio.U32At(payload, pos)
+	pos += 4
+	if slots != 0 && (slots&(slots-1) != 0 || uint64(slots) > uint64(len(payload)-pos)/8) {
+		return nil, fmt.Errorf("store: implausible key index slot count %d", slots)
+	}
+	ix.slots = int(slots)
+	ix.mask = slots - 1
+	ix.keys = payload[pos : pos+4*ix.slots]
+	pos += 4 * ix.slots
+	ix.refs = payload[pos : pos+4*ix.slots]
+	pos += 4 * ix.slots
+	ix.postings = payload[pos:]
+
+	for s := 0; s < ix.slots; s++ {
+		ref := binio.U32At(ix.refs, s*4)
+		if ref == 0 {
+			continue
+		}
+		if err := validatePostings(ix.postings, int(ref)-1, recCount); err != nil {
+			return nil, fmt.Errorf("store: key index slot %d: %w", s, err)
+		}
+	}
+	return ix, nil
+}
+
+// validatePostings structurally checks one posting list.
+func validatePostings(blob []byte, off int, recCount uint64) error {
+	n, sz := binio.UvarintAt(blob, off)
+	if sz <= 0 || n == 0 || n > recCount {
+		return fmt.Errorf("bad posting count %d", n)
+	}
+	off += sz
+	var ord uint64
+	for j := uint64(0); j < n; j++ {
+		d, sz := binio.UvarintAt(blob, off)
+		if sz <= 0 {
+			return fmt.Errorf("posting %d truncated", j)
+		}
+		off += sz
+		if j == 0 {
+			ord = d
+		} else {
+			if d == 0 {
+				return fmt.Errorf("posting %d ordinal not ascending", j)
+			}
+			ord += d
+		}
+		if ord >= recCount {
+			return fmt.Errorf("posting %d ordinal %d out of range", j, ord)
+		}
+		m, sz := binio.UvarintAt(blob, off)
+		if sz <= 0 || m == 0 || m > maxKixMult {
+			return fmt.Errorf("posting %d multiplicity %d out of range", j, m)
+		}
+		off += sz
+	}
+	return nil
+}

@@ -14,10 +14,15 @@ package store
 // bit-identical to running RankQuery per train.
 //
 // rankTrains below is the one copy of the ranking machinery — manifest
-// snapshot, worker pool, mutation-race triage, bounded heaps,
-// deterministic merge — shared by RankQuery (one train, no prefilter:
-// it is the reference semantics batch results are measured against)
-// and RankBatch (N trains, prefilter on).
+// snapshot, index-driven candidate selection, worker pool,
+// mutation-race triage, bounded heaps, deterministic merge — shared by
+// RankQuery (one train) and RankBatch (N trains). Both paths run the
+// prefilter by default; NoIndex restores the historic
+// estimate-everything reference semantics for differential testing and
+// benchmarking. On top of the per-pair probe prefilter, sealed segments
+// carry a persistent inverted key index (keyindex.go, rankindex.go)
+// that excludes never-joining candidates before they are even loaded —
+// selection cost grows with matching candidates, not catalog size.
 
 import (
 	"context"
@@ -60,6 +65,12 @@ type BatchOptions struct {
 	// ScratchPool, when non-nil, supplies the per-worker estimator
 	// scratch, shared across every query in the batch.
 	ScratchPool *core.ScratchPool
+	// NoIndex disables index-driven candidate selection: every
+	// manifest-admitted candidate is loaded and prefiltered per pair,
+	// exactly as before segments carried inverted key indexes. Rankings
+	// and Pruned counts are identical either way — the flag exists for
+	// differential tests and full-walk benchmarking.
+	NoIndex bool
 }
 
 // BatchQueryResult is one train's slice of a batch discovery result.
@@ -111,16 +122,7 @@ func (s *Store) RankBatch(ctx context.Context, trains []*core.Sketch, opt BatchO
 			return nil, fmt.Errorf("store: batch trains must share a hash seed (train 0 has %#x, train %d has %#x)", trains[0].Seed, q, tr.Seed)
 		}
 	}
-	res, err := s.rankTrains(ctx, trains, opt, true)
-	if err != nil {
-		return nil, err
-	}
-	var pruned int64
-	for q := range res.Queries {
-		pruned += int64(res.Queries[q].Pruned)
-	}
-	s.prunedPairs.Add(pruned)
-	return res, nil
+	return s.rankTrains(ctx, trains, opt, true)
 }
 
 // getForRank loads a candidate for a ranking worker, preferring the
@@ -181,15 +183,17 @@ func (s *Store) getForRank(m Meta, pinned map[uint64]struct{}) (*core.Sketch, er
 }
 
 // rankTrains is the shared ranking core. Candidates are admitted by one
-// manifest snapshot (filtered on the trains' common seed), striped
-// across a worker pool, loaded once each, and scored against every
-// train. With prefilter set (and MinJoinSize >= 0 — a negative cutoff
-// keeps even empty joins, so nothing is prunable), a (train, candidate)
-// pair whose key-hash overlap is at or below MinJoinSize is counted as
-// pruned instead of estimated; candidates with duplicated key hashes
-// are exempted so the malformed-input error behavior matches the
-// unprefiltered path exactly. Callers have validated that all trains
-// share a seed.
+// manifest snapshot (filtered on the trains' common seed), selected
+// against the sealed segments' inverted key indexes, striped across a
+// worker pool, loaded once each, and scored against every train. With
+// prefilter set (and MinJoinSize >= 0 — a negative cutoff keeps even
+// empty joins, so nothing is prunable), a (train, candidate) pair whose
+// key-hash overlap is at or below MinJoinSize is counted as pruned
+// instead of estimated — by the index when the candidate's segment has
+// one (the candidate is then never decoded at all), by the probe
+// otherwise; candidates with duplicated key hashes are exempted so the
+// malformed-input error behavior matches the unprefiltered path
+// exactly. Callers have validated that all trains share a seed.
 func (s *Store) rankTrains(ctx context.Context, trains []*core.Sketch, opt BatchOptions, prefilter bool) (*BatchResult, error) {
 	seed := trains[0].Seed
 	res := &BatchResult{Queries: make([]BatchQueryResult, len(trains))}
@@ -217,10 +221,10 @@ func (s *Store) rankTrains(ctx context.Context, trains []*core.Sketch, opt Batch
 		eligible = append(eligible, m)
 		segSet[m.Segment] = struct{}{}
 	}
-	release := s.backend.pin(segSet)
+	bk := s.backend
+	release := bk.pin(segSet)
 	s.mu.Unlock()
 	defer release()
-	sort.Slice(eligible, func(i, j int) bool { return eligible[i].Name < eligible[j].Name })
 
 	probes := make([]*core.TrainProbe, len(trains))
 	for q, tr := range trains {
@@ -230,6 +234,26 @@ func (s *Store) rankTrains(ctx context.Context, trains []*core.Sketch, opt Batch
 			probes[q] = core.CompileTrainProbe(tr)
 		}
 	}
+
+	// Index-driven selection: exclude, without loading them, candidates
+	// whose segment index proves every train's overlap at or below the
+	// cutoff. Each exclusion is a pruned pair for every query (the same
+	// pairs the probe prefilter below would count one load later).
+	if prefilter && !opt.NoIndex {
+		var prunedAll int
+		eligible, prunedAll = selectCandidates(bk, eligible, probes, opt.MinJoinSize)
+		if prunedAll > 0 {
+			s.candNoDecode.Add(int64(prunedAll))
+			for q := range res.Queries {
+				res.Queries[q].Pruned = prunedAll
+			}
+		}
+	}
+	// Name order gives the workers' segment reads locality. Sorting after
+	// selection keeps the cost proportional to the candidates actually
+	// visited; results don't depend on this order — the final (MI, name)
+	// sort is a total order, and Skipped is sorted at merge time.
+	sort.Slice(eligible, func(i, j int) bool { return eligible[i].Name < eligible[j].Name })
 
 	workers := opt.Workers
 	if workers <= 0 {
@@ -354,6 +378,7 @@ func (s *Store) rankTrains(ctx context.Context, trains []*core.Sketch, opt Batch
 	// Each worker kept the top K of its subset, so merging the subsets'
 	// survivors and cutting at K yields the exact global top K — and the
 	// (MI, name) sort makes the cut deterministic across partitions.
+	var prunedTotal int64
 	for q := range trains {
 		var ranked []RankedSketch
 		for w := 0; w < workers; w++ {
@@ -364,6 +389,7 @@ func (s *Store) rankTrains(ctx context.Context, trains []*core.Sketch, opt Batch
 				res.Queries[q].Pruned += int(pruned[w][q])
 			}
 		}
+		prunedTotal += int64(res.Queries[q].Pruned)
 		sort.Slice(ranked, func(i, j int) bool {
 			if ranked[i].MI != ranked[j].MI {
 				return ranked[i].MI > ranked[j].MI
@@ -375,5 +401,6 @@ func (s *Store) rankTrains(ctx context.Context, trains []*core.Sketch, opt Batch
 		}
 		res.Queries[q].Ranked = ranked
 	}
+	s.prunedPairs.Add(prunedTotal)
 	return res, nil
 }

@@ -1,0 +1,89 @@
+package store
+
+// Index-driven candidate selection: the query-side half of the inverted
+// key index (keyindex.go). Before any candidate is loaded, each train
+// probe's distinct key hashes are intersected against the per-segment
+// indexes, accumulating exact KeyOverlap counts per candidate record;
+// candidates no train can push past MinJoinSize are excluded from the
+// visit list without a single record decode. Segments without a usable
+// index (the unsealed active segment, frozen segments, legacy v1
+// segments, corrupt index sections) keep all their candidates in the
+// visit list — the worker loop's probe prefilter handles them, so the
+// indexed, fallback, and mem-backend paths produce bit-identical
+// rankings and identical Pruned counts.
+
+import "misketch/internal/core"
+
+// selectCandidates filters the eligible snapshot through the segments'
+// key indexes. It returns the (order-preserving) candidates to visit
+// plus the number excluded without decode — each excluded candidate was
+// proven prunable for every train, so it contributes one pruned pair
+// per query. The caller holds pins on every segment in the snapshot.
+func selectCandidates(bk backend, eligible []Meta, probes []*core.TrainProbe, minJoin int) (visit []Meta, prunedAll int) {
+	fb, ok := bk.(*fsBackend)
+	if !ok {
+		return eligible, 0
+	}
+	bySeg := make(map[uint64][]int)
+	for i := range eligible {
+		bySeg[eligible[i].Segment] = append(bySeg[eligible[i].Segment], i)
+	}
+	var drop []bool
+	var acc []int64
+	var touched []int32
+	for seq, idxs := range bySeg {
+		ix := fb.keyIndexOf(seq)
+		if ix == nil {
+			continue // no usable index: the full walk covers this segment
+		}
+		n := ix.records()
+		if cap(acc) < n {
+			acc = make([]int64, n)
+		} else {
+			// Entries are zeroed via touched after every train, so a
+			// reused acc is already clean.
+			acc = acc[:n]
+		}
+		visitOrd := make([]bool, n)
+		for q := range probes {
+			hashes, mults := probes[q].DistinctKeyHashes()
+			touched = touched[:0]
+			for i, hk := range hashes {
+				touched = ix.accumulate(hk, int64(mults[i]), acc, touched)
+			}
+			for _, ord := range touched {
+				if acc[ord] > int64(minJoin) {
+					visitOrd[ord] = true
+				}
+				acc[ord] = 0
+			}
+		}
+		for _, ei := range idxs {
+			ord, ok := ix.ordinalOf(eligible[ei].Offset)
+			if !ok {
+				continue // not in the index: fail open, visit it
+			}
+			// Duplicate-hash candidates are prefilter-exempt and always
+			// visited (they must reach the estimator exactly as the full
+			// walk would).
+			if ix.isDup(ord) || visitOrd[ord] {
+				continue
+			}
+			if drop == nil {
+				drop = make([]bool, len(eligible))
+			}
+			drop[ei] = true
+			prunedAll++
+		}
+	}
+	if prunedAll == 0 {
+		return eligible, 0
+	}
+	visit = eligible[:0]
+	for i := range eligible {
+		if !drop[i] {
+			visit = append(visit, eligible[i])
+		}
+	}
+	return visit, prunedAll
+}

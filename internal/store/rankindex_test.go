@@ -1,0 +1,381 @@
+package store
+
+// Differential coverage for index-driven candidate selection: the same
+// catalog served from an indexed store, a legacy (index-less) store, a
+// mixed store, and the mem backend must produce bit-identical rankings
+// and identical Pruned counts, and only the indexed store may skip
+// decodes. The legacy fixtures are fabricated with the
+// testHookSealLegacyFooter hook, which seals v1 (pre-index) segments.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"misketch/internal/core"
+)
+
+// diffSketches builds a deterministic catalog + train set with the same
+// sliding-window geometry as batchStore, but with a per-sketch RNG so
+// the exact same sketches can be written into several stores.
+func diffSketches(t testing.TB, nCand, nTrains int) (names []string, cands, trains []*core.Sketch) {
+	t.Helper()
+	opt := core.Options{Method: core.TUPSK, Size: 128}
+	for q := 0; q < nTrains; q++ {
+		rng := rand.New(rand.NewSource(int64(1000 + q)))
+		tb, err := core.NewStreamBuilder(core.RoleTrain, true, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := q * 40
+		for i := 0; i < 2000; i++ {
+			tb.AddNum(fmt.Sprintf("g%d", lo+rng.Intn(120)), rng.NormFloat64())
+		}
+		trains = append(trains, tb.Sketch())
+	}
+	for c := 0; c < nCand; c++ {
+		rng := rand.New(rand.NewSource(int64(c)))
+		cb, err := core.NewStreamBuilder(core.RoleCandidate, true, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := (c * 13) % 400
+		for g := lo; g < lo+80; g++ {
+			cb.AddNum(fmt.Sprintf("g%d", g), float64(g%6)+rng.NormFloat64())
+		}
+		names = append(names, fmt.Sprintf("c%03d", c))
+		cands = append(cands, cb.Sketch())
+	}
+	return
+}
+
+// sealedStore writes the catalog, seals it (Close), and reopens so every
+// record sits in a sealed segment — indexed, or legacy v1 when requested.
+func sealedStore(t *testing.T, names []string, cands []*core.Sketch, legacy bool) *Store {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		if err := st.Put(name, cands[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if legacy {
+		testHookSealLegacyFooter = true
+		defer func() { testHookSealLegacyFooter = false }()
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	wantIndexed := 0
+	if !legacy {
+		wantIndexed = 1
+	}
+	if ss := st.Stats(); ss.IndexedSegments != wantIndexed {
+		t.Fatalf("fixture has %d indexed segments, want %d (legacy=%v)", ss.IndexedSegments, wantIndexed, legacy)
+	}
+	return st
+}
+
+type diffRanking struct {
+	query  []RankedSketch
+	pruned int
+	batch  []BatchQueryResult
+}
+
+// rankAll runs both ranking paths for every train and captures
+// everything a differential comparison needs.
+func rankAllTrains(t *testing.T, st *Store, trains []*core.Sketch, minJoin int, noIndex bool) []diffRanking {
+	t.Helper()
+	ctx := context.Background()
+	res, err := st.RankBatch(ctx, trains, BatchOptions{MinJoinSize: minJoin, K: 3, NoIndex: noIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]diffRanking, len(trains))
+	for q, tr := range trains {
+		ranked, _, err := st.RankQuery(ctx, tr, RankOptions{MinJoinSize: minJoin, K: 3, NoIndex: noIndex})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[q] = diffRanking{query: ranked, pruned: res.Queries[q].Pruned, batch: res.Queries}
+	}
+	return out
+}
+
+func diffCompare(t *testing.T, label string, got, want []diffRanking) {
+	t.Helper()
+	for q := range want {
+		if got[q].pruned != want[q].pruned {
+			t.Fatalf("%s train %d: pruned %d, want %d", label, q, got[q].pruned, want[q].pruned)
+		}
+		w, g := want[q].query, got[q].query
+		if len(g) != len(w) {
+			t.Fatalf("%s train %d: %d results, want %d", label, q, len(g), len(w))
+		}
+		for i := range w {
+			if g[i].Name != w[i].Name || g[i].JoinSize != w[i].JoinSize ||
+				g[i].Estimator != w[i].Estimator ||
+				math.Float64bits(g[i].MI) != math.Float64bits(w[i].MI) {
+				t.Fatalf("%s train %d result %d diverges: %+v vs %+v", label, q, i, g[i], w[i])
+			}
+		}
+		wb, gb := want[q].batch[q].Ranked, got[q].batch[q].Ranked
+		if len(gb) != len(wb) {
+			t.Fatalf("%s train %d: batch %d results, want %d", label, q, len(gb), len(wb))
+		}
+		for i := range wb {
+			if gb[i].Name != wb[i].Name || math.Float64bits(gb[i].MI) != math.Float64bits(wb[i].MI) {
+				t.Fatalf("%s train %d batch result %d diverges", label, q, i)
+			}
+		}
+	}
+}
+
+// TestIndexedRankingsBitIdentical is the core differential: indexed,
+// legacy-fallback, mixed (one legacy + one indexed segment), and mem
+// stores — plus the indexed store's own NoIndex reference walk — agree
+// bit for bit on every ranking and on every Pruned count.
+func TestIndexedRankingsBitIdentical(t *testing.T) {
+	names, cands, trains := diffSketches(t, 80, 4)
+	const minJoin = 20
+
+	indexed := sealedStore(t, names, cands, false)
+	legacy := sealedStore(t, names, cands, true)
+
+	// Mixed: first half sealed legacy, second half sealed indexed.
+	mixed := func() *Store {
+		dir := t.TempDir()
+		st, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(names)/2; i++ {
+			if err := st.Put(names[i], cands[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		testHookSealLegacyFooter = true
+		err = st.Close()
+		testHookSealLegacyFooter = false
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err = Open(dir); err != nil {
+			t.Fatal(err)
+		}
+		for i := len(names) / 2; i < len(names); i++ {
+			if err := st.Put(names[i], cands[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if st, err = Open(dir); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		ss := st.Stats()
+		if ss.IndexedSegments != 1 || ss.Segments != 2 {
+			t.Fatalf("mixed fixture: %d/%d segments indexed", ss.IndexedSegments, ss.Segments)
+		}
+		return st
+	}()
+
+	mem, err := OpenWithOptions("", OpenOptions{Backend: BackendMem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mem.Close() })
+	for i, name := range names {
+		if err := mem.Put(name, cands[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ref := rankAllTrains(t, indexed, trains, minJoin, true) // historic full walk
+	anyRanked, anyPruned := false, false
+	for q := range ref {
+		if len(ref[q].query) > 0 {
+			anyRanked = true
+		}
+		if ref[q].pruned > 0 {
+			anyPruned = true
+		}
+	}
+	if !anyRanked || !anyPruned {
+		t.Fatal("degenerate fixture: nothing ranked or nothing pruned")
+	}
+
+	diffCompare(t, "indexed", rankAllTrains(t, indexed, trains, minJoin, false), ref)
+	diffCompare(t, "legacy", rankAllTrains(t, legacy, trains, minJoin, false), ref)
+	diffCompare(t, "mixed", rankAllTrains(t, mixed, trains, minJoin, false), ref)
+	diffCompare(t, "mem", rankAllTrains(t, mem, trains, minJoin, false), ref)
+
+	// Only the indexed paths may skip decodes; the legacy store must
+	// have answered everything through the full walk.
+	if got := indexed.Stats().CandidatesSkippedNoDecode; got == 0 {
+		t.Fatal("indexed store never skipped a decode")
+	}
+	if got := legacy.Stats().CandidatesSkippedNoDecode; got != 0 {
+		t.Fatalf("legacy store claims %d decode skips", got)
+	}
+	if got := mixed.Stats().CandidatesSkippedNoDecode; got == 0 {
+		t.Fatal("mixed store never skipped a decode on its indexed segment")
+	}
+}
+
+// TestIndexedSelectionDecodesOnlyMatches pins the perf contract behind
+// the index: with the cache disabled, a RankQuery against a sealed
+// indexed catalog performs exactly one disk read per candidate whose
+// key overlap beats MinJoinSize — the non-matching rest are never
+// decoded (DiskReads is the store's decode counter).
+func TestIndexedSelectionDecodesOnlyMatches(t *testing.T) {
+	names, cands, trains := diffSketches(t, 80, 1)
+	const minJoin = 20
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		if err := st.Put(name, cands[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err = OpenWithOptions(dir, OpenOptions{CacheBytes: -1}); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	train := trains[0]
+	matching := 0
+	for _, cand := range cands {
+		if core.KeyOverlap(train, cand) > minJoin {
+			matching++
+		}
+	}
+	if matching == 0 || matching == len(cands) {
+		t.Fatalf("degenerate fixture: %d/%d matching", matching, len(cands))
+	}
+	before := st.Stats()
+	if _, _, err := st.RankQuery(context.Background(), train, RankOptions{MinJoinSize: minJoin, K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	after := st.Stats()
+	if reads := after.DiskReads - before.DiskReads; reads != int64(matching) {
+		t.Fatalf("indexed RankQuery decoded %d candidates, want exactly the %d matching ones", reads, matching)
+	}
+	if skipped := after.CandidatesSkippedNoDecode - before.CandidatesSkippedNoDecode; skipped != int64(len(cands)-matching) {
+		t.Fatalf("skipped-without-decode %d, want %d", skipped, len(cands)-matching)
+	}
+}
+
+// TestCrashDuringSealKeyIndex kills the seal between the record index
+// flush and the key index write: the segment reopens footer-less
+// (frozen), every acked Put survives via replay, ranking still works,
+// and the next compaction pass rebuilds the index.
+func TestCrashDuringSealKeyIndex(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]*core.Sketch{}
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("s%d", i)
+		sk := crashSketch(t, i)
+		if err := st.Put(name, sk); err != nil {
+			t.Fatal(err)
+		}
+		want[name] = sk
+	}
+	disarm := crashAt(t, "seal.keyindex", 1)
+	cerr := st.Close()
+	disarm()
+	if !errors.Is(cerr, errInjectedCrash) {
+		t.Fatalf("Close = %v, want injected crash", cerr)
+	}
+	expectState(t, dir, want)
+
+	// The torn index must not have produced an indexed segment; a forced
+	// index pass rebuilds it and ranking agrees before and after.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if ss := st2.Stats(); ss.IndexedSegments != 0 {
+		t.Fatalf("torn index surfaced as %d indexed segments", ss.IndexedSegments)
+	}
+	train := buildSketch(t, core.RoleTrain, 0, func(x int) float64 { return float64(x % 7) })
+	beforeRank, _, err := st2.RankQuery(context.Background(), train, RankOptions{MinJoinSize: 5, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := st2.IndexSegments(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Compacted {
+		t.Fatal("IndexSegments skipped a store with an unindexed segment")
+	}
+	if ss := st2.Stats(); ss.IndexedSegments == 0 || ss.PostingBytes == 0 {
+		t.Fatalf("backfill left no index: %+v", ss)
+	}
+	afterRank, _, err := st2.RankQuery(context.Background(), train, RankOptions{MinJoinSize: 5, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(afterRank) != len(beforeRank) {
+		t.Fatalf("backfill changed the ranking: %d vs %d results", len(afterRank), len(beforeRank))
+	}
+	for i := range beforeRank {
+		if afterRank[i].Name != beforeRank[i].Name ||
+			math.Float64bits(afterRank[i].MI) != math.Float64bits(beforeRank[i].MI) {
+			t.Fatalf("backfill changed result %d", i)
+		}
+	}
+}
+
+// TestIndexSegmentsNoOpWhenIndexed pins the backfill verb's idempotence:
+// on a store whose every sealed segment already carries an index, a
+// second IndexSegments pass must not rewrite anything.
+func TestIndexSegmentsNoOpWhenIndexed(t *testing.T) {
+	names, cands, _ := diffSketches(t, 10, 1)
+	st := sealedStore(t, names, cands, false)
+	cs, err := st.IndexSegments(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Compacted {
+		t.Fatal("IndexSegments rewrote an already-indexed store")
+	}
+	// A legacy store, by contrast, gets folded even without garbage.
+	leg := sealedStore(t, names, cands, true)
+	cs, err = leg.IndexSegments(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Compacted {
+		t.Fatal("IndexSegments skipped a legacy store")
+	}
+	if ss := leg.Stats(); ss.IndexedSegments == 0 {
+		t.Fatal("legacy store still unindexed after IndexSegments")
+	}
+}

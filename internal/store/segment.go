@@ -17,16 +17,24 @@ package store
 //	               len uvarint | method u8 | role u8 | numeric u8 |
 //	               seed u32 | size uvarint | entries uvarint |
 //	               sourceRows uvarint }
-//	footer (32 B): indexOff u64 | count u64 | crc u32 | reserved u32 |
-//	               magic "MSEGIDX1"
+//	key index:     inverted key hash → posting list section (keyindex.go);
+//	               absent when the segment predates it or could not be
+//	               indexed
+//	footer (40 B): kixOff u64 | indexOff u64 | count u64 | crc u32 |
+//	               reserved u32 | magic "MSEGIDX2"
 //
 // str = uvarint length + raw bytes. kind distinguishes WAL-order append
 // segments from compaction output (see recovery in fsbackend.go); seq is
 // the segment's identity within the store. The footer CRC covers every
-// byte before the footer. An unsealed segment (crash before seal) is
-// recognized by its missing footer and replayed record by record, each
-// record's own CRC bounding the valid prefix; recovery then truncates
-// the torn tail and seals in place.
+// byte before the footer — key index section included. kixOff locates
+// the key index section (zero: none). Segments sealed before the key
+// index existed carry the 32-byte v1 footer (indexOff u64 | count u64 |
+// crc u32 | reserved u32 | magic "MSEGIDX1") and are opened read-compatibly
+// with no key index; queries fall back to the full candidate walk until
+// a compaction (or Store.IndexSegments) rewrites them. An unsealed
+// segment (crash before seal — including a crash inside key index
+// emission) is recognized by its missing footer and replayed record by
+// record, each record's own CRC bounding the valid prefix.
 
 import (
 	"bufio"
@@ -35,6 +43,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 
 	"misketch/internal/binio"
@@ -42,12 +51,14 @@ import (
 )
 
 const (
-	segMagic       = "MSEG"
-	segFooterMagic = "MSEGIDX1"
-	segVersion     = 1
+	segMagic         = "MSEG"
+	segFooterMagic   = "MSEGIDX1" // v1: no key index section
+	segFooterMagicV2 = "MSEGIDX2"
+	segVersion       = 1
 
-	segHeaderBytes = 16
-	segFooterBytes = 32
+	segHeaderBytes   = 16
+	segFooterBytes   = 32 // v1 footer
+	segFooterV2Bytes = 40
 
 	// segmentsDir holds the segment files inside the store root.
 	segmentsDir = "segments"
@@ -80,15 +91,23 @@ func parseSegmentPath(name string) (uint64, bool) {
 // carry the read-only mapping views borrow from; the (at most one)
 // unsealed segment is the append target and is read via pread instead.
 type segment struct {
-	seq    uint64
-	kind   uint8
-	path   string
-	f      *os.File
-	data   []byte // mmap of the whole file; nil while unsealed
-	size   int64  // file size (sealed)
-	recEnd int64  // end of the record region (== index offset when sealed)
-	count  int    // records in the record region
-	sealed bool
+	seq     uint64
+	kind    uint8
+	path    string
+	f       *os.File
+	data    []byte // mmap of the whole file; nil while unsealed
+	size    int64  // file size (sealed)
+	recEnd  int64  // end of the record region (== index offset when sealed)
+	count   int    // records in the record region
+	sealed  bool
+	footLen int64 // footer length (v1 or v2); meaningful when sealed
+	// kixOff/kixLen locate the key index section (0: none). The section
+	// is parsed lazily at first use (keyIndex below) so opening a store
+	// stays O(segments) work regardless of index size.
+	kixOff, kixLen int64
+	kixMu          sync.Mutex
+	kixState       atomic.Int32 // 0 unparsed, 1 ready, 2 invalid
+	kixVal         *keyIndex
 
 	// refs counts reasons the mapping must stay valid: 1 for segment-table
 	// membership plus one per pinned reader. retire drops the table ref;
@@ -232,10 +251,15 @@ func (w *segmentWriter) readRecordAt(off, length int64) (core.Record, error) {
 	return core.DecodeRecord(buf, 0, false)
 }
 
-// seal writes the index and footer, fsyncs, maps the now-immutable file,
-// and returns the sealed segment. The writer must not be used afterward.
+// seal writes the record index, the inverted key index, and the footer,
+// fsyncs, maps the now-immutable file, and returns the sealed segment.
+// The writer must not be used afterward. The key index is best-effort:
+// a segment that cannot be indexed (an undecodable record, a format
+// bound exceeded) seals with kixOff = 0 and queries fall back to the
+// full candidate walk — correctness never depends on the index.
 func (w *segmentWriter) seal() (*segment, error) {
 	seg := w.seg
+	kixSection := w.buildKeyIndex()
 	if _, err := seg.f.Seek(w.off, 0); err != nil {
 		return nil, fmt.Errorf("store: sealing segment %d: %w", seg.seq, err)
 	}
@@ -261,12 +285,39 @@ func (w *segmentWriter) seal() (*segment, error) {
 	if bw.Err != nil {
 		return nil, fmt.Errorf("store: sealing segment %d: %w", seg.seq, bw.Err)
 	}
-	footer := make([]byte, 0, segFooterBytes)
-	footer = binio.AppendU64(footer, uint64(w.off))
-	footer = binio.AppendU64(footer, uint64(len(w.index)))
-	footer = binio.AppendU32(footer, crc)
-	footer = binio.AppendU32(footer, 0)
-	footer = append(footer, segFooterMagic...)
+	var kixOff int64
+	if len(kixSection) > 0 {
+		// A crash here leaves record index bytes with no footer: the
+		// segment reopens unsealed and is frozen-replayed record by
+		// record (the index bytes fail the first record CRC), so acked
+		// Puts survive and only the index is lost — rebuilt by the next
+		// compaction.
+		if err := crashPoint("seal.keyindex"); err != nil {
+			return nil, err
+		}
+		kixOff = w.off + bw.N
+		if _, err := (crcWriter{f: seg.f, crc: &crc}).Write(kixSection); err != nil {
+			return nil, fmt.Errorf("store: sealing segment %d key index: %w", seg.seq, err)
+		}
+	}
+	footLen := int64(segFooterV2Bytes)
+	footer := make([]byte, 0, segFooterV2Bytes)
+	if testHookSealLegacyFooter {
+		footLen = segFooterBytes
+		footer = binio.AppendU64(footer, uint64(w.off))
+		footer = binio.AppendU64(footer, uint64(len(w.index)))
+		footer = binio.AppendU32(footer, crc)
+		footer = binio.AppendU32(footer, 0)
+		footer = append(footer, segFooterMagic...)
+		kixOff = 0
+	} else {
+		footer = binio.AppendU64(footer, uint64(kixOff))
+		footer = binio.AppendU64(footer, uint64(w.off))
+		footer = binio.AppendU64(footer, uint64(len(w.index)))
+		footer = binio.AppendU32(footer, crc)
+		footer = binio.AppendU32(footer, 0)
+		footer = append(footer, segFooterMagicV2...)
+	}
 	if _, err := seg.f.Write(footer); err != nil {
 		return nil, fmt.Errorf("store: sealing segment %d: %w", seg.seq, err)
 	}
@@ -281,11 +332,92 @@ func (w *segmentWriter) seal() (*segment, error) {
 	seg.recEnd = w.off
 	seg.count = len(w.index)
 	seg.sealed = true
+	seg.footLen = footLen
+	seg.kixOff = kixOff
+	if kixOff > 0 {
+		seg.kixLen = int64(len(kixSection))
+	}
 	seg.data, err = mmapFile(seg.f, seg.size)
 	if err != nil {
 		return nil, fmt.Errorf("store: mapping segment %d: %w", seg.seq, err)
 	}
 	return seg, nil
+}
+
+// buildKeyIndex reads the writer's candidate-role sketch records back
+// and assembles the inverted key index section (keyindex.go). It covers
+// both seal paths — Put-driven rolls and compaction output, whose
+// records were appended as raw bytes and never decoded. A nil return
+// means the segment seals without an index.
+func (w *segmentWriter) buildKeyIndex() []byte {
+	if testHookSealLegacyFooter {
+		return nil
+	}
+	kb := newKeyIndexBuilder()
+	var rbuf []byte
+	for _, e := range w.index {
+		if e.info.Kind != core.RecordSketch || e.info.Role != core.RoleCandidate {
+			continue
+		}
+		if cap(rbuf) < e.info.Len {
+			rbuf = make([]byte, e.info.Len)
+		}
+		buf := rbuf[:e.info.Len]
+		if _, err := w.seg.f.ReadAt(buf, e.off); err != nil {
+			return nil
+		}
+		rec, err := core.DecodeRecord(buf, 0, true)
+		if err != nil || rec.Sketch == nil {
+			return nil
+		}
+		kb.add(e.off, rec.Sketch.KeyHashes)
+	}
+	section, ok := kb.encode()
+	if !ok {
+		return nil
+	}
+	return section
+}
+
+// keyIndex parses (once) and returns the segment's key index, or nil
+// when the segment has none or the section fails validation — the
+// fail-closed path back to the full candidate walk. The caller must
+// hold a pin on the segment.
+func (g *segment) keyIndex() *keyIndex {
+	if !g.sealed || g.kixOff == 0 {
+		return nil
+	}
+	switch g.kixState.Load() {
+	case 1:
+		return g.kixVal
+	case 2:
+		return nil
+	}
+	g.kixMu.Lock()
+	defer g.kixMu.Unlock()
+	if g.kixState.Load() == 0 {
+		ix, err := parseKeyIndex(g.data[g.kixOff:g.kixOff+g.kixLen], true)
+		if err == nil {
+			// The section validates internally; also pin its offsets to
+			// this segment's record region.
+			for _, off := range ix.recOffsets {
+				if off < segHeaderBytes || off >= g.recEnd {
+					err = fmt.Errorf("store: key index offset %d outside record region", off)
+					break
+				}
+			}
+		}
+		if err != nil {
+			g.kixState.Store(2)
+		} else {
+			g.kixVal = ix
+			g.kixState.Store(1)
+		}
+	}
+	if g.kixState.Load() == 1 {
+		return g.kixVal
+	}
+	return nil
 }
 
 // crcWriter tees writes into a running CRC.
@@ -344,6 +476,39 @@ func openSegment(path string) (*segment, error) {
 	seg.seq = binio.U64At(hdr, 8)
 	seg.kind = hdr[5]
 	seg.refs.Store(1)
+	if size >= segHeaderBytes+segFooterV2Bytes {
+		footer := make([]byte, segFooterV2Bytes)
+		if _, err := f.ReadAt(footer, size-segFooterV2Bytes); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if string(footer[32:40]) == segFooterMagicV2 {
+			kixOff := int64(binio.U64At(footer, 0))
+			indexOff := int64(binio.U64At(footer, 8))
+			count := int64(binio.U64At(footer, 16))
+			if indexOff < segHeaderBytes || indexOff > size-segFooterV2Bytes {
+				f.Close()
+				return nil, fmt.Errorf("store: %s: implausible index offset %d", path, indexOff)
+			}
+			seg.size = size
+			seg.recEnd = indexOff
+			seg.count = int(count)
+			seg.sealed = true
+			seg.footLen = segFooterV2Bytes
+			// An implausible key index offset degrades to "no index"
+			// (the full walk); the record region stands on its own.
+			if kixOff >= indexOff && kixOff+kixHeaderBytes <= size-segFooterV2Bytes {
+				seg.kixOff = kixOff
+				seg.kixLen = size - segFooterV2Bytes - kixOff
+			}
+			seg.data, err = mmapFile(f, size)
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("store: mapping %s: %w", path, err)
+			}
+			return seg, nil
+		}
+	}
 	if size >= segHeaderBytes+segFooterBytes {
 		footer := make([]byte, segFooterBytes)
 		if _, err := f.ReadAt(footer, size-segFooterBytes); err != nil {
@@ -351,6 +516,9 @@ func openSegment(path string) (*segment, error) {
 			return nil, err
 		}
 		if string(footer[24:32]) == segFooterMagic {
+			// Legacy v1 footer: sealed before the key index existed.
+			// Fully readable; queries walk its candidates until a
+			// compaction or Store.IndexSegments rewrites it.
 			indexOff := int64(binio.U64At(footer, 0))
 			count := int64(binio.U64At(footer, 8))
 			if indexOff < segHeaderBytes || indexOff > size-segFooterBytes {
@@ -361,6 +529,7 @@ func openSegment(path string) (*segment, error) {
 			seg.recEnd = indexOff
 			seg.count = int(count)
 			seg.sealed = true
+			seg.footLen = segFooterBytes
 			seg.data, err = mmapFile(f, size)
 			if err != nil {
 				f.Close()
@@ -378,9 +547,11 @@ func (g *segment) verify() error {
 	if !g.sealed {
 		return fmt.Errorf("store: segment %d is unsealed", g.seq)
 	}
-	footer := g.data[g.size-segFooterBytes:]
-	want := binio.U32At(footer, 16)
-	if got := crc32.Checksum(g.data[:g.size-segFooterBytes], crcTable); got != want {
+	// Both footer versions end with crc u32 | reserved u32 | magic (8 B);
+	// the CRC covers every byte before the footer, key index included.
+	footer := g.data[g.size-g.footLen:]
+	want := binio.U32At(footer, int(g.footLen)-16)
+	if got := crc32.Checksum(g.data[:g.size-g.footLen], crcTable); got != want {
 		return fmt.Errorf("store: segment %d fails CRC (%08x != %08x)", g.seq, got, want)
 	}
 	return nil
@@ -391,7 +562,11 @@ func (g *segment) readIndex() ([]segIndexEntry, error) {
 	if !g.sealed {
 		return nil, fmt.Errorf("store: segment %d is unsealed", g.seq)
 	}
-	r := newBytesBinioReader(g.data[g.recEnd : g.size-segFooterBytes])
+	end := g.size - g.footLen
+	if g.kixOff > 0 {
+		end = g.kixOff
+	}
+	r := newBytesBinioReader(g.data[g.recEnd:end])
 	entries := make([]segIndexEntry, 0, g.count)
 	for i := 0; i < g.count; i++ {
 		var e segIndexEntry

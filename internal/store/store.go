@@ -67,7 +67,10 @@ type Store struct {
 	rankQueries atomic.Int64 // RankQuery calls (including failed ones)
 	rankBatches atomic.Int64 // RankBatch calls (including failed ones)
 	prunedPairs atomic.Int64 // (train, candidate) pairs pruned by the key-overlap prefilter
-	compactions atomic.Int64 // completed compaction passes
+	// candNoDecode counts candidates the per-segment key indexes excluded
+	// from ranking without a record decode — the sub-linear selection win.
+	candNoDecode atomic.Int64
+	compactions  atomic.Int64 // completed compaction passes
 }
 
 // Defaults for OpenOptions zero values.
@@ -446,10 +449,19 @@ type Stats struct {
 	RankQueries int64
 	// RankBatches counts batch discovery queries (RankBatch calls).
 	RankBatches int64
-	// PrunedPairs counts the (train, candidate) pairs batch queries
+	// PrunedPairs counts the (train, candidate) pairs discovery queries
 	// skipped via the key-overlap prefilter — estimator invocations the
-	// coordinated-sample intersection proved unnecessary.
+	// coordinated-sample intersection proved unnecessary (whether the
+	// overlap came from a segment's key index or a loaded candidate).
 	PrunedPairs int64
+	// IndexedSegments counts live segments carrying an inverted key
+	// index and PostingBytes their total index section size on disk.
+	IndexedSegments int
+	PostingBytes    int64
+	// CandidatesSkippedNoDecode counts candidates the per-segment key
+	// indexes excluded from ranking without decoding a single record —
+	// the prune rate that makes selection sub-linear in catalog size.
+	CandidatesSkippedNoDecode int64
 }
 
 // Stats returns a snapshot of the handle's counters.
@@ -466,6 +478,8 @@ func (s *Store) Stats() Stats {
 		RankQueries: s.rankQueries.Load(),
 		RankBatches: s.rankBatches.Load(),
 		PrunedPairs: s.prunedPairs.Load(),
+
+		CandidatesSkippedNoDecode: s.candNoDecode.Load(),
 	}
 	if s.cache != nil {
 		st.CacheBytes = s.cache.used
@@ -477,6 +491,10 @@ func (s *Store) Stats() Stats {
 		for _, info := range fb.segmentInfos() {
 			st.Segments++
 			st.SegmentBytes += info.Bytes
+			if info.Indexed {
+				st.IndexedSegments++
+				st.PostingBytes += info.IndexBytes
+			}
 		}
 		for _, m := range s.manifest {
 			st.LiveBytes += m.Bytes
@@ -502,6 +520,11 @@ type SegmentInfo struct {
 	// references.
 	LiveRecords int
 	LiveBytes   int64
+	// Indexed marks sealed segments carrying an inverted key index and
+	// IndexBytes its section size; legacy and frozen segments report
+	// false and are served by the full candidate walk.
+	Indexed    bool
+	IndexBytes int64
 }
 
 // Segments returns per-segment observability state, ordered by sequence
@@ -565,6 +588,13 @@ type RankOptions struct {
 	// so consecutive queries reuse grown-to-size buffers instead of
 	// allocating fresh ones.
 	ScratchPool *core.ScratchPool
+	// NoIndex disables both the key-overlap prefilter and index-driven
+	// candidate selection: every manifest-admitted candidate is loaded
+	// and estimated, the historic full-walk reference semantics.
+	// Rankings are identical either way (the prefilter only removes
+	// candidates the min-join filter would drop after estimation); the
+	// flag exists for differential tests and full-walk benchmarking.
+	NoIndex bool
 }
 
 // RankContext is RankQuery with positional options, kept for callers of
@@ -578,10 +608,17 @@ func (s *Store) RankContext(ctx context.Context, train *core.Sketch, prefix stri
 // opt.MinJoinSize samples, and returns the rest ordered by decreasing
 // MI (bounded to the best opt.TopK when positive).
 //
-// Candidate selection is manifest-only: sketches excluded by prefix,
-// hash seed, or role are never decoded. Prefix-ineligible sketches are
-// silently ignored; prefix-matching sketches with a different seed or a
-// train role are reported in the skipped list (they cannot be joined).
+// Candidate selection never decodes excluded sketches: the manifest
+// filters on prefix, hash seed, and role, and sealed segments' inverted
+// key indexes then exclude candidates whose exact key-hash overlap with
+// the train proves their join at or below MinJoinSize — selection work
+// grows with matching candidates, not catalog size. Candidates in
+// segments without an index (the active segment, legacy segments) are
+// loaded and prefiltered per pair instead; either way the pruned pairs
+// are identical and counted in Stats.PrunedPairs. Prefix-ineligible
+// sketches are silently ignored; prefix-matching sketches with a
+// different seed or a train role are reported in the skipped list (they
+// cannot be joined).
 // A malformed candidate with duplicated key hashes fails the query only
 // when a duplicate actually joins the train sketch; duplicates that
 // match nothing cannot affect any result and are ranked normally. The
@@ -602,10 +639,11 @@ func (s *Store) RankContext(ctx context.Context, train *core.Sketch, prefix stri
 // compaction.
 func (s *Store) RankQuery(ctx context.Context, train *core.Sketch, opt RankOptions) (ranked []RankedSketch, skipped []string, err error) {
 	s.rankQueries.Add(1)
-	// One train, no prefilter: RankQuery is the reference semantics the
-	// batch pipeline's prefiltered results are measured against, so it
-	// estimates every admitted candidate. The machinery lives in
-	// rankTrains (rankbatch.go), shared with RankBatch.
+	// One train through the shared machinery in rankTrains
+	// (rankbatch.go). The prefilter (and the segment key indexes behind
+	// it) only ever removes candidates the min-join filter would drop
+	// after estimation, so results are bit-identical to the full walk —
+	// which remains reachable via NoIndex for differential testing.
 	var probes []*core.TrainProbe
 	if opt.Probe != nil {
 		probes = []*core.TrainProbe{opt.Probe}
@@ -618,7 +656,8 @@ func (s *Store) RankQuery(ctx context.Context, train *core.Sketch, opt RankOptio
 		Workers:     opt.Workers,
 		Probes:      probes,
 		ScratchPool: opt.ScratchPool,
-	}, false)
+		NoIndex:     opt.NoIndex,
+	}, !opt.NoIndex)
 	if err != nil {
 		return nil, nil, err
 	}

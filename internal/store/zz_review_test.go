@@ -15,10 +15,7 @@ func TestZZReviewManifestAfterCompact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sk := core.NewSketch(core.TUPSK, core.RoleCandidate, 42, 64, false)
-	for i := 0; i < 5; i++ {
-		sk.Add(uint32(i), "", "v")
-	}
+	sk := buildSketch(t, core.RoleCandidate, 42, func(g int) float64 { return float64(g) })
 	for i := 0; i < 10; i++ {
 		if err := st.Put("a", sk); err != nil { // overwrites => garbage
 			t.Fatal(err)
