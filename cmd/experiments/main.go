@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|fulljoin|fig2|fig3|fig4|fig5|table1|table2|perf|ablation|convergence|smoothing]
+//	experiments [-run all|fulljoin|fig2|fig3|fig4|fig5|table1|table2|perf|ablation|convergence|smoothing|cascade]
 //	            [-trials N] [-rows N] [-sketch N] [-pairs N] [-seed N]
 //
 // Output is written to stdout as fixed-width tables; the series the
@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "which experiment to run: all, fulljoin, fig2, fig3, fig4, fig5, table1, table2, perf, ablation, convergence, smoothing")
+		run    = flag.String("run", "all", "which experiment to run: all, fulljoin, fig2, fig3, fig4, fig5, table1, table2, perf, ablation, convergence, smoothing, cascade")
 		trials = flag.Int("trials", 40, "datasets per configuration cell (synthetic experiments)")
 		rows   = flag.Int("rows", 10000, "rows per synthetic dataset (the paper uses 10k)")
 		sketch = flag.Int("sketch", 256, "sketch size n for synthetic experiments (the paper uses 256)")
@@ -103,6 +103,12 @@ func main() {
 	if want("smoothing") {
 		ran = true
 		r, err := exp.RunSmoothing(cfg, 1)
+		die(err)
+		r.Write(w)
+	}
+	if want("cascade") {
+		ran = true
+		r, err := exp.RunCascadeCalib(cfg, *pairs)
 		die(err)
 		r.Write(w)
 	}

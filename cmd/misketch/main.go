@@ -44,6 +44,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -86,14 +87,16 @@ func usage() {
   misketch estimate      -train FILE -train-key COL -target COL -cand FILE -cand-key COL -feature COL [flags]
   misketch rank          -train FILE -train-key COL -target COL [flags] CANDIDATE_DIR
   misketch store ingest  -store DIR -key COL [-workers N] [flags] CSV_OR_DIR...
-  misketch store rank    -store DIR -train FILE -train-key COL -target COL [-trains COL,COL,...] [-workers N] [-stats] [flags]
+  misketch store rank    -store DIR -train FILE -train-key COL -target COL [-trains COL,COL,...] [-workers N]
+                         [-no-cascade] [-cascade-margin NATS] [-stats] [flags]
   misketch store ls      -store DIR [-segments]
   misketch store rebuild -store DIR
   misketch store compact -store DIR
   misketch store index   -store DIR
   misketch serve         -store DIR [-addr :8080] [-max-workers N] [-probe-cache N] [-cache BYTES]
-                         [-backend fs|mem] [-compact-every DUR] [-segment-bytes N]
-  misketch bench         [-candidates N] [-top K] [-iters N] [-out FILE]
+                         [-backend fs|mem] [-compact-every DUR] [-segment-bytes N] [-pprof]
+  misketch bench         [-candidates N] [-top K] [-iters N] [-no-cascade] [-out FILE]
+                         [-cpuprofile FILE] [-memprofile FILE]
   (legacy aliases: "sketch" = store ingest, "store-rank" = store rank)`)
 }
 
@@ -435,8 +438,10 @@ func runStoreRank(args []string) {
 	minJoin := fs.Int("min-join", 100, "drop candidates whose sketch join has at most this many samples")
 	top := fs.Int("top", 20, "return only the top-K candidates")
 	prefix := fs.String("prefix", "", "only rank stored sketches whose name has this prefix")
-	workers := fs.Int("workers", 0, "estimation worker fan-out (0 = GOMAXPROCS)")
-	stats := fs.Bool("stats", false, "print cache and disk-read counters after the query")
+	workers := fs.Int("workers", 0, "estimation worker fan-out (0 = automatic)")
+	noCascade := fs.Bool("no-cascade", false, "disable the two-tier estimator cascade (exact tier on every pair)")
+	cascadeMargin := fs.Float64("cascade-margin", 0, "override the cascade safety margin in nats (0 = calibrated default)")
+	stats := fs.Bool("stats", false, "print cache, disk-read, and cascade counters after the query")
 	die(fs.Parse(args))
 	requireFlags(map[string]string{"store": *storeDir, "train": *train, "train-key": *trainKey})
 	targets := []string{*target}
@@ -469,11 +474,13 @@ func runStoreRank(args []string) {
 	defer stop()
 	started := time.Now()
 	res, err := misketch.RankBatch(ctx, sketches, trainSks, misketch.BatchRankOptions{
-		Prefix:      *prefix,
-		MinJoinSize: *minJoin,
-		K:           misketch.DefaultK,
-		TopK:        *top,
-		Workers:     *workers,
+		Prefix:        *prefix,
+		MinJoinSize:   *minJoin,
+		K:             misketch.DefaultK,
+		TopK:          *top,
+		Workers:       *workers,
+		NoCascade:     *noCascade,
+		CascadeMargin: *cascadeMargin,
 	})
 	die(err)
 	elapsed := time.Since(started)
@@ -495,6 +502,8 @@ func runStoreRank(args []string) {
 	if *stats {
 		fmt.Printf("query time:   %s (%d targets in one pass)\n", elapsed, len(targets))
 		fmt.Printf("prefilter:    %d (target, candidate) pairs pruned\n", ss.PrunedPairs)
+		fmt.Printf("cascade:      %d pairs settled by the cheap tier, %d paid the exact tier, %d margin/guard rescues\n",
+			ss.CascadeCheapOnly, ss.CascadeExact, ss.CascadeMarginRescues)
 		fmt.Printf("cache:        %d hits, %d misses, %d evictions, %d bytes resident\n",
 			ss.CacheHits, ss.CacheMisses, ss.Evictions, ss.CacheBytes)
 		fmt.Printf("disk reads:   %d full sketch decodes\n", ss.DiskReads)
@@ -601,17 +610,24 @@ func runStoreIndex(args []string) {
 }
 
 // runBench builds a synthetic sketch store mirroring the repo's
-// BenchmarkStoreRank workload (1000 numeric candidate sketches of 400
-// keys, a 256-entry train sketch over 4000 rows), times warm top-K
-// ranking queries against it, and emits one BENCH_rank.json record —
-// the store-rank perf number, measurable without the Go test harness.
+// BenchmarkStoreRank workload (a heterogeneous discovery corpus: a
+// planted cohort of dependent candidates at graded noise scales,
+// marginal stragglers near the cascade's decision boundary, and an
+// independent bulk — 400 keys each, against a 256-entry train sketch
+// over 4000 rows), times warm top-K ranking queries against it, and
+// emits one BENCH_rank.json record — the store-rank perf number,
+// measurable without the Go test harness. -cpuprofile/-memprofile
+// write pprof profiles of the timed loop for tier-level attribution.
 func runBench(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	nCand := fs.Int("candidates", 1000, "number of candidate sketches")
 	top := fs.Int("top", 10, "top-K bound of the timed queries")
 	iters := fs.Int("iters", 5, "timed query iterations (after one warm-up)")
+	noCascade := fs.Bool("no-cascade", false, "time the exact tier on every pair (cascade disabled)")
 	out := fs.String("out", "", "append the JSON record to this file (default: stdout only)")
 	dir := fs.String("dir", "", "store directory (default: a temp dir, removed afterwards)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the timed queries to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the timed queries to this file")
 	die(fs.Parse(args))
 	if *iters < 1 || *nCand < 1 {
 		fmt.Fprintln(os.Stderr, "bench: -iters and -candidates must be positive")
@@ -629,17 +645,28 @@ func runBench(args []string) {
 	die(err)
 	rng := rand.New(rand.NewSource(17))
 	sopt := misketch.Options{Size: 256}
+	signal := func(g int) float64 { return float64(g % 20) }
 	tb, err := misketch.NewStreamBuilder(misketch.RoleTrain, true, sopt)
 	die(err)
 	for i := 0; i < 4000; i++ {
-		tb.AddNum(fmt.Sprintf("g%d", rng.Intn(400)), rng.NormFloat64())
+		g := rng.Intn(400)
+		tb.AddNum(fmt.Sprintf("g%d", g), signal(g)+0.25*rng.NormFloat64())
 	}
 	train := tb.Sketch()
 	for c := 0; c < *nCand; c++ {
 		cb, err := misketch.NewStreamBuilder(misketch.RoleCandidate, true, sopt)
 		die(err)
 		for g := 0; g < 400; g++ {
-			cb.AddNum(fmt.Sprintf("g%d", g), float64(g%7)+rng.NormFloat64())
+			var v float64
+			switch {
+			case c%64 == 0:
+				v = signal(g) + (0.08+0.035*float64(c/64))*rng.NormFloat64()
+			case c%64 == 1:
+				v = signal(g) + (1.0+float64(c/64))*rng.NormFloat64()
+			default:
+				v = rng.NormFloat64()
+			}
+			cb.AddNum(fmt.Sprintf("g%d", g), v)
 		}
 		die(st.Put(fmt.Sprintf("bench/t%04d#x", c), cb.Sketch()))
 	}
@@ -650,6 +677,7 @@ func runBench(args []string) {
 		start := time.Now()
 		ranked, _, err := st.RankQuery(ctx, train, misketch.RankOptions{
 			Prefix: "bench/", MinJoinSize: 50, K: misketch.DefaultK, TopK: *top,
+			NoCascade: *noCascade,
 		})
 		die(err)
 		if len(ranked) == 0 {
@@ -658,6 +686,14 @@ func runBench(args []string) {
 		return time.Since(start)
 	}
 	query() // warm the cache
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		die(err)
+		die(pprof.StartCPUProfile(f))
+		defer func() { die(f.Close()) }()
+		defer pprof.StopCPUProfile()
+	}
+	pre := st.Stats()
 	best, total := time.Duration(1<<62), time.Duration(0)
 	for i := 0; i < *iters; i++ {
 		d := query()
@@ -666,18 +702,29 @@ func runBench(args []string) {
 			best = d
 		}
 	}
+	post := st.Stats()
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		die(err)
+		runtime.GC()
+		die(pprof.WriteHeapProfile(f))
+		die(f.Close())
+	}
 	// The record mirrors the committed BENCH_rank.json rows (same
 	// "bench" naming as the Go benchmark) so appended runs stay
 	// queryable alongside the per-PR baseline/after entries.
 	rec := map[string]any{
-		"stage":      "run",
-		"bench":      fmt.Sprintf("BenchmarkStoreRank/top%d", *top),
-		"candidates": *nCand,
-		"iters":      *iters,
-		"ns_per_op":  total.Nanoseconds() / int64(*iters),
-		"best_ns":    best.Nanoseconds(),
-		"gomaxprocs": runtime.GOMAXPROCS(0),
-		"date":       time.Now().UTC().Format("2006-01-02"),
+		"stage":         "run",
+		"bench":         fmt.Sprintf("BenchmarkStoreRank/top%d", *top),
+		"candidates":    *nCand,
+		"iters":         *iters,
+		"ns_per_op":     total.Nanoseconds() / int64(*iters),
+		"best_ns":       best.Nanoseconds(),
+		"cascade":       !*noCascade,
+		"cascade_cheap": (post.CascadeCheapOnly - pre.CascadeCheapOnly) / int64(*iters),
+		"cascade_exact": (post.CascadeExact - pre.CascadeExact) / int64(*iters),
+		"gomaxprocs":    runtime.GOMAXPROCS(0),
+		"date":          time.Now().UTC().Format("2006-01-02"),
 	}
 	line, err := json.Marshal(rec)
 	die(err)
@@ -705,6 +752,7 @@ func runServe(args []string) {
 	backend := fs.String("backend", "fs", "storage backend: fs (segments+mmap) or mem (diskless)")
 	compactEvery := fs.Duration("compact-every", 0, "background compaction check interval (0 disables)")
 	segmentBytes := fs.Int64("segment-bytes", 0, "segment roll threshold in bytes (0 = default 128 MiB)")
+	pprofFlag := fs.Bool("pprof", false, "expose /debug/pprof profiling handlers (trusted networks only)")
 	die(fs.Parse(args))
 	if *backend != misketch.BackendMem {
 		requireFlags(map[string]string{"store": *storeDir})
@@ -720,8 +768,9 @@ func runServe(args []string) {
 	n, err := st.Len()
 	die(err)
 	srv := misketch.NewServer(st, misketch.ServerOptions{
-		MaxWorkers: *maxWorkers,
-		ProbeCache: *probeCache,
+		MaxWorkers:  *maxWorkers,
+		ProbeCache:  *probeCache,
+		EnablePprof: *pprofFlag,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -250,6 +250,56 @@ func TestGoldenRankingsIndexed(t *testing.T) {
 	}
 }
 
+// TestGoldenCascade extends the drift alarm to the two-tier cascade:
+// over the committed golden corpus, top-K rankings with the cascade
+// enabled must be bit-identical — names, order, estimator families,
+// join sizes, MI bits — to the exact-only pass, for every train
+// target, across top-K bounds and worker counts.
+func TestGoldenCascade(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden regeneration runs through TestGoldenRankings")
+	}
+	st, trains := goldenStore(t)
+	ctx := context.Background()
+	for _, target := range []string{"y_num", "y_cat"} {
+		sk := trains[target]
+		for _, topK := range []int{1, 5, 50} {
+			for _, workers := range []int{1, 4} {
+				exact, _, err := st.RankQuery(ctx, sk, RankOptions{
+					MinJoinSize: goldenMinJoin, K: DefaultK, TopK: topK,
+					Workers: workers, NoCascade: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cascade, _, err := st.RankQuery(ctx, sk, RankOptions{
+					MinJoinSize: goldenMinJoin, K: DefaultK, TopK: topK,
+					Workers: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(exact) == 0 {
+					t.Fatalf("%s topK=%d: exact pass ranked nothing", target, topK)
+				}
+				if len(cascade) != len(exact) {
+					t.Fatalf("%s topK=%d workers=%d: cascade ranked %d, exact %d",
+						target, topK, workers, len(cascade), len(exact))
+				}
+				for i := range exact {
+					if cascade[i].Name != exact[i].Name ||
+						cascade[i].Estimator != exact[i].Estimator ||
+						cascade[i].JoinSize != exact[i].JoinSize ||
+						math.Float64bits(cascade[i].MI) != math.Float64bits(exact[i].MI) {
+						t.Fatalf("%s topK=%d workers=%d rank %d: cascade %+v != exact %+v",
+							target, topK, workers, i, cascade[i], exact[i])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestGoldenRankings compares the corpus rankings against the
 // committed expectation, estimate by estimate and bit by bit.
 func TestGoldenRankings(t *testing.T) {

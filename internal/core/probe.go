@@ -299,6 +299,19 @@ func (p *TrainProbe) hints(cand *Sketch, s *Scratch) mi.Hints {
 	return h
 }
 
+// EstimateJoined applies the type-appropriate exact MI estimator to the
+// sample the latest JoinScratch call on s produced for this probe and
+// candidate. Splitting the join from the estimate lets a caller compute
+// the join once and feed it to several consumers — the cascaded ranker
+// scores the joined sample with the cheap binned tier first and only
+// calls EstimateJoined on candidates that can still contend. The result
+// is bit-identical to EstimateMIScratch on the same pair: the ordering
+// hints are derived from the scratch's join state exactly as there, and
+// neither the cheap tier nor this call disturbs that state.
+func (p *TrainProbe) EstimateJoined(cand *Sketch, js JoinedSample, k int, s *Scratch) mi.Result {
+	return s.MI.EstimateHinted(js.Y, js.X, k, p.hints(cand, s))
+}
+
 // EstimateMIScratch joins the candidate against the compiled train probe
 // and applies the type-appropriate MI estimator on the worker's scratch
 // state — the allocation-free core of a ranking query. The result is
@@ -308,5 +321,5 @@ func EstimateMIScratch(p *TrainProbe, cand *Sketch, k int, s *Scratch) (mi.Resul
 	if err != nil {
 		return mi.Result{}, err
 	}
-	return s.MI.EstimateHinted(js.Y, js.X, k, p.hints(cand, s)), nil
+	return p.EstimateJoined(cand, js, k, s), nil
 }

@@ -6,7 +6,6 @@ import (
 	"math/rand"
 
 	"misketch/internal/core"
-	"misketch/internal/mi"
 	"misketch/internal/synth"
 	"misketch/internal/table"
 )
@@ -40,6 +39,10 @@ func RunCandSizeAblation(cfg Config) ([]AblationRow, error) {
 		n        int
 	}
 	accs := make([]acc, len(candSizes))
+	// The estimate runs on the deployment path — compiled train probe,
+	// pool-recycled scratch — exactly as Store.RankQuery's exact tier
+	// does, so the ablation measures what production would see.
+	var pool core.ScratchPool
 	for trial := 0; trial < cfg.Trials; trial++ {
 		ds := synth.GenCDUnif(2+rng.Intn(999), cfg.Rows, rng)
 		train, cand, err := ds.Tables(synth.KeyDep, synth.TreatMixture, rng)
@@ -51,6 +54,8 @@ func RunCandSizeAblation(cfg Config) ([]AblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		probe := core.CompileTrainProbe(st)
+		scratch := pool.Get()
 		for ci, cs := range candSizes {
 			candOpt := trainOpt
 			candOpt.Size = cs
@@ -62,16 +67,17 @@ func RunCandSizeAblation(cfg Config) ([]AblationRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			js, err := core.Join(st, sc)
+			js, err := probe.JoinScratch(sc, scratch)
 			if err != nil {
 				return nil, err
 			}
-			r := mi.Estimate(js.Y, js.X, cfg.K)
+			r := probe.EstimateJoined(sc, js, cfg.K, scratch)
 			d := r.MI - ds.TrueMI
 			accs[ci].join += float64(js.Size)
 			accs[ci].se += d * d
 			accs[ci].n++
 		}
+		pool.Put(scratch)
 	}
 	var rows []AblationRow
 	for ci, cs := range candSizes {

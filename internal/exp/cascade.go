@@ -1,0 +1,232 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"misketch/internal/core"
+	"misketch/internal/corpus"
+	"misketch/internal/mi"
+	"misketch/internal/synth"
+	"misketch/internal/table"
+)
+
+// This file calibrates the ranking cascade's safety margin
+// (store.DefaultCascadeMargin). The cascade prunes a candidate when its
+// cheap binned-MLE score plus the margin cannot reach the K-th exact MI
+// found so far, so the margin must dominate the residual
+// exact − cheap on every pair the cheap tier is trusted for — pairs
+// whose cheap score is *not* saturated against its own binned-entropy
+// ceiling (saturated pairs always pay the exact tier). RunCascadeCalib
+// measures those residuals over the synthetic dependence families and
+// the open-data stand-in corpora, sketched and joined exactly as the
+// store's hot path joins them, and sweeps candidate margins reporting
+// how many pairs would violate each one.
+
+// CascadeObs is one calibration observation: a sketched, joined
+// (train, candidate) pair scored by both tiers.
+type CascadeObs struct {
+	// Estimator is the exact tier that scored the pair.
+	Estimator mi.Estimator
+	// Exact is the exact (clamped) MI; Cheap the cheap tier's raw
+	// binned plug-in score; Ceil its binned-entropy ceiling.
+	Exact, Cheap, Ceil float64
+	// JoinSize is the sketch join size both tiers scored.
+	JoinSize int
+}
+
+// Resid returns the residual the margin must cover, exact − cheap.
+func (o CascadeObs) Resid() float64 { return o.Exact - o.Cheap }
+
+// guarded reports whether the saturation guard fires at margin m: the
+// cheap score sits within m of its ceiling, so the cascade runs the
+// exact tier regardless of the running K-th MI.
+func (o CascadeObs) guarded(m float64) bool { return o.Cheap+m >= o.Ceil }
+
+// CascadeMarginRow is one swept margin: how many observations a cascade
+// running with it could mis-prune (residual above the margin on an
+// unguarded pair — the failure the margin exists to exclude), and how
+// many the saturation guard sends to the exact tier unconditionally.
+type CascadeMarginRow struct {
+	Margin     float64
+	Violations int
+	Guarded    int
+}
+
+// CascadeCalibResult carries the calibration observations and summary.
+type CascadeCalibResult struct {
+	Obs   []CascadeObs
+	Sweep []CascadeMarginRow
+	// Recommended is the smallest swept margin with zero violations.
+	// (The shipped default adds headroom on top; see
+	// store.DefaultCascadeMargin.)
+	Recommended float64
+}
+
+// CascadeMargins is the swept margin grid.
+var CascadeMargins = []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50, 0.60, 0.80, 1.00, 1.25, 1.50}
+
+// RunCascadeCalib scores sketch joins with both cascade tiers across the
+// synthetic families (Trinomial and CDUnif under every valid treatment
+// and key process — only pairs with a numeric side, the ones the cascade
+// applies to) and the NYC/WBF corpus stand-ins, then sweeps
+// CascadeMargins. Joins at or below the paper's MinJoinSize filter are
+// excluded, as the store excludes them before either tier runs. The
+// estimation path is the production one: compiled probes, scratch joins,
+// pooled per-worker scratch.
+func RunCascadeCalib(cfg Config, pairsPerCollection int) (*CascadeCalibResult, error) {
+	cfg = cfg.normalized()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var pool core.ScratchPool
+	scratch := pool.Get()
+	defer pool.Put(scratch)
+
+	res := &CascadeCalibResult{}
+	observe := func(st, sc *core.Sketch) error {
+		probe := core.CompileTrainProbe(st)
+		js, err := probe.JoinScratch(sc, scratch)
+		if err != nil {
+			return err
+		}
+		if js.Size <= MinJoinSize {
+			return nil
+		}
+		if !js.X.IsNumeric() && !js.Y.IsNumeric() {
+			return nil // categorical–categorical pairs bypass the cascade
+		}
+		cheap := scratch.MI.CheapMI(js.Y, js.X, mi.DefaultCheapBins)
+		exact := probe.EstimateJoined(sc, js, cfg.K, scratch)
+		res.Obs = append(res.Obs, CascadeObs{
+			Estimator: exact.Estimator,
+			Exact:     exact.MI,
+			Cheap:     cheap.MI,
+			Ceil:      cheap.Ceil,
+			JoinSize:  js.Size,
+		})
+		return nil
+	}
+
+	// Synthetic families, every cascade-eligible (treatment, key) combo.
+	type combo struct {
+		gen func() *synth.Dataset
+		tr  synth.Treatment
+		kg  synth.KeyGen
+	}
+	var combos []combo
+	trinomial := func() *synth.Dataset { return synth.GenTrinomial(2+rng.Intn(1022), cfg.Rows, rng) }
+	cdunif := func() *synth.Dataset { return synth.GenCDUnif(2+rng.Intn(999), cfg.Rows, rng) }
+	for _, tr := range []synth.Treatment{synth.TreatMixture, synth.TreatDC} {
+		for _, kg := range []synth.KeyGen{synth.KeyInd, synth.KeyDep} {
+			combos = append(combos, combo{trinomial, tr, kg})
+			combos = append(combos, combo{cdunif, tr, kg})
+		}
+	}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		for _, cb := range combos {
+			ds := cb.gen()
+			train, cand, err := ds.Tables(cb.kg, cb.tr, rng)
+			if err != nil {
+				return nil, err
+			}
+			opt := core.Options{Method: core.TUPSK, Size: cfg.SketchSize, RNGSeed: rng.Int63(), Agg: table.AggFirst}
+			st, err := core.Build(train, "k", "y", core.RoleTrain, opt)
+			if err != nil {
+				return nil, err
+			}
+			sc, err := core.Build(cand, "k", "x", core.RoleCandidate, opt)
+			if err != nil {
+				return nil, err
+			}
+			if err := observe(st, sc); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Open-data stand-ins, sketched at the paper's real-data n.
+	for i, cc := range []corpus.Config{corpus.NYCConfig(), corpus.WBFConfig()} {
+		c := corpus.Generate(cc, cfg.Seed+int64(101*(i+1)))
+		for _, p := range c.Pairs(pairsPerCollection, rng) {
+			opt := core.Options{Method: core.TUPSK, Size: cfg.SketchSize, RNGSeed: rng.Int63(), Agg: table.AggFirst}
+			st, err := core.Build(p.Train.T, corpus.KeyCol, corpus.ValCol, core.RoleTrain, opt)
+			if err != nil {
+				return nil, err
+			}
+			sc, err := core.Build(p.Cand.T, corpus.KeyCol, corpus.ValCol, core.RoleCandidate, opt)
+			if err != nil {
+				return nil, err
+			}
+			if err := observe(st, sc); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for _, m := range CascadeMargins {
+		row := CascadeMarginRow{Margin: m}
+		for _, o := range res.Obs {
+			if o.guarded(m) {
+				row.Guarded++
+			} else if o.Resid() > m {
+				row.Violations++
+			}
+		}
+		res.Sweep = append(res.Sweep, row)
+	}
+	res.Recommended = CascadeMargins[len(CascadeMargins)-1]
+	for _, row := range res.Sweep {
+		if row.Violations == 0 {
+			res.Recommended = row.Margin
+			break
+		}
+	}
+	return res, nil
+}
+
+// MaxResid returns the largest residual over observations the margin m
+// does not send to the exact tier via the saturation guard — the
+// quantity a safe margin must exceed.
+func (r *CascadeCalibResult) MaxResid(m float64) float64 {
+	worst := 0.0
+	for _, o := range r.Obs {
+		if !o.guarded(m) && o.Resid() > worst {
+			worst = o.Resid()
+		}
+	}
+	return worst
+}
+
+// Write renders the calibration: residual quantiles per exact estimator
+// and the margin sweep.
+func (r *CascadeCalibResult) Write(w io.Writer) {
+	fmt.Fprintln(w, "Cascade margin calibration — exact−cheap residuals on cascade-eligible sketch joins")
+	byEst := map[mi.Estimator][]float64{}
+	for _, o := range r.Obs {
+		byEst[o.Estimator] = append(byEst[o.Estimator], o.Resid())
+	}
+	var ests []mi.Estimator
+	for e := range byEst {
+		ests = append(ests, e)
+	}
+	sort.Slice(ests, func(i, j int) bool { return ests[i] < ests[j] })
+	fmt.Fprintf(w, "%-10s %7s %9s %9s %9s\n", "estimator", "pairs", "mean", "p99", "max")
+	for _, e := range ests {
+		rs := byEst[e]
+		sort.Float64s(rs)
+		mean := 0.0
+		for _, v := range rs {
+			mean += v
+		}
+		mean /= float64(len(rs))
+		fmt.Fprintf(w, "%-10s %7d %9.3f %9.3f %9.3f\n",
+			e, len(rs), mean, rs[len(rs)*99/100], rs[len(rs)-1])
+	}
+	fmt.Fprintf(w, "%-8s %11s %8s\n", "margin", "violations", "guarded")
+	for _, row := range r.Sweep {
+		fmt.Fprintf(w, "%-8.2f %11d %8d\n", row.Margin, row.Violations, row.Guarded)
+	}
+	fmt.Fprintf(w, "smallest violation-free margin: %.2f (max unguarded residual there: %.3f)\n\n",
+		r.Recommended, r.MaxResid(r.Recommended))
+}

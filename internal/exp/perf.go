@@ -35,6 +35,7 @@ func RunPerf(cfg Config) ([]PerfRow, error) {
 	cfg = cfg.normalized()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	const reps = 5
+	var pool core.ScratchPool
 	var rows []PerfRow
 	for _, n := range PerfN {
 		ds := synth.GenCDUnif(200, n, rng)
@@ -72,14 +73,14 @@ func RunPerf(cfg Config) ([]PerfRow, error) {
 		row.FullJoin = time.Since(start) / reps
 
 		// The sketch-side measurements exercise the deployment path: the
-		// query-compiled train probe and a reused per-worker scratch,
-		// exactly as Store.RankQuery runs them.
+		// query-compiled train probe and pool-recycled scratch, exactly
+		// as Store.RankQuery runs them.
 		probe := core.CompileTrainProbe(st)
-		var scratch core.Scratch
+		scratch := pool.Get()
 		start = time.Now()
 		var js core.JoinedSample
 		for r := 0; r < reps; r++ {
-			js, err = probe.JoinScratch(sc, &scratch)
+			js, err = probe.JoinScratch(sc, scratch)
 			if err != nil {
 				return nil, err
 			}
@@ -97,9 +98,10 @@ func RunPerf(cfg Config) ([]PerfRow, error) {
 
 		start = time.Now()
 		for r := 0; r < reps; r++ {
-			scratch.MI.Estimate(js.Y, js.X, cfg.K)
+			probe.EstimateJoined(sc, js, cfg.K, scratch)
 		}
 		row.SketchEstimate = time.Since(start) / reps
+		pool.Put(scratch)
 
 		rows = append(rows, row)
 	}

@@ -43,15 +43,17 @@ type BatchTrainRef struct {
 }
 
 // RankBatchRequest is the body of POST /v1/rank/batch. The shared knobs
-// (prefix, min_join, k, top, workers) mean what they mean on /v1/rank
-// and apply to every query in the batch.
+// (prefix, min_join, k, top, workers, no_cascade, cascade_margin) mean
+// what they mean on /v1/rank and apply to every query in the batch.
 type RankBatchRequest struct {
-	Trains  []BatchTrainRef `json:"trains"`
-	Prefix  string          `json:"prefix,omitempty"`
-	MinJoin *int            `json:"min_join,omitempty"`
-	K       int             `json:"k,omitempty"`
-	Top     int             `json:"top,omitempty"`
-	Workers int             `json:"workers,omitempty"`
+	Trains        []BatchTrainRef `json:"trains"`
+	Prefix        string          `json:"prefix,omitempty"`
+	MinJoin       *int            `json:"min_join,omitempty"`
+	K             int             `json:"k,omitempty"`
+	Top           int             `json:"top,omitempty"`
+	Workers       int             `json:"workers,omitempty"`
+	NoCascade     bool            `json:"no_cascade,omitempty"`
+	CascadeMargin float64         `json:"cascade_margin,omitempty"`
 }
 
 // BatchQueryResponse is one train's slice of a RankBatchResponse.
@@ -201,13 +203,15 @@ func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	started := time.Now()
 	res, err := s.st.RankBatch(ctx, trains, store.BatchOptions{
-		Prefix:      req.Prefix,
-		MinJoinSize: minJoin,
-		K:           k,
-		TopK:        req.Top,
-		Workers:     workers,
-		Probes:      probes,
-		ScratchPool: s.scratch,
+		Prefix:        req.Prefix,
+		MinJoinSize:   minJoin,
+		K:             k,
+		TopK:          req.Top,
+		Workers:       workers,
+		Probes:        probes,
+		ScratchPool:   s.scratch,
+		NoCascade:     req.NoCascade,
+		CascadeMargin: req.CascadeMargin,
 	})
 	if err != nil {
 		s.batchFailures.Add(1)

@@ -63,6 +63,10 @@ func FuzzRankRequest(f *testing.F) {
 	f.Add([]byte(`{"sketch":"` + base64.StdEncoding.EncodeToString([]byte("MISK\x01")) + `"}`))
 	f.Add([]byte(`{"sketch":"!!!","min_join":-5,"workers":-1}`))
 	f.Add([]byte(`{"train":"x","top":999999999,"k":-3}`))
+	f.Add([]byte(`{"train":"fuzz/c","top":5,"no_cascade":true}`))
+	f.Add([]byte(`{"train":"fuzz/c","top":5,"cascade_margin":-1}`))
+	f.Add([]byte(`{"train":"fuzz/c","cascade_margin":1e308}`))
+	f.Add([]byte(`{"train":"fuzz/c","no_cascade":"yes","cascade_margin":"wide"}`))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`[]`))
 	f.Add([]byte(`null`))
@@ -132,6 +136,8 @@ func FuzzRankBatchRequest(f *testing.F) {
 	f.Add([]byte(`{"trains":[{"train":"fuzz/c"}]}`))
 	f.Add([]byte(`{"trains":[{"train":"no/such"}],"min_join":-2,"workers":-1}`))
 	f.Add([]byte(`{"trains":[{"name":"a","sketch":"` + b64 + `"}],"top":999999999,"k":-3}`))
+	f.Add([]byte(`{"trains":[{"train":"fuzz/c"}],"top":5,"no_cascade":true,"cascade_margin":-0.5}`))
+	f.Add([]byte(`{"trains":[{"train":"fuzz/c"}],"cascade_margin":1e999}`))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`[]`))
 	f.Add([]byte(`null`))

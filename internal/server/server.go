@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
@@ -75,6 +76,12 @@ type Options struct {
 	// ShutdownTimeout bounds how long ListenAndServe waits for in-flight
 	// requests on shutdown; zero means DefaultShutdownTimeout.
 	ShutdownTimeout time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// server mux — CPU and heap profiles of a live discovery service,
+	// the observability companion to the bench command's -cpuprofile.
+	// Off by default: profiles expose internals, so the flag is opt-in
+	// and deployments should keep it off on untrusted networks.
+	EnablePprof bool
 }
 
 // Server is the discovery service: an http.Handler over one open store.
@@ -142,6 +149,15 @@ func New(st *store.Store, opt Options) *Server {
 	s.mux.HandleFunc("GET /v1/ls", s.handleLs)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if opt.EnablePprof {
+		// Mounted explicitly rather than via the package's DefaultServeMux
+		// side effect, so profiles exist only on servers that asked.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -241,6 +257,15 @@ type RankRequest struct {
 	// through a weighted semaphore, so concurrent queries queue rather
 	// than oversubscribe.
 	Workers int `json:"workers,omitempty"`
+	// NoCascade disables the two-tier estimator cascade for this query,
+	// forcing the exact KSG-family tier on every candidate pair.
+	NoCascade bool `json:"no_cascade,omitempty"`
+	// CascadeMargin overrides the cascade's calibrated safety margin in
+	// nats; 0 keeps the default, negative disables the margin (the
+	// saturation guard still applies). Rankings are identical at any
+	// margin at or above the calibrated default; smaller margins trade
+	// that guarantee for more pruning.
+	CascadeMargin float64 `json:"cascade_margin,omitempty"`
 }
 
 // RankedResult is one row of a RankResponse.
@@ -395,13 +420,15 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	started := time.Now()
 	ranked, skipped, err := s.st.RankQuery(ctx, train, store.RankOptions{
-		Prefix:      req.Prefix,
-		MinJoinSize: minJoin,
-		K:           k,
-		TopK:        req.Top,
-		Workers:     workers,
-		Probe:       probe,
-		ScratchPool: s.scratch,
+		Prefix:        req.Prefix,
+		MinJoinSize:   minJoin,
+		K:             k,
+		TopK:          req.Top,
+		Workers:       workers,
+		Probe:         probe,
+		ScratchPool:   s.scratch,
+		NoCascade:     req.NoCascade,
+		CascadeMargin: req.CascadeMargin,
 	})
 	if err != nil {
 		s.rankFailures.Add(1)
@@ -614,6 +641,13 @@ type StoreStats struct {
 	// CandidatesSkippedNoDecode counts candidates excluded by the
 	// segment key indexes before any record decode.
 	CandidatesSkippedNoDecode int64 `json:"candidates_skipped_no_decode"`
+	// The ranking cascade's tier counters: pairs settled by the cheap
+	// binned tier alone, pairs that paid the exact KSG-family tier, and
+	// exact runs the safety margin or saturation guard admitted that
+	// then entered a top-K heap.
+	CascadeCheapOnly     int64 `json:"cascade_cheap_only"`
+	CascadeExact         int64 `json:"cascade_exact"`
+	CascadeMarginRescues int64 `json:"cascade_margin_rescues"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -639,6 +673,9 @@ func (s *Server) Stats() StatsResponse {
 			Puts: ss.Puts, Deletes: ss.Deletes, RankQueries: ss.RankQueries,
 			RankBatches: ss.RankBatches, PrunedPairs: ss.PrunedPairs,
 			CandidatesSkippedNoDecode: ss.CandidatesSkippedNoDecode,
+			CascadeCheapOnly:          ss.CascadeCheapOnly,
+			CascadeExact:              ss.CascadeExact,
+			CascadeMarginRescues:      ss.CascadeMarginRescues,
 		},
 		Server: ServerStats{
 			RankRequests:   s.rankRequests.Load(),

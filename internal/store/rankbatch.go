@@ -27,6 +27,7 @@ package store
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -34,7 +35,44 @@ import (
 	"sync/atomic"
 
 	"misketch/internal/core"
+	"misketch/internal/mi"
 )
+
+// DefaultCascadeMargin is the safety margin in nats the cascade adds to
+// the cheap tier's score before comparing it against the running K-th
+// exact MI. Calibrated by the internal/exp cascade experiment
+// (RunCascadeCalib) over the synthetic dependence families and the
+// NYC/WBF corpus stand-ins at mi.DefaultCheapBins: 1.25 is the smallest
+// swept margin at which no observed pair's exact−cheap residual exceeds
+// the margin without the saturation guard catching it (the largest
+// unguarded residual there measured ≈ 0.95 nats), and the golden-corpus
+// and differential suites pin that rankings under this margin stay
+// bit-identical to the exact pass.
+const DefaultCascadeMargin = 1.25
+
+// workerMinChunk is the smallest amount of per-worker work worth a
+// goroutine: the default worker count never exceeds
+// ceil(eligible/workerMinChunk).
+const workerMinChunk = 32
+
+// maxRankChunk caps the work-stealing claim size so the tail of a query
+// still splits across workers even at very large candidate counts.
+const maxRankChunk = 64
+
+// raiseBound lifts the train's shared K-th-MI lower bound to v if v is
+// higher. Bounds are encoded as Float64bits(v)+1 in a uint64 (zero
+// meaning "no full heap yet"); v is always a clamped, nonnegative exact
+// MI, whose bit patterns order like the values, so the CAS loop is a
+// plain integer max.
+func raiseBound(b *atomic.Uint64, v float64) {
+	enc := math.Float64bits(v) + 1
+	for {
+		cur := b.Load()
+		if cur >= enc || b.CompareAndSwap(cur, enc) {
+			return
+		}
+	}
+}
 
 // BatchOptions tunes a batch discovery query; see RankBatch. The fields
 // shared with RankOptions (Prefix, MinJoinSize, K, TopK, Workers,
@@ -63,7 +101,9 @@ type BatchOptions struct {
 	// content across batches.
 	Probes []*core.TrainProbe
 	// ScratchPool, when non-nil, supplies the per-worker estimator
-	// scratch, shared across every query in the batch.
+	// scratch, shared across every query in the batch; when nil the
+	// store's own pool is used, so scratch buffers stay warm across
+	// queries on one handle either way.
 	ScratchPool *core.ScratchPool
 	// NoIndex disables index-driven candidate selection: every
 	// manifest-admitted candidate is loaded and prefiltered per pair,
@@ -71,6 +111,13 @@ type BatchOptions struct {
 	// and Pruned counts are identical either way — the flag exists for
 	// differential tests and full-walk benchmarking.
 	NoIndex bool
+	// NoCascade disables the two-tier estimator cascade; see
+	// RankOptions.NoCascade.
+	NoCascade bool
+	// CascadeMargin overrides the cascade safety margin in nats; see
+	// RankOptions.CascadeMargin (0 means DefaultCascadeMargin, negative
+	// means none).
+	CascadeMargin float64
 }
 
 // BatchQueryResult is one train's slice of a batch discovery result.
@@ -257,13 +304,57 @@ func (s *Store) rankTrains(ctx context.Context, trains []*core.Sketch, opt Batch
 
 	workers := opt.Workers
 	if workers <= 0 {
+		// Default fan-out: one worker per P, but never more workers than
+		// there are minimum-sized chunks of useful work — spinning a
+		// goroutine to score a handful of candidates costs more than the
+		// scoring. An explicit Workers value is honored as given.
 		workers = runtime.GOMAXPROCS(0)
+		if mw := (len(eligible) + workerMinChunk - 1) / workerMinChunk; workers > mw {
+			workers = mw
+		}
 	}
 	if workers > len(eligible) {
 		workers = len(eligible)
 	}
 	if workers < 1 {
 		workers = 1
+	}
+	// Work is claimed in chunks off a shared atomic cursor (work
+	// stealing, not static striding): a worker stalled on a slow segment
+	// read or an expensive estimate simply claims fewer chunks, and the
+	// chunk size keeps cursor contention ~an order of magnitude below
+	// per-candidate claiming while still splitting the tail finely.
+	chunk := len(eligible) / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > maxRankChunk {
+		chunk = maxRankChunk
+	}
+
+	// Cascade state: per-train monotone lower bounds on the K-th exact
+	// MI found so far, shared across workers. Encoded as Float64bits+1
+	// (zero = no full heap yet); exact MIs are clamped nonnegative, and
+	// the bit patterns of nonnegative floats order like the floats, so a
+	// plain uint64 CAS-max maintains each bound. A bound only ever comes
+	// from some worker's full heap root, which is a certified lower
+	// bound on the global K-th exact MI — pruning against it can never
+	// evict a true top-K result (see the phase-2 loop below).
+	cascade := opt.TopK > 0 && !opt.NoCascade
+	margin := opt.CascadeMargin
+	if margin == 0 {
+		margin = DefaultCascadeMargin
+	} else if margin < 0 {
+		margin = 0
+	}
+	var kthBound []atomic.Uint64
+	if cascade {
+		kthBound = make([]atomic.Uint64, len(trains))
+	}
+
+	pool := opt.ScratchPool
+	if pool == nil {
+		pool = &s.rankScratch
 	}
 	// Any worker's error cancels the rest: ranking either returns every
 	// result or an error, so work after the first failure is wasted.
@@ -272,8 +363,6 @@ func (s *Store) rankTrains(ctx context.Context, trains []*core.Sketch, opt Batch
 	var (
 		errMu    sync.Mutex
 		firstErr error
-		wg       sync.WaitGroup
-		next     int64
 	)
 	setErr := func(err error) {
 		errMu.Lock()
@@ -283,92 +372,235 @@ func (s *Store) rankTrains(ctx context.Context, trains []*core.Sketch, opt Batch
 		errMu.Unlock()
 		cancel()
 	}
-	// Per-worker, per-query partial results: heaps under a TopK bound,
-	// plain slices otherwise, merged per query after the join.
-	results := make([][][]RankedSketch, workers)
-	pruned := make([][]int64, workers)
+	// Per-worker partial state, indexed by worker: bounded heaps under a
+	// TopK bound (plain slices otherwise), prune and skip tallies,
+	// cascade counters, and — under the cascade — the phase-1 task list.
+	topsW := make([][]rankHeap, workers)
+	allW := make([][][]RankedSketch, workers)
+	prunedW := make([][]int64, workers)
 	lateSkipped := make([][]string, workers)
+	cascadeW := make([][3]int64, workers) // cheap-only, exact, rescues
+	tasksW := make([][]cascadeTask, workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var scratch *core.Scratch
-			if opt.ScratchPool != nil {
-				scratch = opt.ScratchPool.Get()
-				defer opt.ScratchPool.Put(scratch)
-			} else {
-				scratch = new(core.Scratch)
-			}
-			tops := make([]rankHeap, len(trains))
-			all := make([][]RankedSketch, len(trains))
-			prunedW := make([]int64, len(trains))
-			for {
-				if err := ctx.Err(); err != nil {
-					setErr(err)
-					return
-				}
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(eligible) {
-					break
-				}
-				m := eligible[i]
-				cand, err := s.getForRank(m, segSet)
-				if err != nil {
-					// The snapshot admitted this candidate; distinguish a
-					// concurrent mutation (the manifest no longer carries the
-					// snapshotted record — skip, the racing writer wins) from
-					// genuine corruption behind an unchanged manifest (fail).
-					if cur, ok := s.Meta(m.Name); !ok || cur != m {
-						lateSkipped[w] = append(lateSkipped[w], m.Name)
-						continue
-					}
-					setErr(err)
-					return
-				}
-				if cand.Seed != seed || cand.Role != core.RoleCandidate {
-					// A Put overwrote the sketch with an incompatible one
-					// after the snapshot filtered on the old metadata.
-					lateSkipped[w] = append(lateSkipped[w], m.Name)
-					continue
-				}
-				// A candidate with duplicated key hashes is exempt from the
-				// prefilter: estimating it reproduces the unprefiltered
-				// behavior exactly (it fails the query only if a duplicate
-				// actually joins).
-				prune := prefilter && !cand.HasDuplicateKeyHashes()
-				for q := range trains {
-					if prune && probes[q].KeyOverlap(cand) <= opt.MinJoinSize {
-						prunedW[q]++
-						continue
-					}
-					r, err := core.EstimateMIScratch(probes[q], cand, opt.K, scratch)
-					if err != nil {
-						setErr(fmt.Errorf("store: estimating %q: %w", m.Name, err))
+		topsW[w] = make([]rankHeap, len(trains))
+		allW[w] = make([][]RankedSketch, len(trains))
+		prunedW[w] = make([]int64, len(trains))
+	}
+	// runWorkers drives one phase: the worker pool claims chunks of
+	// [0, total) off a shared cursor and feeds each index to body with a
+	// pooled scratch. body returns false to stop the worker (after
+	// setErr); the other workers drain via the cancelled context.
+	runWorkers := func(total, chunk int, body func(w int, scratch *core.Scratch, i int) bool) {
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				scratch := pool.Get()
+				defer pool.Put(scratch)
+				for {
+					start := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+					if start >= total {
 						return
 					}
-					if r.N <= opt.MinJoinSize {
-						continue
+					end := start + chunk
+					if end > total {
+						end = total
 					}
-					rs := RankedSketch{Name: m.Name, MI: r.MI, Estimator: r.Estimator, JoinSize: r.N}
-					if opt.TopK > 0 {
-						tops[q].offer(rs, opt.TopK)
-					} else {
-						all[q] = append(all[q], rs)
+					for i := start; i < end; i++ {
+						if !body(w, scratch, i) {
+							return
+						}
 					}
 				}
-			}
-			if opt.TopK > 0 {
-				for q := range trains {
-					all[q] = tops[q]
-				}
-			}
-			results[w] = all
-			pruned[w] = prunedW
-		}(w)
+			}(w)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+
+	// Phase 1: decode and triage every candidate once, prefilter and
+	// scratch-join it against every train. Without the cascade the exact
+	// estimator runs inline, exactly the historic single-pass semantics.
+	// With it, the pair's cheap binned score (mi.CheapMI, O(join) time)
+	// is recorded instead and the exact tier is deferred to phase 2 —
+	// scoring ALL candidates cheaply first is what lets phase 2 visit
+	// them from strongest cheap score down, so the top-K threshold is at
+	// full height after its first few exact runs instead of after most
+	// of the catalog. Decoded sketches are retained (zero-copy views
+	// into the pinned segments) so phase 2 never decodes again.
+	cands := make([]*core.Sketch, len(eligible))
+	runWorkers(len(eligible), chunk, func(w int, scratch *core.Scratch, i int) bool {
+		if err := ctx.Err(); err != nil {
+			setErr(err)
+			return false
+		}
+		m := eligible[i]
+		cand, err := s.getForRank(m, segSet)
+		if err != nil {
+			// The snapshot admitted this candidate; distinguish a
+			// concurrent mutation (the manifest no longer carries the
+			// snapshotted record — skip, the racing writer wins) from
+			// genuine corruption behind an unchanged manifest (fail).
+			if cur, ok := s.Meta(m.Name); !ok || cur != m {
+				lateSkipped[w] = append(lateSkipped[w], m.Name)
+				return true
+			}
+			setErr(err)
+			return false
+		}
+		if cand.Seed != seed || cand.Role != core.RoleCandidate {
+			// A Put overwrote the sketch with an incompatible one
+			// after the snapshot filtered on the old metadata.
+			lateSkipped[w] = append(lateSkipped[w], m.Name)
+			return true
+		}
+		cands[i] = cand
+		// A candidate with duplicated key hashes is exempt from the
+		// prefilter: estimating it reproduces the unprefiltered
+		// behavior exactly (it fails the query only if a duplicate
+		// actually joins).
+		prune := prefilter && !cand.HasDuplicateKeyHashes()
+		for q := range trains {
+			if prune && probes[q].KeyOverlap(cand) <= opt.MinJoinSize {
+				prunedW[w][q]++
+				continue
+			}
+			js, err := probes[q].JoinScratch(cand, scratch)
+			if err != nil {
+				setErr(fmt.Errorf("store: estimating %q: %w", m.Name, err))
+				return false
+			}
+			if js.Size <= opt.MinJoinSize {
+				// The min-join confidence filter would discard the
+				// estimate unseen; skip both tiers.
+				continue
+			}
+			if cascade {
+				t := cascadeTask{ci: int32(i), q: int32(q)}
+				if js.X.IsNumeric() || js.Y.IsNumeric() {
+					cr := scratch.MI.CheapMI(js.Y, js.X, mi.DefaultCheapBins)
+					t.cheap, t.ceil = cr.MI, cr.Ceil
+				} else {
+					// Categorical–categorical: the exact estimator is
+					// already the plug-in, so there is no cheaper tier —
+					// the pair is exempt and always scored exactly.
+					t.exempt = true
+				}
+				tasksW[w] = append(tasksW[w], t)
+				continue
+			}
+			r := probes[q].EstimateJoined(cand, js, opt.K, scratch)
+			rs := RankedSketch{Name: m.Name, MI: r.MI, Estimator: r.Estimator, JoinSize: r.N}
+			if opt.TopK > 0 {
+				topsW[w][q].offer(rs, opt.TopK)
+			} else {
+				allW[w][q] = append(allW[w][q], rs)
+			}
+		}
+		return true
+	})
+
+	// Phase 2 (cascade only): visit the recorded pairs from strongest
+	// cheap score down. The first exact runs are the true contenders, so
+	// each train's shared bound reaches the final K-th MI almost
+	// immediately, and every later pair settles with the O(1) check
+	// cheap + margin < bound — the exact tier (and its re-join) runs
+	// only for contenders, margin-band pairs, and pairs whose score is
+	// saturated against its binned ceiling. Once some worker's heap for
+	// a train is full, its root is a lower bound L on the final K-th
+	// exact MI — at least K candidates scored ≥ L, so a pair with
+	// cheap + margin < L has exact MI < L (margin calibration) and
+	// cannot appear in the final top K no matter how names break ties.
+	// Survivors' joins are recomputed rather than cached across phases:
+	// a scatter join costs microseconds, caching every phase-1 join
+	// would hold the whole catalog's samples in memory.
+	if cascade && firstErr == nil {
+		var tasks []cascadeTask
+		for _, ts := range tasksW {
+			tasks = append(tasks, ts...)
+		}
+		// Deterministic visit order regardless of phase-1 scheduling:
+		// cheap score descending (exempt pairs first), names and train
+		// index breaking ties.
+		sort.Slice(tasks, func(a, b int) bool {
+			pa, pb := tasks[a].prio(), tasks[b].prio()
+			if pa != pb {
+				return pa > pb
+			}
+			na, nb := eligible[tasks[a].ci].Name, eligible[tasks[b].ci].Name
+			if na != nb {
+				return na < nb
+			}
+			return tasks[a].q < tasks[b].q
+		})
+		chunkB := len(tasks) / (workers * 8)
+		if chunkB < 1 {
+			chunkB = 1
+		}
+		if chunkB > maxRankChunk {
+			chunkB = maxRankChunk
+		}
+		runWorkers(len(tasks), chunkB, func(w int, scratch *core.Scratch, ti int) bool {
+			if err := ctx.Err(); err != nil {
+				setErr(err)
+				return false
+			}
+			t := tasks[ti]
+			rescue := false
+			if !t.exempt {
+				if tb := kthBound[t.q].Load(); tb != 0 {
+					kth := math.Float64frombits(tb - 1)
+					ub := t.cheap + margin
+					if ub < t.ceil && ub < kth {
+						cascadeW[w][0]++ // settled by the cheap tier alone
+						return true
+					}
+					// Admitted only thanks to the margin or the
+					// saturation guard: a rescue if it lands.
+					rescue = t.cheap < kth
+				}
+			}
+			// Exempt pairs pay the exact tier too: together the two
+			// counters partition every pair that survived the filters.
+			cascadeW[w][1]++
+			m := eligible[t.ci]
+			js, err := probes[t.q].JoinScratch(cands[t.ci], scratch)
+			if err != nil {
+				setErr(fmt.Errorf("store: estimating %q: %w", m.Name, err))
+				return false
+			}
+			r := probes[t.q].EstimateJoined(cands[t.ci], js, opt.K, scratch)
+			rs := RankedSketch{Name: m.Name, MI: r.MI, Estimator: r.Estimator, JoinSize: r.N}
+			if topsW[w][t.q].offer(rs, opt.TopK) {
+				if rescue {
+					cascadeW[w][2]++
+				}
+				if len(topsW[w][t.q]) == opt.TopK {
+					raiseBound(&kthBound[t.q], topsW[w][t.q][0].MI)
+				}
+			}
+			return true
+		})
+	}
+
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	var cheapOnly, exact, rescues int64
+	for _, c := range cascadeW {
+		cheapOnly += c[0]
+		exact += c[1]
+		rescues += c[2]
+	}
+	if cheapOnly != 0 {
+		s.cascadeCheap.Add(cheapOnly)
+	}
+	if exact != 0 {
+		s.cascadeExact.Add(exact)
+	}
+	if rescues != 0 {
+		s.cascadeRescues.Add(rescues)
 	}
 	for _, names := range lateSkipped {
 		skipped = append(skipped, names...)
@@ -382,12 +614,12 @@ func (s *Store) rankTrains(ctx context.Context, trains []*core.Sketch, opt Batch
 	for q := range trains {
 		var ranked []RankedSketch
 		for w := 0; w < workers; w++ {
-			if results[w] != nil {
-				ranked = append(ranked, results[w][q]...)
+			if opt.TopK > 0 {
+				ranked = append(ranked, topsW[w][q]...)
+			} else {
+				ranked = append(ranked, allW[w][q]...)
 			}
-			if pruned[w] != nil {
-				res.Queries[q].Pruned += int(pruned[w][q])
-			}
+			res.Queries[q].Pruned += int(prunedW[w][q])
 		}
 		prunedTotal += int64(res.Queries[q].Pruned)
 		sort.Slice(ranked, func(i, j int) bool {
@@ -403,4 +635,24 @@ func (s *Store) rankTrains(ctx context.Context, trains []*core.Sketch, opt Batch
 	}
 	s.prunedPairs.Add(prunedTotal)
 	return res, nil
+}
+
+// cascadeTask is one (candidate, train) pair recorded by the cascade's
+// phase 1: the pair survived the prefilter and min-join cut, its cheap
+// score and ceiling are cached, and phase 2 decides its exact-tier fate.
+type cascadeTask struct {
+	ci     int32 // index into eligible/cands
+	q      int32 // train index
+	cheap  float64
+	ceil   float64
+	exempt bool // categorical–categorical: no cheaper tier exists
+}
+
+// prio is the phase-2 visit priority: exempt pairs sort first (they are
+// scored exactly no matter what), then by cheap score descending.
+func (t cascadeTask) prio() float64 {
+	if t.exempt {
+		return math.Inf(1)
+	}
+	return t.cheap
 }

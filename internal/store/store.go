@@ -71,6 +71,20 @@ type Store struct {
 	// from ranking without a record decode — the sub-linear selection win.
 	candNoDecode atomic.Int64
 	compactions  atomic.Int64 // completed compaction passes
+	// Cascade tier counters: over cascade-eligible (train, candidate)
+	// pairs, how many were resolved by the cheap binned tier alone, how
+	// many went on to pay the exact KSG-family estimator, and how many of
+	// those were admitted only by the safety margin (or saturation guard)
+	// and then actually entered a running top-K heap — the rescues the
+	// margin exists for.
+	cascadeCheap   atomic.Int64
+	cascadeExact   atomic.Int64
+	cascadeRescues atomic.Int64
+
+	// rankScratch is the store-owned estimator scratch pool ranking
+	// queries draw per-worker scratch from when the caller supplies none,
+	// so consecutive queries on one handle reuse grown-to-size buffers.
+	rankScratch core.ScratchPool
 }
 
 // Defaults for OpenOptions zero values.
@@ -462,6 +476,22 @@ type Stats struct {
 	// indexes excluded from ranking without decoding a single record —
 	// the prune rate that makes selection sub-linear in catalog size.
 	CandidatesSkippedNoDecode int64
+	// CascadeCheapOnly / CascadeExact split the cascade-eligible
+	// (train, candidate) pairs of ranking queries by how they resolved:
+	// by the cheap binned tier alone (the exact estimator never ran) or
+	// by the exact KSG-family tier. Their sum is the number of
+	// cascade-eligible pairs estimated; pairs of two categorical columns
+	// (whose exact estimator is already the cheap plug-in) and queries
+	// run with NoCascade or without a top-K bound are not counted.
+	CascadeCheapOnly int64
+	CascadeExact     int64
+	// CascadeMarginRescues counts exact-tier runs that the raw cheap
+	// score alone would have pruned — the safety margin or the
+	// saturation guard admitted them — and that then entered a running
+	// top-K heap. A zero rescue count under a representative workload is
+	// evidence the margin has slack; a high one means the cheap tier
+	// misorders that workload and the margin is load-bearing.
+	CascadeMarginRescues int64
 }
 
 // Stats returns a snapshot of the handle's counters.
@@ -480,6 +510,9 @@ func (s *Store) Stats() Stats {
 		PrunedPairs: s.prunedPairs.Load(),
 
 		CandidatesSkippedNoDecode: s.candNoDecode.Load(),
+		CascadeCheapOnly:          s.cascadeCheap.Load(),
+		CascadeExact:              s.cascadeExact.Load(),
+		CascadeMarginRescues:      s.cascadeRescues.Load(),
 	}
 	if s.cache != nil {
 		st.CacheBytes = s.cache.used
@@ -586,7 +619,9 @@ type RankOptions struct {
 	// ScratchPool, when non-nil, supplies the per-worker estimator
 	// scratch: workers draw from it and return their scratch when done,
 	// so consecutive queries reuse grown-to-size buffers instead of
-	// allocating fresh ones.
+	// allocating fresh ones. When nil, queries draw from a pool owned by
+	// the store handle — per-query scratch allocation never happens in
+	// steady state either way.
 	ScratchPool *core.ScratchPool
 	// NoIndex disables both the key-overlap prefilter and index-driven
 	// candidate selection: every manifest-admitted candidate is loaded
@@ -595,6 +630,25 @@ type RankOptions struct {
 	// candidates the min-join filter would drop after estimation); the
 	// flag exists for differential tests and full-walk benchmarking.
 	NoIndex bool
+	// NoCascade disables the two-tier estimator cascade: every surviving
+	// candidate pays the exact estimator, the pre-cascade reference
+	// semantics. The cascade (active whenever TopK > 0) scores each pair
+	// with the cheap binned tier first and skips the exact KSG-family
+	// estimator when the cheap score plus the safety margin cannot reach
+	// the K-th exact MI found so far; final rankings are identical as
+	// long as the margin covers the cheap tier's underestimation (see
+	// CascadeMargin), which the escape hatch and the differential tests
+	// exist to check.
+	NoCascade bool
+	// CascadeMargin is the safety margin in nats added to the cheap
+	// tier's score when deciding whether a candidate can still reach the
+	// current K-th exact MI. Zero means DefaultCascadeMargin; a negative
+	// value means no margin (trust the cheap ordering outright — only
+	// sensible in experiments). Larger margins prune less and rescue
+	// more; the default is calibrated (internal/exp, RunCascadeCalib)
+	// so that exact−cheap residuals across the golden and synthetic
+	// corpora stay within it.
+	CascadeMargin float64
 }
 
 // RankContext is RankQuery with positional options, kept for callers of
@@ -649,14 +703,16 @@ func (s *Store) RankQuery(ctx context.Context, train *core.Sketch, opt RankOptio
 		probes = []*core.TrainProbe{opt.Probe}
 	}
 	res, err := s.rankTrains(ctx, []*core.Sketch{train}, BatchOptions{
-		Prefix:      opt.Prefix,
-		MinJoinSize: opt.MinJoinSize,
-		K:           opt.K,
-		TopK:        opt.TopK,
-		Workers:     opt.Workers,
-		Probes:      probes,
-		ScratchPool: opt.ScratchPool,
-		NoIndex:     opt.NoIndex,
+		Prefix:        opt.Prefix,
+		MinJoinSize:   opt.MinJoinSize,
+		K:             opt.K,
+		TopK:          opt.TopK,
+		Workers:       opt.Workers,
+		Probes:        probes,
+		ScratchPool:   opt.ScratchPool,
+		NoIndex:       opt.NoIndex,
+		NoCascade:     opt.NoCascade,
+		CascadeMargin: opt.CascadeMargin,
 	}, !opt.NoIndex)
 	if err != nil {
 		return nil, nil, err
@@ -686,16 +742,20 @@ func (h *rankHeap) Pop() any {
 	return x
 }
 
-func (h *rankHeap) offer(r RankedSketch, k int) {
+// offer reports whether the result entered the heap (displacing the
+// weakest when full) — the signal the cascade's rescue counter needs.
+func (h *rankHeap) offer(r RankedSketch, k int) bool {
 	if len(*h) < k {
 		heap.Push(h, r)
-		return
+		return true
 	}
 	w := (*h)[0]
 	if r.MI > w.MI || (r.MI == w.MI && r.Name < w.Name) {
 		(*h)[0] = r
 		heap.Fix(h, 0)
+		return true
 	}
+	return false
 }
 
 // Gen returns the store's mutation generation, which increments on

@@ -128,9 +128,18 @@ type CompactStats = store.CompactStats
 type RankedSketch = store.RankedSketch
 
 // RankOptions tunes a Store discovery query (Store.RankQuery): name
-// prefix, min join size, neighbor parameter, top-K bound, and worker
-// fan-out (0 = GOMAXPROCS).
+// prefix, min join size, neighbor parameter, top-K bound, worker
+// fan-out (0 picks a default from GOMAXPROCS and the candidate count),
+// and the two-tier estimator cascade (on by default for top-K queries;
+// NoCascade forces the exact tier everywhere, CascadeMargin overrides
+// the calibrated safety margin).
 type RankOptions = store.RankOptions
+
+// DefaultCascadeMargin is the calibrated safety margin, in nats, the
+// ranking cascade adds to its cheap-tier score when deciding whether a
+// candidate could still reach the running top-K; see
+// RankOptions.CascadeMargin.
+const DefaultCascadeMargin = store.DefaultCascadeMargin
 
 // OpenStoreOptions tunes a store handle: CacheBytes bounds the
 // decoded-sketch LRU cache (zero means the 64 MiB default, negative
@@ -149,7 +158,9 @@ type SketchMeta = store.Meta
 
 // StoreStats are observability counters for a store handle: backend
 // kind, segment count/bytes/liveness, compaction passes, cache
-// hits/misses/evictions, bytes cached, and record decodes.
+// hits/misses/evictions, bytes cached, record decodes, and the ranking
+// cascade's tier counters (pairs settled by the cheap tier alone, pairs
+// that paid the exact tier, margin/guard rescues).
 type StoreStats = store.Stats
 
 // OpenStore opens (creating if necessary) a sketch store rooted at dir
