@@ -91,7 +91,7 @@ func usage() {
                          [-no-cascade] [-cascade-margin NATS] [-stats] [flags]
   misketch store ls      -store DIR [-segments]
   misketch store rebuild -store DIR
-  misketch store compact -store DIR
+  misketch store compact -store DIR [-compress]
   misketch store index   -store DIR
   misketch serve         -store DIR [-addr :8080] [-max-workers N] [-probe-cache N] [-cache BYTES]
                          [-backend fs|mem] [-compact-every DUR] [-segment-bytes N] [-pprof]
@@ -537,8 +537,8 @@ func runStoreLs(args []string) {
 	}
 	fmt.Printf("(%d sketches)\n", len(metas))
 	if *segments {
-		fmt.Printf("\n%-12s %-10s %-7s %10s %10s %8s %8s %10s %8s %11s\n",
-			"segment", "kind", "state", "bytes", "live-bytes", "records", "live", "dead-bytes", "indexed", "index-bytes")
+		fmt.Printf("\n%-12s %-10s %-7s %10s %10s %8s %8s %10s %8s %11s %10s %10s %6s\n",
+			"segment", "kind", "state", "bytes", "live-bytes", "records", "live", "dead-bytes", "indexed", "index-bytes", "comp-bytes", "raw-bytes", "ratio")
 		for _, info := range st.Segments() {
 			kind, state, indexed := "append", "active", "no"
 			if info.Compacted {
@@ -550,8 +550,13 @@ func runStoreLs(args []string) {
 			if info.Indexed {
 				indexed = "yes"
 			}
-			fmt.Printf("%-12d %-10s %-7s %10d %10d %8d %8d %10d %8s %11d\n",
-				info.Seq, kind, state, info.Bytes, info.LiveBytes, info.Records, info.LiveRecords, info.Bytes-info.LiveBytes, indexed, info.IndexBytes)
+			ratio := "-"
+			if info.Compressed && info.CompressedBytes > 0 {
+				ratio = fmt.Sprintf("%.2fx", float64(info.RawBytes)/float64(info.CompressedBytes))
+			}
+			fmt.Printf("%-12d %-10s %-7s %10d %10d %8d %8d %10d %8s %11d %10d %10d %6s\n",
+				info.Seq, kind, state, info.Bytes, info.LiveBytes, info.Records, info.LiveRecords, info.Bytes-info.LiveBytes, indexed, info.IndexBytes,
+				info.CompressedBytes, info.RawBytes, ratio)
 		}
 	}
 }
@@ -559,17 +564,25 @@ func runStoreLs(args []string) {
 // runStoreCompact folds the store's segments down to their live
 // records: overwritten sketch versions and delete tombstones are
 // reclaimed, and the survivors land in one fresh compacted segment.
+// -compress makes the pass write an FSST-compressed segment — on an
+// existing raw store it is the one-shot compression backfill (the pass
+// runs even with nothing to reclaim).
 func runStoreCompact(args []string) {
 	fs := flag.NewFlagSet("store compact", flag.ExitOnError)
 	storeDir := fs.String("store", "", "sketch store directory")
+	compress := fs.Bool("compress", false, "write FSST-compressed output segments (backfills raw segments)")
 	die(fs.Parse(args))
 	requireFlags(map[string]string{"store": *storeDir})
-	st, err := misketch.OpenStore(*storeDir)
+	st, err := misketch.OpenStoreWithOptions(*storeDir, misketch.OpenStoreOptions{Compression: *compress})
 	die(err)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	cs, err := st.Compact(ctx)
-	die(err)
+	if err != nil {
+		st.Close()
+		die(err)
+	}
+	ss := st.Stats()
 	die(st.Close())
 	if !cs.Compacted {
 		fmt.Printf("nothing to compact: %d segment(s), %d live records, no dead bytes\n",
@@ -578,6 +591,10 @@ func runStoreCompact(args []string) {
 	}
 	fmt.Printf("compacted %d segment(s) (%d bytes) into 1 (%d bytes): %d live records kept, %d bytes reclaimed\n",
 		cs.SegmentsBefore, cs.BytesBefore, cs.BytesAfter, cs.Records, cs.Reclaimed)
+	if *compress && ss.CompressedBytes > 0 {
+		fmt.Printf("compressed: %d record bytes (raw equivalent %d, %.2fx)\n",
+			ss.CompressedBytes, ss.RawBytes, float64(ss.RawBytes)/float64(ss.CompressedBytes))
+	}
 }
 
 // runStoreIndex backfills per-segment key indexes: segments written

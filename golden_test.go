@@ -250,6 +250,55 @@ func TestGoldenRankingsIndexed(t *testing.T) {
 	}
 }
 
+// TestGoldenRankingsCompressed re-runs the drift alarm against an
+// FSST-compressed store: the golden corpus is ingested, sealed, and
+// compacted with Compression on, so every candidate decode routes
+// through the per-segment dictionary decoder — which must reproduce the
+// committed rankings (names, order, families, join sizes, MI bits)
+// exactly, proving compression is invisible to the estimators.
+func TestGoldenRankingsCompressed(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden regeneration runs through TestGoldenRankings")
+	}
+	dir := t.TempDir()
+	st, trains := goldenStoreAt(t, dir)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStoreWithOptions(dir, OpenStoreOptions{Compression: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Compact(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ss := st.Stats(); ss.CompressedSegments == 0 {
+		t.Fatalf("compacted golden store is not compressed: %+v", ss)
+	}
+	got := computeGolden(t, st, trains)
+
+	raw, err := os.ReadFile(goldenRankings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("compressed rankings drifted from committed golden file:\ngot:\n%s\nwant:\n%s", gotJSON, wantJSON)
+	}
+}
+
 // TestGoldenCascade extends the drift alarm to the two-tier cascade:
 // over the committed golden corpus, top-K rankings with the cascade
 // enabled must be bit-identical — names, order, estimator families,

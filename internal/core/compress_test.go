@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"misketch/internal/fsst"
+)
+
+// compressorFor builds a RecordCompressor whose dictionaries cover the
+// given sketches, the way compaction does: the sorted distinct union of
+// their key hashes plus a table trained on their categorical values.
+func compressorFor(sks ...*Sketch) *RecordCompressor {
+	seen := map[uint32]struct{}{}
+	var values []string
+	for _, sk := range sks {
+		for _, h := range sk.KeyHashes {
+			seen[h] = struct{}{}
+		}
+		values = append(values, sk.Strs...)
+	}
+	dict := make([]uint32, 0, len(seen))
+	for h := range seen {
+		dict = append(dict, h)
+	}
+	sort.Slice(dict, func(i, j int) bool { return dict[i] < dict[j] })
+	return NewRecordCompressor(dict, fsst.Train(values))
+}
+
+func TestCompressedRecordRoundTrip(t *testing.T) {
+	for name, sk := range packedSketches(t) {
+		c := compressorFor(sk)
+		buf, compressed, err := AppendRecordCompressed(nil, "store/"+name, sk, c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(buf)%8 != 0 {
+			t.Errorf("%s: record length %d not 8-aligned", name, len(buf))
+		}
+		raw, err := AppendRecord(nil, "store/"+name, sk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if compressed && len(buf) >= len(raw) {
+			t.Errorf("%s: compressed record (%d B) not smaller than raw (%d B)", name, len(buf), len(raw))
+		}
+		if got := RawRecordSize("store/"+name, sk); got != len(raw) {
+			t.Errorf("%s: RawRecordSize = %d, raw encoding = %d", name, got, len(raw))
+		}
+		for _, borrow := range []bool{false, true} {
+			rec, err := DecodeRecordWith(c.Decoder(), buf, 0, borrow)
+			if err != nil {
+				t.Fatalf("%s borrow=%v: %v", name, borrow, err)
+			}
+			if rec.Name != "store/"+name || rec.Compressed != compressed {
+				t.Fatalf("%s: decoded frame %+v", name, rec.RecordInfo)
+			}
+			packedSketchesEqual(t, name, rec.Sketch, sk)
+			// The lazily recomputed value order must match the raw
+			// record's persisted one.
+			if wantVO := sk.NumValOrder(); wantVO != nil {
+				gotVO := rec.Sketch.NumValOrder()
+				for i := range wantVO {
+					if gotVO[i] != wantVO[i] {
+						t.Fatalf("%s: value order diverges at %d", name, i)
+					}
+				}
+			}
+			if rec.Sketch.HasDuplicateKeyHashes() != sk.HasDuplicateKeyHashes() {
+				t.Fatalf("%s: duplicate-key answer diverges", name)
+			}
+		}
+	}
+}
+
+func TestCompressedRecordShrinksSharedKeyCorpus(t *testing.T) {
+	// The deployment shape: many candidates over one shared key
+	// universe. Numeric records shed the 4-byte hashes and the persisted
+	// value order; categorical ones also shed the string bytes.
+	var sks []*Sketch
+	for c := 0; c < 16; c++ {
+		n := 256
+		num := &Sketch{Method: TUPSK, Role: RoleCandidate, Seed: 1, Size: n, Numeric: true, SourceRows: n}
+		cat := &Sketch{Method: CSK, Role: RoleCandidate, Seed: 1, Size: n, SourceRows: n}
+		for i := 0; i < n; i++ {
+			h := uint32(i * 2654435761)
+			num.KeyHashes = append(num.KeyHashes, h)
+			num.Nums = append(num.Nums, math.Sqrt(float64(i*c+1)))
+			cat.KeyHashes = append(cat.KeyHashes, h)
+			cat.Strs = append(cat.Strs, fmt.Sprintf("cat%04d", (i*7+c)%100))
+		}
+		sks = append(sks, num, cat)
+	}
+	c := compressorFor(sks...)
+	var rawTotal, compTotal int
+	for i, sk := range sks {
+		name := fmt.Sprintf("bench/t%04d", i)
+		buf, compressed, err := AppendRecordCompressed(nil, name, sk, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !compressed {
+			t.Fatalf("sketch %d fell back to raw", i)
+		}
+		rawTotal += RawRecordSize(name, sk)
+		compTotal += len(buf)
+		rec, err := DecodeRecordWith(c.Decoder(), buf, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packedSketchesEqual(t, name, rec.Sketch, sk)
+	}
+	if compTotal*2 > rawTotal {
+		t.Fatalf("corpus compressed to %d of %d raw bytes (want >= 2x)", compTotal, rawTotal)
+	}
+}
+
+func TestCompressedRecordFallsBackWhenNotSmaller(t *testing.T) {
+	// A sketch whose key hashes are missing from the dictionary must be
+	// written raw, and still decode through the decoder-aware path.
+	sk := &Sketch{Method: TUPSK, Role: RoleCandidate, Seed: 9, Size: 8, Numeric: true,
+		KeyHashes: []uint32{1, 2, 3}, Nums: []float64{1, 2, 3}, SourceRows: 3}
+	c := NewRecordCompressor([]uint32{500}, nil)
+	buf, compressed, err := AppendRecordCompressed(nil, "x", sk, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compressed {
+		t.Fatal("sketch with out-of-dictionary hashes claimed compression")
+	}
+	rec, err := DecodeRecordWith(c.Decoder(), buf, 0, false)
+	if err != nil || rec.Compressed {
+		t.Fatalf("raw fallback decode: %+v, %v", rec.RecordInfo, err)
+	}
+	packedSketchesEqual(t, "fallback", rec.Sketch, sk)
+
+	// An empty sketch compresses to the same size as raw: keep raw.
+	empty := &Sketch{Method: CSK, Role: RoleCandidate, Seed: 1, Size: 8, Numeric: true,
+		KeyHashes: []uint32{}, Nums: []float64{}}
+	if _, compressed, err = AppendRecordCompressed(nil, "e", empty, compressorFor(empty)); err != nil || compressed {
+		t.Fatalf("empty sketch: compressed=%v err=%v", compressed, err)
+	}
+}
+
+func TestCompressedRecordFailsClosed(t *testing.T) {
+	sk := packedSketches(t)["str-role1"]
+	c := compressorFor(sk)
+	buf, compressed, err := AppendRecordCompressed(nil, "store/x", sk, c)
+	if err != nil || !compressed {
+		t.Fatalf("setup: compressed=%v err=%v", compressed, err)
+	}
+
+	// No decoder: hard error, not a garbage sketch.
+	if _, err := DecodeRecord(buf, 0, false); err == nil {
+		t.Fatal("compressed record decoded without a decoder")
+	}
+	if _, err := DecodeRecordWith(nil, buf, 0, false); err == nil {
+		t.Fatal("compressed record decoded with a nil decoder")
+	}
+
+	// Any flipped payload bit fails the decode-time CRC.
+	for _, off := range []int{recHeaderBytes, len(buf) - 9} {
+		mut := append([]byte(nil), buf...)
+		mut[off] ^= 0x40
+		if _, err := DecodeRecordWith(c.Decoder(), mut, 0, false); err == nil {
+			t.Fatalf("flipped byte at %d decoded silently", off)
+		}
+	}
+
+	// A decoder with the wrong dictionaries must error (CRC passes, the
+	// refs point beyond the dictionary).
+	if _, err := DecodeRecordWith(NewRecordDecoder(nil, nil), buf, 0, false); err == nil {
+		t.Fatal("decode against an empty dictionary succeeded")
+	}
+}
+
+func FuzzDecodeCompressedRecord(f *testing.F) {
+	sk := &Sketch{Method: CSK, Role: RoleCandidate, Seed: 3, Size: 8,
+		KeyHashes: []uint32{10, 20, 20, 30}, Strs: []string{"aa", "ab", "ab", ""}, SourceRows: 4}
+	num := &Sketch{Method: TUPSK, Role: RoleCandidate, Seed: 3, Size: 8, Numeric: true,
+		KeyHashes: []uint32{10, 20, 30, 40}, Nums: []float64{4, 3, 2, 1}, SourceRows: 4}
+	c := compressorFor(sk, num)
+	for _, s := range []*Sketch{sk, num} {
+		buf, _, err := AppendRecordCompressed(nil, "seed", s, c)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	dec := c.Decoder()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; errors are the expected outcome for mutated
+		// input (the decode-time CRC rejects virtually everything).
+		rec, err := DecodeRecordWith(dec, data, 0, false)
+		if err == nil && rec.Kind == RecordSketch && rec.Sketch == nil {
+			t.Fatal("nil sketch without error")
+		}
+	})
+}

@@ -23,6 +23,7 @@ package core
 //	11  method u8      method code (see methodCodes); 0 for tombstones
 //	12  flags u8       bit0: sketch has duplicate key hashes
 //	                   bit1: record carries the ascending value order
+//	                   bit2: compressed layout revision (compress.go)
 //	13  reserved u8×3
 //	16  seed u32
 //	20  size u32
@@ -64,6 +65,10 @@ const (
 const (
 	recFlagDupKeys  = 1 << 0
 	recFlagValOrder = 1 << 1
+	// recFlagCompressed marks the compressed layout revision
+	// (compress.go): arrays packed against per-segment dictionaries,
+	// strBytes redefined as the packed-region length.
+	recFlagCompressed = 1 << 2
 )
 
 // recHeaderBytes is the fixed prefix before the payload.
@@ -220,6 +225,9 @@ type RecordInfo struct {
 	Numeric    bool
 	SourceRows int
 	Entries    int
+	// Compressed marks the compressed layout revision (compress.go):
+	// decoding the body needs the segment's RecordDecoder.
+	Compressed bool
 }
 
 // Record is one decoded packed record.
@@ -243,12 +251,26 @@ type Record struct {
 // With borrow=false the sketch owns all its memory.
 //
 // The record CRC is NOT verified here; call VerifyRecord where torn or
-// rotted input is a possibility (replay, repair).
+// rotted input is a possibility (replay, repair). Compressed records
+// (which need a segment decoder — see DecodeRecordWith) fail closed.
 func DecodeRecord(data []byte, off int, borrow bool) (Record, error) {
+	return DecodeRecordWith(nil, data, off, borrow)
+}
+
+// DecodeRecordWith is DecodeRecord plus the segment RecordDecoder that
+// compressed records require; raw records decode identically under
+// either entry point (a nil decoder merely fails compressed records
+// closed). Compressed bodies additionally verify the record CRC — they
+// are materialized rather than borrowed, so the check is cheap and
+// makes a flipped blob bit a hard error.
+func DecodeRecordWith(dec *RecordDecoder, data []byte, off int, borrow bool) (Record, error) {
 	info, err := DecodeRecordInfo(data, off)
 	rec := Record{RecordInfo: info}
 	if err != nil || rec.Kind == RecordTombstone {
 		return rec, err
+	}
+	if info.Compressed {
+		return decodeCompressed(dec, data, off, rec, borrow)
 	}
 	h := data[off : off+rec.Len]
 	n := info.Entries
@@ -370,9 +392,15 @@ func DecodeRecordInfo(data []byte, off int) (RecordInfo, error) {
 			return RecordInfo{}, fmt.Errorf("core: record at %d has unknown method code %d", off, h[11])
 		}
 		info.Method = methodOfCode[h[11]]
-		if info.Numeric {
+		info.Compressed = h[12]&recFlagCompressed != 0
+		switch {
+		case info.Compressed && info.Numeric:
+			payload = 8*n + strBytes // raw nums + packed key refs
+		case info.Compressed:
+			payload = strBytes // packed refs + value lengths + blobs
+		case info.Numeric:
 			payload = 16 * n // nums + keyHashes + valOrder slots
-		} else {
+		default:
 			payload = 4*(n+1) + 4*n + strBytes
 		}
 	case RecordTombstone:

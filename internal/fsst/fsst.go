@@ -1,0 +1,235 @@
+// Package fsst implements a small Fast Static Symbol Table compressor
+// for short strings: a per-corpus table of up to 255 symbols (byte
+// sequences of length 1–8) trained over a sample, encoding each input
+// as a sequence of one-byte symbol codes with an escape code for bytes
+// no symbol covers. Unlike general-purpose compressors, every value
+// stays independently decodable — there is no shared window or stream
+// state — which is what lets a segment store compress each sketch value
+// as its own tiny blob and decode any one of them in isolation.
+//
+// Encoding: each output byte is either a symbol code c in [1, n] (the
+// table's c-th symbol, 1–8 decoded bytes) or the escape code 0 followed
+// by one literal byte. Worst case the encoding doubles the input (all
+// escapes); callers that need a bound should compare sizes and fall
+// back to raw storage. Decoding is fail-closed: a code beyond the
+// table's symbol count or a truncated escape is an error, never a
+// guess.
+package fsst
+
+import (
+	"fmt"
+	"sort"
+)
+
+const (
+	// MaxSymbols is the largest symbol count a table can hold; code 0
+	// is reserved as the literal-byte escape.
+	MaxSymbols = 255
+	// MaxSymbolLen bounds a symbol's byte length.
+	MaxSymbolLen = 8
+
+	escapeCode = 0
+
+	// trainRounds iterates the greedy merge: each round encodes the
+	// sample with the previous round's table and promotes the
+	// highest-gain symbols and symbol-pair concatenations.
+	trainRounds = 5
+	// sampleCap bounds the training sample in bytes; corpora larger
+	// than this are sampled by taking a prefix of the value list.
+	sampleCap = 1 << 16
+)
+
+// Table is a trained symbol table. The zero value (no symbols) is a
+// valid table that escapes every byte.
+type Table struct {
+	symbols []string
+	// index groups symbol codes by first byte, longest symbol first,
+	// for greedy longest-match encoding.
+	index [256][]uint8
+}
+
+// NSymbols reports the number of symbols in the table.
+func (t *Table) NSymbols() int { return len(t.symbols) }
+
+// Train builds a table over a sample of values: starting from single
+// bytes, each round encodes the sample greedily with the current table,
+// credits every emitted piece and every adjacent-piece concatenation
+// (up to MaxSymbolLen) with gain = occurrences × length, and keeps the
+// MaxSymbols highest-gain candidates. Deterministic for a given input.
+func Train(values []string) *Table {
+	sample := values
+	total := 0
+	for i, v := range values {
+		if total >= sampleCap {
+			sample = values[:i]
+			break
+		}
+		total += len(v)
+	}
+	t := &Table{}
+	for round := 0; round < trainRounds; round++ {
+		gains := make(map[string]int64)
+		for _, v := range sample {
+			prev := ""
+			for pos := 0; pos < len(v); {
+				var piece string
+				if _, n := t.match(v[pos:]); n > 0 {
+					piece = v[pos : pos+n]
+				} else {
+					piece = v[pos : pos+1]
+				}
+				pos += len(piece)
+				gains[piece] += int64(len(piece))
+				if prev != "" && len(prev)+len(piece) <= MaxSymbolLen {
+					gains[prev+piece] += int64(len(prev) + len(piece))
+				}
+				prev = piece
+			}
+		}
+		next := buildTable(gains)
+		if next.NSymbols() == 0 {
+			break // empty sample: nothing to learn
+		}
+		t = next
+	}
+	return t
+}
+
+// buildTable keeps the MaxSymbols highest-gain candidates, breaking
+// gain ties by symbol bytes so training is deterministic.
+func buildTable(gains map[string]int64) *Table {
+	type cand struct {
+		sym  string
+		gain int64
+	}
+	cands := make([]cand, 0, len(gains))
+	for sym, g := range gains {
+		if len(sym) >= 1 && len(sym) <= MaxSymbolLen {
+			cands = append(cands, cand{sym, g})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].gain != cands[j].gain {
+			return cands[i].gain > cands[j].gain
+		}
+		return cands[i].sym < cands[j].sym
+	})
+	if len(cands) > MaxSymbols {
+		cands = cands[:MaxSymbols]
+	}
+	syms := make([]string, len(cands))
+	for i, c := range cands {
+		syms[i] = c.sym
+	}
+	return NewTable(syms)
+}
+
+// NewTable builds a table from an explicit symbol list (code i+1 maps
+// to symbols[i]). Symbols must be 1–8 bytes; the list is truncated at
+// MaxSymbols. Used by Train and by table deserialization.
+func NewTable(symbols []string) *Table {
+	if len(symbols) > MaxSymbols {
+		symbols = symbols[:MaxSymbols]
+	}
+	t := &Table{symbols: symbols}
+	for i, sym := range symbols {
+		b := sym[0]
+		t.index[b] = append(t.index[b], uint8(i+1))
+	}
+	// Longest symbol first within each bucket: greedy longest match.
+	for b := range t.index {
+		bucket := t.index[b]
+		sort.SliceStable(bucket, func(i, j int) bool {
+			return len(t.symbols[bucket[i]-1]) > len(t.symbols[bucket[j]-1])
+		})
+	}
+	return t
+}
+
+// match returns the code and length of the longest symbol prefixing s,
+// or (0, 0) when no symbol matches.
+func (t *Table) match(s string) (uint8, int) {
+	if len(s) == 0 {
+		return 0, 0
+	}
+	for _, c := range t.index[s[0]] {
+		sym := t.symbols[c-1]
+		if len(sym) <= len(s) && s[:len(sym)] == sym {
+			return c, len(sym)
+		}
+	}
+	return 0, 0
+}
+
+// Encode appends the encoding of v to dst and returns the result.
+func (t *Table) Encode(dst []byte, v string) []byte {
+	for pos := 0; pos < len(v); {
+		if code, n := t.match(v[pos:]); n > 0 {
+			dst = append(dst, code)
+			pos += n
+		} else {
+			dst = append(dst, escapeCode, v[pos])
+			pos++
+		}
+	}
+	return dst
+}
+
+// Decode appends the decoding of src to dst. It fails closed: an
+// out-of-range code or a truncated escape returns an error rather than
+// partial or guessed output.
+func (t *Table) Decode(dst []byte, src []byte) ([]byte, error) {
+	for i := 0; i < len(src); {
+		c := src[i]
+		if c == escapeCode {
+			if i+1 >= len(src) {
+				return nil, fmt.Errorf("fsst: truncated escape at %d", i)
+			}
+			dst = append(dst, src[i+1])
+			i += 2
+			continue
+		}
+		if int(c) > len(t.symbols) {
+			return nil, fmt.Errorf("fsst: code %d beyond table (%d symbols)", c, len(t.symbols))
+		}
+		dst = append(dst, t.symbols[c-1]...)
+		i++
+	}
+	return dst, nil
+}
+
+// Append serializes the table: a symbol-count byte, then per symbol a
+// length byte and the raw bytes.
+func (t *Table) Append(dst []byte) []byte {
+	dst = append(dst, uint8(len(t.symbols)))
+	for _, sym := range t.symbols {
+		dst = append(dst, uint8(len(sym)))
+		dst = append(dst, sym...)
+	}
+	return dst
+}
+
+// Parse deserializes a table from the front of b, returning the table
+// and the bytes consumed. Fail-closed: truncation or an out-of-range
+// symbol length is an error.
+func Parse(b []byte) (*Table, int, error) {
+	if len(b) < 1 {
+		return nil, 0, fmt.Errorf("fsst: truncated table header")
+	}
+	n := int(b[0])
+	off := 1
+	syms := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if off >= len(b) {
+			return nil, 0, fmt.Errorf("fsst: truncated symbol %d", i)
+		}
+		l := int(b[off])
+		off++
+		if l < 1 || l > MaxSymbolLen || off+l > len(b) {
+			return nil, 0, fmt.Errorf("fsst: symbol %d has implausible length %d", i, l)
+		}
+		syms = append(syms, string(b[off:off+l]))
+		off += l
+	}
+	return NewTable(syms), off, nil
+}

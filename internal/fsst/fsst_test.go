@@ -1,0 +1,130 @@
+package fsst
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// corpusRoundTrip trains on values and checks every value decodes back
+// bit-identically, returning the total encoded size.
+func corpusRoundTrip(t *testing.T, values []string) int {
+	t.Helper()
+	tbl := Train(values)
+	total := 0
+	var enc, dec []byte
+	for _, v := range values {
+		enc = tbl.Encode(enc[:0], v)
+		total += len(enc)
+		var err error
+		dec, err = tbl.Decode(dec[:0], enc)
+		if err != nil {
+			t.Fatalf("decode %q: %v", v, err)
+		}
+		if string(dec) != v {
+			t.Fatalf("round trip %q -> %q", v, dec)
+		}
+	}
+	return total
+}
+
+func TestRoundTripStructured(t *testing.T) {
+	values := make([]string, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		values = append(values, fmt.Sprintf("cat%04d", i%977))
+	}
+	raw := 0
+	for _, v := range values {
+		raw += len(v)
+	}
+	comp := corpusRoundTrip(t, values)
+	if comp*2 > raw {
+		t.Fatalf("structured corpus compressed %d of %d raw bytes (want >= 2x)", comp, raw)
+	}
+}
+
+func TestRoundTripAdversarial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	values := []string{"", "a", strings.Repeat("\x00", 9), "\x00\x01\x02"}
+	for i := 0; i < 500; i++ {
+		b := make([]byte, rng.Intn(24))
+		rng.Read(b)
+		values = append(values, string(b))
+	}
+	corpusRoundTrip(t, values)
+}
+
+func TestEmptyTableEscapesEverything(t *testing.T) {
+	var tbl Table
+	enc := tbl.Encode(nil, "ab")
+	if len(enc) != 4 {
+		t.Fatalf("escape-only encoding of 2 bytes took %d", len(enc))
+	}
+	dec, err := tbl.Decode(nil, enc)
+	if err != nil || string(dec) != "ab" {
+		t.Fatalf("decode = %q, %v", dec, err)
+	}
+}
+
+func TestDecodeFailsClosed(t *testing.T) {
+	tbl := NewTable([]string{"ab"})
+	if _, err := tbl.Decode(nil, []byte{2}); err == nil {
+		t.Fatal("out-of-range code decoded")
+	}
+	if _, err := tbl.Decode(nil, []byte{0}); err == nil {
+		t.Fatal("truncated escape decoded")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	values := make([]string, 0, 512)
+	for i := 0; i < 512; i++ {
+		values = append(values, fmt.Sprintf("val-%d-%d", i%31, i%7))
+	}
+	tbl := Train(values)
+	if tbl.NSymbols() == 0 {
+		t.Fatal("training learned nothing")
+	}
+	ser := tbl.Append(nil)
+	got, n, err := Parse(ser)
+	if err != nil || n != len(ser) {
+		t.Fatalf("Parse consumed %d of %d: %v", n, len(ser), err)
+	}
+	var enc1, enc2 []byte
+	for _, v := range values {
+		enc1 = tbl.Encode(enc1[:0], v)
+		enc2 = got.Encode(enc2[:0], v)
+		if string(enc1) != string(enc2) {
+			t.Fatalf("reparsed table encodes %q differently", v)
+		}
+	}
+}
+
+func TestParseFailsClosed(t *testing.T) {
+	cases := [][]byte{
+		{},               // no header
+		{1},              // missing symbol
+		{1, 0},           // zero-length symbol
+		{1, 9},           // over-length symbol
+		{1, 3, 'a', 'b'}, // truncated symbol bytes
+		{2, 1, 'a'},      // second symbol missing
+	}
+	for i, b := range cases {
+		if _, _, err := Parse(b); err == nil {
+			t.Errorf("case %d: corrupt table parsed", i)
+		}
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	values := make([]string, 0, 256)
+	for i := 0; i < 256; i++ {
+		values = append(values, fmt.Sprintf("k%03d=v%02d", i, i%13))
+	}
+	a := Train(values).Append(nil)
+	b := Train(values).Append(nil)
+	if string(a) != string(b) {
+		t.Fatal("training is nondeterministic")
+	}
+}

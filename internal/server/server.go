@@ -52,6 +52,20 @@ const (
 	DefaultMaxBodyBytes = 256 << 20
 	// DefaultShutdownTimeout bounds the graceful drain on shutdown.
 	DefaultShutdownTimeout = 30 * time.Second
+	// DefaultReadHeaderTimeout bounds how long a connection may dribble
+	// its request headers — the slowloris guard: without it, idle
+	// connections holding half-sent requests pin server goroutines
+	// forever.
+	DefaultReadHeaderTimeout = 10 * time.Second
+	// DefaultReadTimeout bounds reading one full request (headers and
+	// body). Generous: sketch uploads and CSV ingests are large.
+	DefaultReadTimeout = 5 * time.Minute
+	// DefaultWriteTimeout bounds writing one full response, covering the
+	// slowest expected rank-batch on a loaded server.
+	DefaultWriteTimeout = 5 * time.Minute
+	// DefaultIdleTimeout bounds how long a keep-alive connection may sit
+	// between requests.
+	DefaultIdleTimeout = 2 * time.Minute
 	// defaultMinJoin is the paper's "JoinSize <= 100" confidence filter,
 	// applied when a rank request leaves min_join unset.
 	defaultMinJoin = 100
@@ -82,6 +96,27 @@ type Options struct {
 	// Off by default: profiles expose internals, so the flag is opt-in
 	// and deployments should keep it off on untrusted networks.
 	EnablePprof bool
+	// Connection timeouts for ListenAndServe/ServeListener, each
+	// defaulting to its Default* constant when zero; negative disables
+	// that timeout. ReadHeaderTimeout is the load-bearing one — it reaps
+	// connections that dribble or stall their request before a handler
+	// ever runs (slowloris), which no handler-level deadline can do.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
+}
+
+// timeout resolves one Options timeout field: zero means the default,
+// negative means disabled.
+func timeout(v, def time.Duration) time.Duration {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // Server is the discovery service: an http.Handler over one open store.
@@ -190,7 +225,13 @@ func (s *Server) ServeListener(ctx context.Context, ln net.Listener) error {
 	// on its own (bad listener, external close) under a long-lived ctx.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	hs := &http.Server{Handler: s}
+	hs := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: timeout(s.opt.ReadHeaderTimeout, DefaultReadHeaderTimeout),
+		ReadTimeout:       timeout(s.opt.ReadTimeout, DefaultReadTimeout),
+		WriteTimeout:      timeout(s.opt.WriteTimeout, DefaultWriteTimeout),
+		IdleTimeout:       timeout(s.opt.IdleTimeout, DefaultIdleTimeout),
+	}
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
@@ -648,6 +689,12 @@ type StoreStats struct {
 	CascadeCheapOnly     int64 `json:"cascade_cheap_only"`
 	CascadeExact         int64 `json:"cascade_exact"`
 	CascadeMarginRescues int64 `json:"cascade_margin_rescues"`
+	// Segment compression: FSST-compressed segment count, what their
+	// records occupy on disk, and what the same records would occupy
+	// raw (the achieved ratio is raw_bytes/compressed_bytes).
+	CompressedSegments int   `json:"compressed_segments"`
+	CompressedBytes    int64 `json:"compressed_bytes"`
+	RawBytes           int64 `json:"raw_bytes"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -676,6 +723,9 @@ func (s *Server) Stats() StatsResponse {
 			CascadeCheapOnly:          ss.CascadeCheapOnly,
 			CascadeExact:              ss.CascadeExact,
 			CascadeMarginRescues:      ss.CascadeMarginRescues,
+			CompressedSegments:        ss.CompressedSegments,
+			CompressedBytes:           ss.CompressedBytes,
+			RawBytes:                  ss.RawBytes,
 		},
 		Server: ServerStats{
 			RankRequests:   s.rankRequests.Load(),

@@ -401,6 +401,121 @@ func TestBodyCapReturns413(t *testing.T) {
 	}
 }
 
+// TestOverLimitBodyDoesNotLeakCapacity pins the 413 path on the rank
+// endpoints: an over-limit body — syntactically valid JSON or not — must
+// return 413 before any estimation capacity is acquired, hold zero
+// workers afterwards, and leave the server able to serve a real query.
+// MaxWorkers is 1, so a single leaked acquisition would deadlock the
+// follow-up rank.
+func TestOverLimitBodyDoesNotLeakCapacity(t *testing.T) {
+	srv, ts, _, train := newTestServer(t, 4, Options{MaxWorkers: 1, MaxBodyBytes: 256})
+	trainB64 := sketchBase64(t, train) // far over the 256-byte cap
+	for _, tc := range []struct {
+		name, path, body string
+	}{
+		{"rank junk", "/v1/rank", strings.Repeat("x", 512)},
+		{"rank valid json", "/v1/rank", `{"sketch":"` + trainB64 + `"}`},
+		{"batch junk", "/v1/rank/batch", strings.Repeat("x", 512)},
+		{"batch valid json", "/v1/rank/batch", `{"sketches":["` + trainB64 + `"]}`},
+	} {
+		resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: status %d, want 413: %s", tc.name, resp.StatusCode, raw)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(raw, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body not structured: %s", tc.name, raw)
+		}
+		if held, waiting := srv.sem.inFlight(); held != 0 || waiting != 0 {
+			t.Fatalf("%s: %d workers held, %d waiting after 413", tc.name, held, waiting)
+		}
+	}
+	// The single worker is still available: an under-cap rank request
+	// must acquire it and complete — a leaked acquisition would hang
+	// here forever.
+	tiny, err := core.NewStreamBuilder(core.RoleTrain, true, core.Options{Method: core.TUPSK, Size: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 4; g++ {
+		tiny.AddNum(fmt.Sprintf("g%d", g), float64(g))
+	}
+	minJoin := 0
+	body, _ := json.Marshal(RankRequest{Sketch: sketchBase64(t, tiny.Sketch()), Prefix: "corpus/", MinJoin: &minJoin, K: 3})
+	if int64(len(body)) > 256 {
+		t.Fatalf("follow-up body %d bytes exceeds the cap; shrink the tiny train", len(body))
+	}
+	resp, err := http.Post(ts.URL+"/v1/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("follow-up rank after 413s: status %d: %s", resp.StatusCode, raw)
+	}
+	if held, waiting := srv.sem.inFlight(); held != 0 || waiting != 0 {
+		t.Fatalf("%d workers held, %d waiting after the follow-up rank", held, waiting)
+	}
+}
+
+// TestStalledRequestReaped is the slowloris regression test: a
+// connection that sends half a request and stalls must be reaped by
+// ReadHeaderTimeout, not pinned forever. Runs against ServeListener —
+// the path that wires Options timeouts into the http.Server (httptest
+// bypasses it).
+func TestStalledRequestReaped(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st, Options{ReadHeaderTimeout: 100 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.ServeListener(ctx, ln) }()
+	defer func() {
+		cancel()
+		if err := <-served; err != nil {
+			t.Error(err)
+		}
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Half a request, then silence: the header never completes.
+	if _, err := conn.Write([]byte("POST /v1/rank HTTP/1.1\r\nHost: x\r\nContent-Le")); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	// The server reaps the connection — an error response (the exact
+	// status depends on where the deadline lands in the header read)
+	// followed by a close, or a bare close. Without ReadHeaderTimeout
+	// nothing ever arrives and this read blocks until our local 5s
+	// deadline errors out. Reading to EOF promptly is the regression
+	// signal.
+	if _, err := io.ReadAll(conn); err != nil {
+		t.Fatalf("stalled connection not reaped after %v: %v", time.Since(start), err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("stalled connection reaped only after %v", elapsed)
+	}
+}
+
 // TestRankWhilePutUnderLoad hammers /v1/rank from many goroutines while
 // /v1/put concurrently ingests fresh sketches into a separate prefix.
 // Every response must be bit-identical to the precomputed direct ranking

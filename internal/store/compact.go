@@ -98,8 +98,23 @@ func (s *Store) compact(ctx context.Context, force bool) (CompactStats, error) {
 			break
 		}
 	}
-	if len(sources) == 0 || (force && allIndexed) ||
-		(!force && len(sources) == 1 && !hasGarbage(sources, len(live))) {
+	// A store opened with Compression set treats uncompressed sources as
+	// work: the `store compact -compress` backfill (forced) and the
+	// background loop both rewrite them even when nothing else would
+	// trigger a pass. The inverse mismatch (compressed segments in a
+	// store opened without Compression) is not a trigger — they stay
+	// readable as-is and decompress whenever a real pass folds them.
+	wantRecompress := false
+	if fb.compress {
+		for _, seg := range sources {
+			if seg.dictOff == 0 {
+				wantRecompress = true
+				break
+			}
+		}
+	}
+	if len(sources) == 0 || (force && allIndexed && !wantRecompress) ||
+		(!force && len(sources) == 1 && !hasGarbage(sources, len(live)) && !wantRecompress) {
 		s.mu.Unlock()
 		stats.SegmentsAfter = stats.SegmentsBefore
 		stats.BytesAfter = stats.BytesBefore
@@ -233,7 +248,13 @@ func (b *fsBackend) allocSeq() uint64 {
 }
 
 // writeCompacted copies the live records into a fresh compacted segment
-// and seals it. The caller holds pins on every source segment.
+// and seals it. The caller holds pins on every source segment. With the
+// backend's compression opt-in the records are re-encoded against
+// freshly trained per-segment dictionaries (one decode pass to train,
+// one to encode); without it records move as raw bytes — except records
+// that are themselves compressed (sources from a previously compressed
+// store), which are decoded through their segment's dictionaries and
+// rewritten raw, since their encodings are meaningless outside them.
 func (b *fsBackend) writeCompacted(ctx context.Context, seq uint64, live []Meta) (map[string]recLoc, *segment, error) {
 	w, err := createSegment(b.dir, seq, segKindCompacted)
 	if err != nil {
@@ -243,6 +264,13 @@ func (b *fsBackend) writeCompacted(ctx context.Context, seq uint64, live []Meta)
 		w.seg.f.Close()
 		os.Remove(w.seg.path)
 		return nil, nil, err
+	}
+	if b.compress {
+		comp, err := b.trainCompressor(ctx, live)
+		if err != nil {
+			return abort(err)
+		}
+		w.comp = comp
 	}
 	locs := make(map[string]recLoc, len(live))
 	for _, m := range live {
@@ -262,6 +290,21 @@ func (b *fsBackend) writeCompacted(ctx context.Context, seq uint64, live []Meta)
 		info, err := core.DecodeRecordInfo(raw, 0)
 		if err != nil {
 			return abort(fmt.Errorf("store: compacting %q: %w", m.Name, err))
+		}
+		if w.comp != nil || info.Compressed {
+			rec, err := core.DecodeRecordWith(src.decoder(), raw, 0, true)
+			if err != nil {
+				return abort(fmt.Errorf("store: compacting %q: %w", m.Name, err))
+			}
+			if rec.Sketch == nil {
+				return abort(fmt.Errorf("store: compacting %q: record is not a sketch", m.Name))
+			}
+			off, length, err := w.appendSketch(m.Name, rec.Sketch, false)
+			if err != nil {
+				return abort(err)
+			}
+			locs[m.Name] = recLoc{seg: seq, off: off, length: length}
+			continue
 		}
 		off, err := w.appendRecord(raw, info, false)
 		if err != nil {

@@ -1,0 +1,206 @@
+package store
+
+// Segment compression dictionaries: the per-segment section compaction
+// emits when the store opts into compression (OpenOptions.Compression),
+// holding everything a reader needs to decode the segment's compressed
+// records (internal/core/compress.go):
+//
+//   - the sorted distinct key-hash dictionary, delta-coded as uvarints
+//     (records store key hashes as ordinals into it);
+//   - the FSST symbol table trained over the segment's categorical
+//     values;
+//   - the segment's compressed-vs-raw-equivalent byte counters, so
+//     observability (StoreStats, `store ls -segments`) can report the
+//     achieved ratio without decoding anything.
+//
+// Section layout, mirroring the key index section (keyindex.go):
+//
+//	header (16 B): magic "MCMP" | version u8 | flags u8 | pad u16 |
+//	               payloadLen u32 | payload crc u32 (CRC-32C)
+//	payload:       rawBytes u64 | compBytes u64 |
+//	               nKeys uvarint | key-hash deltas uvarint × nKeys |
+//	               symbol table (fsst serialization)
+//
+// Parsing is fail-closed: any defect — bad magic, unknown version or
+// flags, truncation, CRC mismatch, unsorted keys — leaves the segment
+// without a decoder, and decoding any compressed record in it becomes
+// a hard error surfaced to the query (never a silently wrong sketch).
+// The section sits before the footer, inside the segment's whole-file
+// CRC.
+
+import (
+	"context"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+
+	"misketch/internal/binio"
+	"misketch/internal/core"
+	"misketch/internal/fsst"
+)
+
+const (
+	dictMagic       = "MCMP"
+	dictVersion     = 1
+	dictHeaderBytes = 16
+)
+
+// segCompressor drives one compacted segment's compression: the record
+// compressor plus the running byte counters the dict section persists.
+type segCompressor struct {
+	enc       *core.RecordCompressor
+	keyDict   []uint32
+	table     *fsst.Table
+	rawBytes  uint64 // raw-equivalent bytes of the records written
+	compBytes uint64 // bytes actually written for those records
+}
+
+// trainSegCompressor builds the dictionaries over the records about to
+// be compacted: the sorted distinct union of their key hashes and a
+// symbol table trained on their categorical values. values may be
+// clipped by the caller; fsst samples internally anyway.
+func trainSegCompressor(keys map[uint32]struct{}, values []string) *segCompressor {
+	dict := make([]uint32, 0, len(keys))
+	for h := range keys {
+		dict = append(dict, h)
+	}
+	sort.Slice(dict, func(i, j int) bool { return dict[i] < dict[j] })
+	table := fsst.Train(values)
+	return &segCompressor{enc: core.NewRecordCompressor(dict, table), keyDict: dict, table: table}
+}
+
+// encodeSection serializes the dict section, header included.
+func (c *segCompressor) encodeSection() []byte {
+	payload := make([]byte, 0, 16+5*len(c.keyDict))
+	payload = binio.AppendU64(payload, c.rawBytes)
+	payload = binio.AppendU64(payload, c.compBytes)
+	payload = binio.AppendUvarint(payload, uint64(len(c.keyDict)))
+	prev := uint32(0)
+	for _, h := range c.keyDict {
+		payload = binio.AppendUvarint(payload, uint64(h-prev))
+		prev = h
+	}
+	payload = c.table.Append(payload)
+
+	section := make([]byte, 0, dictHeaderBytes+len(payload))
+	section = append(section, dictMagic...)
+	section = append(section, dictVersion, 0, 0, 0)
+	section = binio.AppendU32(section, uint32(len(payload)))
+	section = binio.AppendU32(section, crc32.Checksum(payload, crcTable))
+	return append(section, payload...)
+}
+
+// trainCompressor decodes the live records once to build the output
+// segment's dictionaries: the distinct union of their key hashes and a
+// value sample (cloned out of the borrowed views — symbol-table strings
+// must not alias source mappings that retire after the pass) for the
+// symbol table. The caller holds pins on every source segment.
+func (b *fsBackend) trainCompressor(ctx context.Context, live []Meta) (*segCompressor, error) {
+	const valueSampleCap = 1 << 16
+	keys := make(map[uint32]struct{})
+	var values []string
+	valueBytes := 0
+	for _, m := range live {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		b.segMu.Lock()
+		src, ok := b.segs[m.Segment]
+		b.segMu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("store: compaction source segment %d vanished", m.Segment)
+		}
+		if m.Offset < segHeaderBytes || m.Offset+m.Bytes > src.recEnd {
+			return nil, fmt.Errorf("store: %q at segment %d [%d,%d) out of bounds", m.Name, m.Segment, m.Offset, m.Offset+m.Bytes)
+		}
+		rec, err := core.DecodeRecordWith(src.decoder(), src.data[:m.Offset+m.Bytes], int(m.Offset), true)
+		if err != nil {
+			return nil, fmt.Errorf("store: training compressor on %q: %w", m.Name, err)
+		}
+		if rec.Sketch == nil {
+			continue
+		}
+		for _, h := range rec.Sketch.KeyHashes {
+			keys[h] = struct{}{}
+		}
+		if valueBytes < valueSampleCap {
+			for _, v := range rec.Sketch.Strs {
+				values = append(values, strings.Clone(v))
+				valueBytes += len(v)
+				if valueBytes >= valueSampleCap {
+					break
+				}
+			}
+		}
+	}
+	return trainSegCompressor(keys, values), nil
+}
+
+// segDict is a parsed dict section: the segment's record decoder plus
+// its persisted byte counters.
+type segDict struct {
+	dec       *core.RecordDecoder
+	rawBytes  uint64
+	compBytes uint64
+}
+
+// parseDictSection validates and decodes a dict section. Fail-closed:
+// every defect is an error, and the caller records the segment as
+// undecodable rather than guessing.
+func parseDictSection(section []byte) (*segDict, error) {
+	if len(section) < dictHeaderBytes {
+		return nil, fmt.Errorf("store: dict section truncated (%d bytes)", len(section))
+	}
+	if string(section[:4]) != dictMagic {
+		return nil, fmt.Errorf("store: bad dict section magic %q", section[:4])
+	}
+	if section[4] != dictVersion {
+		return nil, fmt.Errorf("store: unsupported dict section version %d", section[4])
+	}
+	if section[5] != 0 || section[6] != 0 || section[7] != 0 {
+		return nil, fmt.Errorf("store: unknown dict section flags")
+	}
+	payloadLen := int(binio.U32At(section, 8))
+	if payloadLen < 17 || dictHeaderBytes+payloadLen > len(section) {
+		return nil, fmt.Errorf("store: implausible dict payload length %d", payloadLen)
+	}
+	payload := section[dictHeaderBytes : dictHeaderBytes+payloadLen]
+	if got, want := crc32.Checksum(payload, crcTable), binio.U32At(section, 12); got != want {
+		return nil, fmt.Errorf("store: dict section fails CRC (%08x != %08x)", got, want)
+	}
+	d := &segDict{rawBytes: binio.U64At(payload, 0), compBytes: binio.U64At(payload, 8)}
+	pos := 16
+	nKeys, n := binio.UvarintAt(payload, pos)
+	if n <= 0 || nKeys > uint64(len(payload)) {
+		return nil, fmt.Errorf("store: implausible dict key count %d", nKeys)
+	}
+	pos += n
+	dict := make([]uint32, nKeys)
+	prev := uint64(0)
+	for i := range dict {
+		delta, n := binio.UvarintAt(payload, pos)
+		if n <= 0 {
+			return nil, fmt.Errorf("store: dict key %d truncated", i)
+		}
+		pos += n
+		h := prev + delta
+		if i > 0 && delta == 0 {
+			return nil, fmt.Errorf("store: dict key %d repeats", i)
+		}
+		if h > 0xFFFFFFFF {
+			return nil, fmt.Errorf("store: dict key %d overflows", i)
+		}
+		dict[i] = uint32(h)
+		prev = h
+	}
+	table, n, err := fsst.Parse(payload[pos:])
+	if err != nil {
+		return nil, err
+	}
+	if pos+n != len(payload) {
+		return nil, fmt.Errorf("store: %d trailing dict payload bytes", len(payload)-pos-n)
+	}
+	d.dec = core.NewRecordDecoder(dict, table)
+	return d, nil
+}

@@ -1,0 +1,361 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"misketch/internal/core"
+	"misketch/internal/mi"
+)
+
+// compressCorpus builds a categorical-weighted candidate corpus (the
+// workload compression targets: repetitive structured values, shared key
+// universes) plus a numeric train to rank it with. Three out of four
+// candidates are categorical.
+func compressCorpus(t testing.TB) (*core.Sketch, []string, []*core.Sketch) {
+	t.Helper()
+	opt := core.Options{Method: core.TUPSK, Size: 256}
+	tb, err := core.NewStreamBuilder(core.RoleTrain, true, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		g := i % 300
+		tb.AddNum(fmt.Sprintf("g%d", g), float64(g%7))
+	}
+	var names []string
+	var sks []*core.Sketch
+	for c := 0; c < 16; c++ {
+		cb, err := core.NewStreamBuilder(core.RoleCandidate, c%4 == 3, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < 300; g++ {
+			key := fmt.Sprintf("g%d", g)
+			if c%4 == 3 {
+				cb.AddNum(key, float64((g+c)%7))
+			} else {
+				cb.AddStr(key, fmt.Sprintf("category/v%02d", (g+c)%9))
+			}
+		}
+		names = append(names, fmt.Sprintf("comp/c%03d#x", c))
+		sks = append(sks, cb.Sketch())
+	}
+	return tb.Sketch(), names, sks
+}
+
+func sketchesBitEqual(t *testing.T, label string, got, want *core.Sketch) {
+	t.Helper()
+	if got.Len() != want.Len() || len(got.Nums) != len(want.Nums) || len(got.Strs) != len(want.Strs) {
+		t.Fatalf("%s: shape differs: got %d/%d/%d want %d/%d/%d", label,
+			got.Len(), len(got.Nums), len(got.Strs), want.Len(), len(want.Nums), len(want.Strs))
+	}
+	for i := range want.KeyHashes {
+		if got.KeyHashes[i] != want.KeyHashes[i] {
+			t.Fatalf("%s: key hash %d differs", label, i)
+		}
+	}
+	for i := range want.Nums {
+		if math.Float64bits(got.Nums[i]) != math.Float64bits(want.Nums[i]) {
+			t.Fatalf("%s: num %d differs", label, i)
+		}
+	}
+	for i := range want.Strs {
+		if got.Strs[i] != want.Strs[i] {
+			t.Fatalf("%s: str %d differs: %q != %q", label, i, got.Strs[i], want.Strs[i])
+		}
+	}
+}
+
+// TestCompressionCompactRoundTrip is the tentpole contract end to end: a
+// compression-enabled compaction shrinks the sealed segment at least 2x
+// on the categorical-weighted corpus, every sketch reads back
+// bit-identical (warm and after a cold reopen), rankings match an
+// uncompressed store bit for bit, and the stats/observability surfaces
+// report the achieved ratio.
+func TestCompressionCompactRoundTrip(t *testing.T) {
+	train, names, sks := compressCorpus(t)
+
+	dir := t.TempDir()
+	st, err := OpenWithOptions(dir, OpenOptions{Compression: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		if err := st.Put(name, sks[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := plain.Put(name, sks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cs, err := st.Compact(context.Background()); err != nil || !cs.Compacted {
+		t.Fatalf("compact = %+v, %v", cs, err)
+	}
+
+	stats := st.Stats()
+	if stats.CompressedSegments != 1 {
+		t.Fatalf("CompressedSegments = %d (stats %+v)", stats.CompressedSegments, stats)
+	}
+	if stats.CompressedBytes <= 0 || stats.RawBytes < 2*stats.CompressedBytes {
+		t.Errorf("compression ratio below 2x: raw %d compressed %d", stats.RawBytes, stats.CompressedBytes)
+	}
+	infos := st.Segments()
+	if len(infos) != 1 || !infos[0].Compressed {
+		t.Fatalf("Segments = %+v", infos)
+	}
+	if infos[0].CompressedBytes != stats.CompressedBytes || infos[0].RawBytes != stats.RawBytes {
+		t.Errorf("segment counters disagree with stats: %+v vs %+v", infos[0], stats)
+	}
+
+	for i, name := range names {
+		got, err := st.Get(name)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", name, err)
+		}
+		sketchesBitEqual(t, name, got, sks[i])
+	}
+	opt := RankOptions{MinJoinSize: 0, K: mi.DefaultK}
+	ranked, _, err := st.RankQuery(context.Background(), train, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRanked, _, err := plain.RankQuery(context.Background(), train, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rankingsBitEqual(t, "compressed-vs-plain", ranked, plainRanked)
+
+	// Cold reopen: the decoder rebuilds from the persisted dict section.
+	st2, err := OpenWithOptions(dir, OpenOptions{Compression: true, CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		got, err := st2.Get(name)
+		if err != nil {
+			t.Fatalf("cold Get(%s): %v", name, err)
+		}
+		sketchesBitEqual(t, "cold/"+name, got, sks[i])
+	}
+	coldRanked, _, err := st2.RankQuery(context.Background(), train, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rankingsBitEqual(t, "cold-vs-plain", coldRanked, plainRanked)
+	if s2 := st2.Stats(); s2.CompressedSegments != 1 || s2.CompressedBytes != stats.CompressedBytes {
+		t.Errorf("cold stats = %+v, warm %+v", s2, stats)
+	}
+}
+
+// TestCompressionBackfillAndDecompress pins the format transitions in
+// both directions: opening an existing raw store with Compression makes
+// the next compaction a recompression pass even with zero garbage (the
+// `store compact -compress` backfill path), a second pass is a no-op,
+// and a plain-mode compaction that folds compressed sources rewrites
+// them raw — their encodings mean nothing outside their dictionaries.
+func TestCompressionBackfillAndDecompress(t *testing.T) {
+	train, names, sks := compressCorpus(t)
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		if err := st.Put(name, sks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Put(names[0], sks[0]); err != nil { // garbage so the pass runs
+		t.Fatal(err)
+	}
+	if cs, err := st.Compact(context.Background()); err != nil || !cs.Compacted {
+		t.Fatalf("raw compact = %+v, %v", cs, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Backfill: same data, compression now on — the pass must run.
+	st, err = OpenWithOptions(dir, OpenOptions{Compression: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs, err := st.Compact(context.Background()); err != nil || !cs.Compacted {
+		t.Fatalf("backfill compact = %+v, %v", cs, err)
+	}
+	if stats := st.Stats(); stats.CompressedSegments != 1 {
+		t.Fatalf("backfill left no compressed segment: %+v", stats)
+	}
+	// Idempotence: everything already compressed, nothing to fold.
+	if cs, err := st.Compact(context.Background()); err != nil || cs.Compacted {
+		t.Fatalf("second backfill should be a no-op, got %+v, %v", cs, err)
+	}
+	for i, name := range names {
+		got, err := st.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sketchesBitEqual(t, "backfill/"+name, got, sks[i])
+	}
+	opt := RankOptions{MinJoinSize: 0, K: mi.DefaultK}
+	wantRanked, _, err := st.RankQuery(context.Background(), train, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Decompress-on-fold: plain mode, garbage forces a compaction whose
+	// sources are compressed; the output must be raw and bit-identical.
+	st, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(names[0], sks[0]); err != nil { // garbage: overwrite
+		t.Fatal(err)
+	}
+	if cs, err := st.Compact(context.Background()); err != nil || !cs.Compacted {
+		t.Fatalf("plain compact over compressed sources = %+v, %v", cs, err)
+	}
+	if stats := st.Stats(); stats.CompressedSegments != 0 {
+		t.Fatalf("plain compaction kept compression: %+v", stats)
+	}
+	for i, name := range names {
+		got, err := st.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sketchesBitEqual(t, "decompress/"+name, got, sks[i])
+	}
+	ranked, _, err := st.RankQuery(context.Background(), train, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rankingsBitEqual(t, "decompressed-vs-compressed", ranked, wantRanked)
+}
+
+// TestCompressionMixedCatalog ranks a catalog whose segments are part
+// compressed, part raw — records put after the compression pass land in
+// the raw active segment — and requires bit-identical results to an
+// all-raw store.
+func TestCompressionMixedCatalog(t *testing.T) {
+	train, names, sks := compressCorpus(t)
+	st, err := OpenWithOptions(t.TempDir(), OpenOptions{Compression: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(names) / 2
+	for i := 0; i < half; i++ {
+		if err := st.Put(names[i], sks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cs, err := st.Compact(context.Background()); err != nil || !cs.Compacted {
+		t.Fatalf("compact = %+v, %v", cs, err)
+	}
+	for i := half; i < len(names); i++ { // raw tail in the active segment
+		if err := st.Put(names[i], sks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, name := range names {
+		if err := plain.Put(name, sks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opt := RankOptions{MinJoinSize: 0, K: mi.DefaultK}
+	ranked, _, err := st.RankQuery(context.Background(), train, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRanked, _, err := plain.RankQuery(context.Background(), train, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rankingsBitEqual(t, "mixed-vs-plain", ranked, plainRanked)
+}
+
+// TestCompressedSegmentFailsClosed flips bytes in a sealed compressed
+// segment and requires hard errors, never silently wrong sketches: a
+// corrupt dict section leaves every compressed record undecodable, and a
+// corrupt record body fails its CRC.
+func TestCompressedSegmentFailsClosed(t *testing.T) {
+	_, names, sks := compressCorpus(t)
+	build := func(t *testing.T) string {
+		dir := t.TempDir()
+		st, err := OpenWithOptions(dir, OpenOptions{Compression: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, name := range names {
+			if err := st.Put(name, sks[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if cs, err := st.Compact(context.Background()); err != nil || !cs.Compacted {
+			t.Fatalf("compact = %+v, %v", cs, err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	flip := func(t *testing.T, dir string, off func(size int64) int64) {
+		path := segmentPath(dir, 2) // seq 1 is the folded append segment
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[off(int64(len(data)))] ^= 0x40
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	countErrors := func(t *testing.T, dir string) int {
+		st, err := OpenWithOptions(dir, OpenOptions{Compression: true, CacheBytes: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		n := 0
+		for _, name := range names {
+			if _, err := st.Get(name); err != nil {
+				n++
+			}
+		}
+		return n
+	}
+
+	t.Run("dict-section", func(t *testing.T) {
+		dir := build(t)
+		// The dict section sits directly before the footer; a flip inside
+		// its payload breaks the section CRC, so the segment opens but no
+		// compressed record in it decodes.
+		flip(t, dir, func(size int64) int64 { return size - segFooterV3Bytes - 8 })
+		if n := countErrors(t, dir); n != len(names) {
+			t.Errorf("%d/%d Gets failed after dict corruption, want all", n, len(names))
+		}
+	})
+	t.Run("record-body", func(t *testing.T) {
+		dir := build(t)
+		// A flip inside the first record's payload breaks that record's
+		// CRC; it alone must fail.
+		flip(t, dir, func(size int64) int64 { return segHeaderBytes + 48 })
+		if n := countErrors(t, dir); n == 0 || n == len(names) {
+			t.Errorf("%d/%d Gets failed after record corruption, want some but not all", n, len(names))
+		}
+	})
+}

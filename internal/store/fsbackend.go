@@ -47,6 +47,10 @@ const DefaultSegmentBytes = 128 << 20
 type fsBackend struct {
 	dir       string
 	rollBytes int64
+	// compress makes compaction write FSST-compressed segments
+	// (compress.go). The active append segment always writes raw
+	// records; reading is format-driven per segment either way.
+	compress bool
 
 	segMu   sync.Mutex
 	segs    map[uint64]*segment // sealed, live segments
@@ -59,14 +63,14 @@ func (b *fsBackend) name() string { return BackendFS }
 // openFSBackend opens (creating, recovering, or migrating as needed) the
 // segment store rooted at dir and returns the backend together with the
 // recovered catalog index.
-func openFSBackend(dir string, rollBytes int64) (*fsBackend, map[string]Meta, error) {
+func openFSBackend(dir string, rollBytes int64, compress bool) (*fsBackend, map[string]Meta, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
 	if rollBytes <= 0 {
 		rollBytes = DefaultSegmentBytes
 	}
-	b := &fsBackend{dir: dir, rollBytes: rollBytes, segs: make(map[uint64]*segment), nextSeq: 1}
+	b := &fsBackend{dir: dir, rollBytes: rollBytes, compress: compress, segs: make(map[uint64]*segment), nextSeq: 1}
 	removeTempOrphans(dir)
 
 	man, manErr := loadManifestV2(filepath.Join(dir, ManifestFile))
@@ -380,7 +384,7 @@ func (b *fsBackend) load(m Meta, borrow bool) (*core.Sketch, uint64, error) {
 	if m.Offset < segHeaderBytes || m.Offset+m.Bytes > seg.recEnd {
 		return nil, 0, fmt.Errorf("store: %q at segment %d [%d,%d) out of bounds", m.Name, m.Segment, m.Offset, m.Offset+m.Bytes)
 	}
-	rec, err := core.DecodeRecord(seg.data[:m.Offset+m.Bytes], int(m.Offset), borrow)
+	rec, err := core.DecodeRecordWith(seg.decoder(), seg.data[:m.Offset+m.Bytes], int(m.Offset), borrow)
 	return finishLoad(rec, err, m, m.Segment)
 }
 
@@ -498,11 +502,19 @@ func (b *fsBackend) segmentInfos() []SegmentInfo {
 	defer b.segMu.Unlock()
 	infos := make([]SegmentInfo, 0, len(b.segs)+1)
 	for _, seg := range b.segs {
-		infos = append(infos, SegmentInfo{
+		info := SegmentInfo{
 			Seq: seg.seq, Compacted: seg.kind == segKindCompacted,
 			Sealed: seg.sealed, Bytes: seg.size, Records: seg.count,
 			Indexed: seg.kixOff > 0, IndexBytes: seg.kixLen,
-		})
+		}
+		if seg.dictOff > 0 {
+			info.Compressed = true
+			if d := seg.dict(); d != nil {
+				info.CompressedBytes = int64(d.compBytes)
+				info.RawBytes = int64(d.rawBytes)
+			}
+		}
+		infos = append(infos, info)
 	}
 	if b.active != nil {
 		infos = append(infos, SegmentInfo{

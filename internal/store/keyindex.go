@@ -144,7 +144,7 @@ func (b *keyIndexBuilder) encode() (section []byte, ok bool) {
 	var blob []byte
 	mask := uint32(slots - 1)
 	for _, hk := range b.keys {
-		if len(blob)+1 > math.MaxUint32 {
+		if uint64(len(blob))+1 > math.MaxUint32 {
 			return nil, false
 		}
 		ref := uint32(len(blob)) + 1
@@ -168,7 +168,7 @@ func (b *keyIndexBuilder) encode() (section []byte, ok bool) {
 		binio.PutU32(refs[i*4:], ref)
 	}
 	payload = append(payload, blob...)
-	if len(payload) > math.MaxUint32 {
+	if uint64(len(payload)) > math.MaxUint32 {
 		return nil, false
 	}
 

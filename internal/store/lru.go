@@ -42,7 +42,11 @@ func newLRUCache(max int64) *lruCache {
 func sketchBytes(sk *core.Sketch) int64 {
 	n := int64(96) // struct and slice headers
 	n += 4 * int64(len(sk.KeyHashes))
-	n += 8 * int64(len(sk.Nums))
+	// Numeric sketches memoize their value-order array (NumValOrder,
+	// i32 per entry) the first time a ranking query sorts them; cached
+	// sketches always end up paying it, so charge it up front rather
+	// than undercount every numeric entry by a third.
+	n += (8 + 4) * int64(len(sk.Nums))
 	for _, s := range sk.Strs {
 		n += int64(len(s)) + 16
 	}

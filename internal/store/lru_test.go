@@ -1,0 +1,87 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"misketch/internal/core"
+)
+
+// numSketch builds an owned numeric sketch with n entries.
+func numSketch(t *testing.T, n int) *core.Sketch {
+	t.Helper()
+	tb, err := core.NewStreamBuilder(core.RoleCandidate, true, core.Options{Method: core.TUPSK, Size: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < n; g++ {
+		tb.AddNum(fmt.Sprintf("g%d", g), float64(g%7))
+	}
+	return tb.Sketch()
+}
+
+// TestSketchBytesChargesValOrder pins the accounting fix: a numeric
+// sketch's resident size includes the memoized value-order array
+// (NumValOrder, i32 per entry) that every cached sketch ends up
+// materializing on its first ranking query — 12 bytes per numeric
+// entry, not 8.
+func TestSketchBytesChargesValOrder(t *testing.T) {
+	sk := numSketch(t, 256)
+	n := int64(len(sk.Nums))
+	got := sketchBytes(sk)
+	want := 96 + 4*n + 12*n
+	if got != want {
+		t.Fatalf("sketchBytes = %d, want %d (12 bytes per numeric entry)", got, want)
+	}
+	// Materializing the memo must not change the charge: it was already
+	// accounted at admission time.
+	sk.NumValOrder()
+	if after := sketchBytes(sk); after != got {
+		t.Fatalf("sketchBytes changed across NumValOrder: %d -> %d", got, after)
+	}
+}
+
+// TestLRUBudgetInvariant holds used <= max across fills, updates, and
+// evictions, with every resident numeric sketch's value-order memo
+// materialized — the state the old accounting undercounted, letting the
+// cache keep more bytes reachable than its budget.
+func TestLRUBudgetInvariant(t *testing.T) {
+	sk := numSketch(t, 256)
+	per := sketchBytes(sk)
+	c := newLRUCache(4 * per)
+	check := func(step string) {
+		t.Helper()
+		if c.used > c.max {
+			t.Fatalf("%s: used %d exceeds budget %d", step, c.used, c.max)
+		}
+		var sum int64
+		for _, e := range c.items {
+			ent := e.Value.(*lruEntry)
+			ent.sk.NumValOrder() // resident sketches carry their memo
+			sum += ent.bytes
+		}
+		if sum != c.used {
+			t.Fatalf("%s: used %d but entries account %d", step, c.used, sum)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		c.add(fmt.Sprintf("s%d", i), numSketch(t, 256), 0)
+		check(fmt.Sprintf("add %d", i))
+	}
+	if c.ll.Len() != 4 {
+		t.Fatalf("resident entries = %d, want 4 (budget %d, %d bytes each)", c.ll.Len(), c.max, per)
+	}
+	if c.evictions != 12 {
+		t.Fatalf("evictions = %d, want 12", c.evictions)
+	}
+	// Updating an entry in place re-charges, never leaks.
+	c.add("s15", numSketch(t, 256), 0)
+	check("update")
+	// An entry larger than the whole budget is refused and drops any
+	// prior version.
+	c.add("s15", numSketch(t, 4096), 0)
+	check("oversized")
+	if _, _, ok := c.get("s15"); ok {
+		t.Fatal("oversized entry stayed resident")
+	}
+}

@@ -149,6 +149,25 @@ func TestMigrationRankingsBitForBit(t *testing.T) {
 			coFull, coTop, _ := rankAll(t, st2, train)
 			rankingsBitEqual(t, layout.name+"/compacted-full", coFull, wantFull)
 			rankingsBitEqual(t, layout.name+"/compacted-top", coTop, wantTop)
+			if err := st2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// And through a compression backfill of the migrated store:
+			// legacy layout -> segments -> FSST-compressed segments, still
+			// bit-identical to the in-memory reference.
+			st3, err := OpenWithOptions(dir, OpenOptions{Compression: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cs, err := st3.Compact(context.Background()); err != nil || !cs.Compacted {
+				t.Fatalf("compression backfill = %+v, %v", cs, err)
+			}
+			if ss := st3.Stats(); ss.CompressedSegments == 0 {
+				t.Fatalf("backfill left no compressed segment: %+v", ss)
+			}
+			czFull, czTop, _ := rankAll(t, st3, train)
+			rankingsBitEqual(t, layout.name+"/compressed-full", czFull, wantFull)
+			rankingsBitEqual(t, layout.name+"/compressed-top", czTop, wantTop)
 		})
 	}
 }

@@ -20,8 +20,13 @@ package store
 //	key index:     inverted key hash → posting list section (keyindex.go);
 //	               absent when the segment predates it or could not be
 //	               indexed
+//	dict section:  compression dictionaries (compress.go); present only
+//	               on compressed compaction output
 //	footer (40 B): kixOff u64 | indexOff u64 | count u64 | crc u32 |
 //	               reserved u32 | magic "MSEGIDX2"
+//	        (48 B): dictOff u64 | kixOff u64 | indexOff u64 | count u64 |
+//	               crc u32 | reserved u32 | magic "MSEGIDX3" — written
+//	               instead of v2 when a dict section exists
 //
 // str = uvarint length + raw bytes. kind distinguishes WAL-order append
 // segments from compaction output (see recovery in fsbackend.go); seq is
@@ -54,11 +59,13 @@ const (
 	segMagic         = "MSEG"
 	segFooterMagic   = "MSEGIDX1" // v1: no key index section
 	segFooterMagicV2 = "MSEGIDX2"
+	segFooterMagicV3 = "MSEGIDX3" // v3: adds the compression dict section
 	segVersion       = 1
 
 	segHeaderBytes   = 16
 	segFooterBytes   = 32 // v1 footer
 	segFooterV2Bytes = 40
+	segFooterV3Bytes = 48
 
 	// segmentsDir holds the segment files inside the store root.
 	segmentsDir = "segments"
@@ -108,6 +115,14 @@ type segment struct {
 	kixMu          sync.Mutex
 	kixState       atomic.Int32 // 0 unparsed, 1 ready, 2 invalid
 	kixVal         *keyIndex
+	// dictOff/dictLen locate the compression dict section (0: none —
+	// the segment holds only raw records). Same lazy-parse discipline
+	// as the key index, except failure is not a silent fallback: a
+	// compressed record without a parseable dict fails its decode.
+	dictOff, dictLen int64
+	dictMu           sync.Mutex
+	dictState        atomic.Int32 // 0 unparsed, 1 ready, 2 invalid
+	dictVal          *segDict
 
 	// refs counts reasons the mapping must stay valid: 1 for segment-table
 	// membership plus one per pinned reader. retire drops the table ref;
@@ -154,6 +169,21 @@ type segmentWriter struct {
 	crc   uint32
 	index []segIndexEntry
 	buf   []byte // record encode scratch, reused across appends
+	// comp, when set, compresses appended sketches against per-segment
+	// dictionaries and makes seal emit the dict section + v3 footer.
+	// Only compaction sets it: the active append segment always writes
+	// raw records (its bytes are acked and frozen; compression needs
+	// the whole corpus up front anyway).
+	comp *segCompressor
+}
+
+// decoder returns the record decoder matching the writer's compressor
+// (nil when the writer writes raw records only).
+func (w *segmentWriter) decoder() *core.RecordDecoder {
+	if w.comp == nil {
+		return nil
+	}
+	return w.comp.enc.Decoder()
 }
 
 // createSegment creates a fresh segment file for appending and makes its
@@ -210,9 +240,22 @@ func (w *segmentWriter) appendRecord(rec []byte, info core.RecordInfo, sync bool
 }
 
 // appendSketch encodes and appends a sketch record; see appendRecord for
-// the sync contract. It returns the record's offset and length.
+// the sync contract. It returns the record's offset and length. A writer
+// carrying a compressor encodes against its dictionaries (falling back
+// to raw per record when compression does not pay) and accrues the
+// segment's compressed-vs-raw byte counters.
 func (w *segmentWriter) appendSketch(name string, sk *core.Sketch, sync bool) (int64, int64, error) {
-	buf, err := core.AppendRecord(w.buf[:0], name, sk)
+	var buf []byte
+	var err error
+	if w.comp != nil {
+		buf, _, err = core.AppendRecordCompressed(w.buf[:0], name, sk, w.comp.enc)
+		if err == nil {
+			w.comp.rawBytes += uint64(core.RawRecordSize(name, sk))
+			w.comp.compBytes += uint64(len(buf))
+		}
+	} else {
+		buf, err = core.AppendRecord(w.buf[:0], name, sk)
+	}
 	if err != nil {
 		return 0, 0, err
 	}
@@ -300,9 +343,23 @@ func (w *segmentWriter) seal() (*segment, error) {
 			return nil, fmt.Errorf("store: sealing segment %d key index: %w", seg.seq, err)
 		}
 	}
+	var dictOff, dictLen int64
+	if w.comp != nil && !testHookSealLegacyFooter {
+		// The dict section is mandatory for a compressed segment — its
+		// compressed records are undecodable without it — so unlike the
+		// key index there is no seal-without-it path; an emit error
+		// fails the seal (compaction retries later, sources intact).
+		section := w.comp.encodeSection()
+		dictOff = w.off + bw.N + int64(len(kixSection))
+		dictLen = int64(len(section))
+		if _, err := (crcWriter{f: seg.f, crc: &crc}).Write(section); err != nil {
+			return nil, fmt.Errorf("store: sealing segment %d dict section: %w", seg.seq, err)
+		}
+	}
 	footLen := int64(segFooterV2Bytes)
-	footer := make([]byte, 0, segFooterV2Bytes)
-	if testHookSealLegacyFooter {
+	footer := make([]byte, 0, segFooterV3Bytes)
+	switch {
+	case testHookSealLegacyFooter:
 		footLen = segFooterBytes
 		footer = binio.AppendU64(footer, uint64(w.off))
 		footer = binio.AppendU64(footer, uint64(len(w.index)))
@@ -310,7 +367,16 @@ func (w *segmentWriter) seal() (*segment, error) {
 		footer = binio.AppendU32(footer, 0)
 		footer = append(footer, segFooterMagic...)
 		kixOff = 0
-	} else {
+	case dictOff > 0:
+		footLen = segFooterV3Bytes
+		footer = binio.AppendU64(footer, uint64(dictOff))
+		footer = binio.AppendU64(footer, uint64(kixOff))
+		footer = binio.AppendU64(footer, uint64(w.off))
+		footer = binio.AppendU64(footer, uint64(len(w.index)))
+		footer = binio.AppendU32(footer, crc)
+		footer = binio.AppendU32(footer, 0)
+		footer = append(footer, segFooterMagicV3...)
+	default:
 		footer = binio.AppendU64(footer, uint64(kixOff))
 		footer = binio.AppendU64(footer, uint64(w.off))
 		footer = binio.AppendU64(footer, uint64(len(w.index)))
@@ -337,6 +403,7 @@ func (w *segmentWriter) seal() (*segment, error) {
 	if kixOff > 0 {
 		seg.kixLen = int64(len(kixSection))
 	}
+	seg.dictOff, seg.dictLen = dictOff, dictLen
 	seg.data, err = mmapFile(seg.f, seg.size)
 	if err != nil {
 		return nil, fmt.Errorf("store: mapping segment %d: %w", seg.seq, err)
@@ -366,7 +433,7 @@ func (w *segmentWriter) buildKeyIndex() []byte {
 		if _, err := w.seg.f.ReadAt(buf, e.off); err != nil {
 			return nil
 		}
-		rec, err := core.DecodeRecord(buf, 0, true)
+		rec, err := core.DecodeRecordWith(w.decoder(), buf, 0, true)
 		if err != nil || rec.Sketch == nil {
 			return nil
 		}
@@ -416,6 +483,48 @@ func (g *segment) keyIndex() *keyIndex {
 	}
 	if g.kixState.Load() == 1 {
 		return g.kixVal
+	}
+	return nil
+}
+
+// dict parses (once) and returns the segment's compression dict
+// section, or nil when the segment has none or the section fails
+// validation. Unlike the key index, a nil result for a segment that
+// *has* compressed records is not a silent fallback: their decodes
+// fail hard (decoder nil), surfacing the corruption to the query. The
+// caller must hold a pin on the segment.
+func (g *segment) dict() *segDict {
+	if !g.sealed || g.dictOff == 0 {
+		return nil
+	}
+	switch g.dictState.Load() {
+	case 1:
+		return g.dictVal
+	case 2:
+		return nil
+	}
+	g.dictMu.Lock()
+	defer g.dictMu.Unlock()
+	if g.dictState.Load() == 0 {
+		d, err := parseDictSection(g.data[g.dictOff : g.dictOff+g.dictLen])
+		if err != nil {
+			g.dictState.Store(2)
+		} else {
+			g.dictVal = d
+			g.dictState.Store(1)
+		}
+	}
+	if g.dictState.Load() == 1 {
+		return g.dictVal
+	}
+	return nil
+}
+
+// decoder returns the segment's record decoder (nil when the segment
+// has no dict section or it failed validation).
+func (g *segment) decoder() *core.RecordDecoder {
+	if d := g.dict(); d != nil {
+		return d.dec
 	}
 	return nil
 }
@@ -476,6 +585,51 @@ func openSegment(path string) (*segment, error) {
 	seg.seq = binio.U64At(hdr, 8)
 	seg.kind = hdr[5]
 	seg.refs.Store(1)
+	if size >= segHeaderBytes+segFooterV3Bytes {
+		footer := make([]byte, segFooterV3Bytes)
+		if _, err := f.ReadAt(footer, size-segFooterV3Bytes); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if string(footer[40:48]) == segFooterMagicV3 {
+			dictOff := int64(binio.U64At(footer, 0))
+			kixOff := int64(binio.U64At(footer, 8))
+			indexOff := int64(binio.U64At(footer, 16))
+			count := int64(binio.U64At(footer, 24))
+			if indexOff < segHeaderBytes || indexOff > size-segFooterV3Bytes {
+				f.Close()
+				return nil, fmt.Errorf("store: %s: implausible index offset %d", path, indexOff)
+			}
+			seg.size = size
+			seg.recEnd = indexOff
+			seg.count = int(count)
+			seg.sealed = true
+			seg.footLen = segFooterV3Bytes
+			// An implausible dict offset leaves the segment without a
+			// decoder: raw records still serve, compressed ones fail
+			// their decodes (fail closed, surfaced to the query).
+			if dictOff >= indexOff && dictOff+dictHeaderBytes <= size-segFooterV3Bytes {
+				seg.dictOff = dictOff
+				seg.dictLen = size - segFooterV3Bytes - dictOff
+			}
+			kixEnd := size - segFooterV3Bytes
+			if seg.dictOff > 0 {
+				kixEnd = seg.dictOff
+			}
+			// An implausible key index offset degrades to "no index"
+			// (the full walk); the record region stands on its own.
+			if kixOff >= indexOff && kixOff+kixHeaderBytes <= kixEnd {
+				seg.kixOff = kixOff
+				seg.kixLen = kixEnd - kixOff
+			}
+			seg.data, err = mmapFile(f, size)
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("store: mapping %s: %w", path, err)
+			}
+			return seg, nil
+		}
+	}
 	if size >= segHeaderBytes+segFooterV2Bytes {
 		footer := make([]byte, segFooterV2Bytes)
 		if _, err := f.ReadAt(footer, size-segFooterV2Bytes); err != nil {
@@ -563,6 +717,9 @@ func (g *segment) readIndex() ([]segIndexEntry, error) {
 		return nil, fmt.Errorf("store: segment %d is unsealed", g.seq)
 	}
 	end := g.size - g.footLen
+	if g.dictOff > 0 {
+		end = g.dictOff
+	}
 	if g.kixOff > 0 {
 		end = g.kixOff
 	}

@@ -108,6 +108,17 @@ type OpenOptions struct {
 	// SegmentBytes is the fs backend's segment roll threshold (zero
 	// means DefaultSegmentBytes).
 	SegmentBytes int64
+	// Compression makes compaction write FSST-compressed segments:
+	// categorical values packed against a per-segment symbol table, key
+	// hashes delta/dictionary-coded (see internal/store/compress.go).
+	// The active append segment always stays raw (its records are
+	// acked and frozen), so compression lands at the next compaction —
+	// Store.Compact, the CompactEvery loop, or the `store compact
+	// -compress` backfill. Reading is format-driven per segment, so
+	// compressed and raw segments mix freely and a store opened
+	// without Compression still reads compressed segments (they are
+	// rewritten raw whenever a compaction folds them).
+	Compression bool
 	// CompactEvery, when positive, starts a background loop that
 	// examines the fs store every interval and compacts once the dead
 	// fraction of segment bytes exceeds CompactMinGarbage. Close stops
@@ -147,7 +158,7 @@ func OpenWithOptions(dir string, opt OpenOptions) (*Store, error) {
 	}
 	switch opt.Backend {
 	case "", BackendFS:
-		fb, metas, err := openFSBackend(dir, opt.SegmentBytes)
+		fb, metas, err := openFSBackend(dir, opt.SegmentBytes, opt.Compression)
 		if err != nil {
 			return nil, err
 		}
@@ -399,7 +410,7 @@ func (s *Store) RebuildManifest() error {
 	// backend. The old backend's segments are released without
 	// unlinking (the new backend owns the same files); in-flight
 	// queries keep their pins on the old mappings until they finish.
-	newFB, metas, err := openFSBackend(s.dir, fb.rollBytes)
+	newFB, metas, err := openFSBackend(s.dir, fb.rollBytes, fb.compress)
 	if err != nil {
 		return err
 	}
@@ -472,6 +483,13 @@ type Stats struct {
 	// index and PostingBytes their total index section size on disk.
 	IndexedSegments int
 	PostingBytes    int64
+	// CompressedSegments counts live FSST-compressed segments;
+	// CompressedBytes is what their records occupy on disk and
+	// RawBytes what the same records would occupy raw — the achieved
+	// ratio is RawBytes/CompressedBytes.
+	CompressedSegments int
+	CompressedBytes    int64
+	RawBytes           int64
 	// CandidatesSkippedNoDecode counts candidates the per-segment key
 	// indexes excluded from ranking without decoding a single record —
 	// the prune rate that makes selection sub-linear in catalog size.
@@ -528,6 +546,11 @@ func (s *Store) Stats() Stats {
 				st.IndexedSegments++
 				st.PostingBytes += info.IndexBytes
 			}
+			if info.Compressed {
+				st.CompressedSegments++
+				st.CompressedBytes += info.CompressedBytes
+				st.RawBytes += info.RawBytes
+			}
 		}
 		for _, m := range s.manifest {
 			st.LiveBytes += m.Bytes
@@ -558,6 +581,13 @@ type SegmentInfo struct {
 	// false and are served by the full candidate walk.
 	Indexed    bool
 	IndexBytes int64
+	// Compressed marks segments carrying a compression dict section.
+	// CompressedBytes is the stored size of their records and RawBytes
+	// the raw-equivalent size (both zero when the section fails to
+	// parse — its records then fail their decodes rather than guess).
+	Compressed      bool
+	CompressedBytes int64
+	RawBytes        int64
 }
 
 // Segments returns per-segment observability state, ordered by sequence

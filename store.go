@@ -146,8 +146,13 @@ const DefaultCascadeMargin = store.DefaultCascadeMargin
 // disables caching), Backend selects the storage engine (BackendFS
 // default, BackendMem for diskless), SegmentBytes sets the fs segment
 // roll threshold, and CompactEvery/CompactMinGarbage enable the
-// background compaction loop. Shards is the legacy file-per-sketch
-// fan-out, accepted and ignored (legacy stores of any fan-out migrate
+// background compaction loop. Compression makes compaction write
+// FSST-compressed segments (categorical values packed against a
+// per-segment symbol table, key hashes dictionary-coded) — rankings stay
+// bit-identical, raw and compressed segments mix freely, and existing
+// segments compress at their next compaction (`store compact -compress`
+// backfills in one pass). Shards is the legacy file-per-sketch fan-out,
+// accepted and ignored (legacy stores of any fan-out migrate
 // transparently on open).
 type OpenStoreOptions = store.OpenOptions
 
@@ -158,9 +163,11 @@ type SketchMeta = store.Meta
 
 // StoreStats are observability counters for a store handle: backend
 // kind, segment count/bytes/liveness, compaction passes, cache
-// hits/misses/evictions, bytes cached, record decodes, and the ranking
+// hits/misses/evictions, bytes cached, record decodes, the ranking
 // cascade's tier counters (pairs settled by the cheap tier alone, pairs
-// that paid the exact tier, margin/guard rescues).
+// that paid the exact tier, margin/guard rescues), and the compression
+// counters (compressed segment count, stored vs raw-equivalent record
+// bytes — the achieved ratio is RawBytes/CompressedBytes).
 type StoreStats = store.Stats
 
 // OpenStore opens (creating if necessary) a sketch store rooted at dir
