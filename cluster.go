@@ -1,0 +1,54 @@
+package misketch
+
+import (
+	"context"
+	"net/http"
+
+	"misketch/internal/cluster"
+)
+
+// This file exposes cluster mode: discovery over a catalog sharded
+// across misketch serve replicas. Segment files are immutable and
+// content-addressed, so shard placement is file copying — give each
+// replica a disjoint subset of the catalog and point a coordinator at
+// them. The coordinator scatters every rank query to all shards,
+// gathers their per-shard top-K heaps, and merges them under the
+// store's (MI desc, name asc) total order, so the merged top-K is
+// bit-identical to a single node ranking the union catalog. Lost
+// shards degrade the answer ("partial": true plus per-shard errors)
+// instead of failing it.
+
+// ClusterCoordinator scatters discovery queries across shard replicas
+// and merges their rankings; see OpenCluster. It implements
+// http.Handler with the single-node read endpoints (/v1/rank,
+// /v1/rank/batch, /v1/ls, /v1/stats, /healthz).
+type ClusterCoordinator = cluster.Coordinator
+
+// ClusterOptions tunes a coordinator: per-shard connect/request
+// timeouts, the transient-failure retry budget and backoff, and the
+// coordinator's own listener timeouts.
+type ClusterOptions = cluster.Options
+
+// Cluster response and error types, for typed clients.
+type (
+	ClusterRankResponse      = cluster.RankResponse
+	ClusterRankBatchResponse = cluster.RankBatchResponse
+	ClusterStatsResponse     = cluster.StatsResponse
+	ClusterError             = cluster.ClusterError
+	ShardError               = cluster.ShardError
+)
+
+// OpenCluster builds a coordinator over the given shard base URLs
+// (e.g. "http://10.0.0.1:8080"), each a running misketch serve replica
+// owning a disjoint shard of the catalog. The programmatic form of
+// `misketch serve -coordinator -shards ...`.
+func OpenCluster(shardURLs []string, opt ClusterOptions) (*ClusterCoordinator, error) {
+	return cluster.New(shardURLs, opt)
+}
+
+// assert the handler contract at compile time.
+var _ http.Handler = (*ClusterCoordinator)(nil)
+
+// assert the serve entry points keep the same shape as the single-node
+// server (compile-time drift guard for the cmd layer).
+var _ func(context.Context, string) error = (*ClusterCoordinator)(nil).ListenAndServe

@@ -1,0 +1,202 @@
+package main
+
+// misketch loadtest: sustained concurrent rank traffic against a
+// running discovery service — a single node or a cluster coordinator
+// (the two speak the same protocol, so -url is all that differs). Each
+// worker posts the same /v1/rank query in a closed loop until the
+// deadline; the report is QPS, latency percentiles, and the
+// error/partial counts that matter when shards are being killed under
+// the test. The JSON record appends to the same BENCH file the bench
+// command writes, so single-node and cluster throughput sit side by
+// side.
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"misketch"
+)
+
+func runLoadtest(args []string) {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	target := fs.String("url", "", "base URL of the service under test (node or coordinator)")
+	duration := fs.Duration("duration", 10*time.Second, "how long to sustain traffic")
+	concurrency := fs.Int("concurrency", 8, "concurrent closed-loop workers")
+	top := fs.Int("top", 10, "top-K bound of each query")
+	minJoin := fs.Int("min-join", 50, "min join size of each query")
+	prefix := fs.String("prefix", "bench/", "candidate name prefix of each query")
+	sketchFile := fs.String("sketch", "", "saved train sketch to query with (default: a synthetic bench-shaped train)")
+	label := fs.String("label", "", "label recorded in the JSON record's bench name")
+	out := fs.String("out", "", "append the JSON record to this file (default: stdout only)")
+	die(fs.Parse(args))
+	requireFlags(map[string]string{"url": *target})
+	if *concurrency < 1 || *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "loadtest: -concurrency and -duration must be positive")
+		os.Exit(2)
+	}
+
+	train, err := loadtestTrain(*sketchFile)
+	die(err)
+	var buf bytes.Buffer
+	die(misketch.WriteSketch(&buf, train))
+	body, err := json.Marshal(misketch.RankRequest{
+		Sketch:  base64.StdEncoding.EncodeToString(buf.Bytes()),
+		Prefix:  *prefix,
+		MinJoin: minJoin,
+		Top:     *top,
+	})
+	die(err)
+
+	// One probe request before the clock starts: fail fast on a dead
+	// target or a bad query, and warm the server's probe cache so the
+	// measured window is steady-state.
+	if _, _, err := loadtestQuery(*target, body); err != nil {
+		die(fmt.Errorf("loadtest: probe query failed: %w", err))
+	}
+
+	type workerResult struct {
+		latencies []time.Duration
+		errors    int
+		partial   int
+		lastErr   error
+	}
+	results := make([]workerResult, *concurrency)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	started := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := &results[w]
+			for time.Now().Before(deadline) {
+				qStart := time.Now()
+				partial, _, err := loadtestQuery(*target, body)
+				if err != nil {
+					r.errors++
+					r.lastErr = err
+					continue
+				}
+				r.latencies = append(r.latencies, time.Since(qStart))
+				if partial {
+					r.partial++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(started)
+
+	var latencies []time.Duration
+	nErr, nPartial := 0, 0
+	var lastErr error
+	for _, r := range results {
+		latencies = append(latencies, r.latencies...)
+		nErr += r.errors
+		nPartial += r.partial
+		if r.lastErr != nil {
+			lastErr = r.lastErr
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	qps := float64(len(latencies)) / elapsed.Seconds()
+
+	name := "LoadtestRank"
+	if *label != "" {
+		name += "/" + *label
+	}
+	rec := map[string]any{
+		"stage":       "loadtest",
+		"bench":       name,
+		"url":         *target,
+		"concurrency": *concurrency,
+		"duration_ns": elapsed.Nanoseconds(),
+		"requests":    len(latencies),
+		"errors":      nErr,
+		"partial":     nPartial,
+		"qps":         math2(qps),
+		"p50_ns":      pct(0.50).Nanoseconds(),
+		"p90_ns":      pct(0.90).Nanoseconds(),
+		"p99_ns":      pct(0.99).Nanoseconds(),
+		"top":         *top,
+		"gomaxprocs":  runtime.GOMAXPROCS(0),
+		"date":        time.Now().UTC().Format("2006-01-02"),
+	}
+	line, err := json.Marshal(rec)
+	die(err)
+	fmt.Println(string(line))
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		die(err)
+		_, werr := f.Write(append(line, '\n'))
+		die(errors.Join(werr, f.Close()))
+	}
+	if nErr > 0 {
+		die(fmt.Errorf("loadtest: %d of %d requests failed (last: %v)", nErr, nErr+len(latencies), lastErr))
+	}
+}
+
+// math2 rounds to two decimals so QPS records stay readable.
+func math2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+// loadtestTrain resolves the query's train side: a saved sketch file,
+// or a synthetic train shaped like the bench corpus (keys g0..g399,
+// default seed and method) so a loadtest joins a store built by
+// `misketch bench -dir` without extra setup.
+func loadtestTrain(path string) (*misketch.Sketch, error) {
+	if path != "" {
+		return misketch.LoadSketch(path)
+	}
+	tb, err := misketch.NewStreamBuilder(misketch.RoleTrain, true, misketch.Options{Size: 256})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 4000; i++ {
+		g := i % 400
+		tb.AddNum(fmt.Sprintf("g%d", g), float64(g%20)+0.1*float64(i%7))
+	}
+	return tb.Sketch(), nil
+}
+
+// loadtestQuery posts one rank query and reports whether the answer
+// was degraded (cluster partial mode). A non-200 status is an error:
+// the contract under test is that killing a shard degrades answers,
+// never fails them.
+func loadtestQuery(target string, body []byte) (partial bool, elapsed time.Duration, err error) {
+	start := time.Now()
+	resp, err := http.Post(target+"/v1/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return false, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, 0, fmt.Errorf("status %d: %.200s", resp.StatusCode, raw)
+	}
+	var rr misketch.ClusterRankResponse
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		return false, 0, fmt.Errorf("undecodable response: %w", err)
+	}
+	return rr.Partial, time.Since(start), nil
+}

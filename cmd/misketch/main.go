@@ -72,6 +72,8 @@ func main() {
 		runServe(os.Args[2:])
 	case "bench":
 		runBench(os.Args[2:])
+	case "loadtest":
+		runLoadtest(os.Args[2:])
 	case "sketch": // legacy spelling of "store ingest" over explicit files
 		runStoreIngest(os.Args[2:])
 	case "store-rank": // legacy spelling of "store rank"
@@ -95,8 +97,12 @@ func usage() {
   misketch store index   -store DIR
   misketch serve         -store DIR [-addr :8080] [-max-workers N] [-probe-cache N] [-cache BYTES]
                          [-backend fs|mem] [-compact-every DUR] [-segment-bytes N] [-pprof]
+  misketch serve         -coordinator -shards URL,URL,... [-addr :8080] [-shard-timeout DUR]
+                         [-shard-connect-timeout DUR] [-shard-retries N]
   misketch bench         [-candidates N] [-top K] [-iters N] [-no-cascade] [-out FILE]
-                         [-cpuprofile FILE] [-memprofile FILE]
+                         [-shard-index I -shard-count N] [-cpuprofile FILE] [-memprofile FILE]
+  misketch loadtest      -url URL [-duration 10s] [-concurrency N] [-top K] [-min-join N]
+                         [-prefix P] [-sketch FILE] [-label NAME] [-out FILE]
   (legacy aliases: "sketch" = store ingest, "store-rank" = store rank)`)
 }
 
@@ -645,9 +651,15 @@ func runBench(args []string) {
 	dir := fs.String("dir", "", "store directory (default: a temp dir, removed afterwards)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the timed queries to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the timed queries to this file")
+	shardIndex := fs.Int("shard-index", 0, "with -shard-count, keep only candidates c where c%%count == index")
+	shardCount := fs.Int("shard-count", 1, "build shard I of N disjoint stores (N runs with the same -candidates cover the full corpus)")
 	die(fs.Parse(args))
 	if *iters < 1 || *nCand < 1 {
 		fmt.Fprintln(os.Stderr, "bench: -iters and -candidates must be positive")
+		os.Exit(2)
+	}
+	if *shardCount < 1 || *shardIndex < 0 || *shardIndex >= *shardCount {
+		fmt.Fprintln(os.Stderr, "bench: -shard-index must be in [0, -shard-count)")
 		os.Exit(2)
 	}
 
@@ -684,6 +696,13 @@ func runBench(args []string) {
 				v = rng.NormFloat64()
 			}
 			cb.AddNum(fmt.Sprintf("g%d", g), v)
+		}
+		// Sharded builds generate every candidate (the rng stream must
+		// not diverge between shards) but store only this shard's slice,
+		// so N runs produce disjoint stores whose union is the full
+		// single-node corpus.
+		if c%*shardCount != *shardIndex {
+			continue
 		}
 		die(st.Put(fmt.Sprintf("bench/t%04d#x", c), cb.Sketch()))
 	}
@@ -757,8 +776,10 @@ func runBench(args []string) {
 // runServe runs the long-running discovery service over a sketch store:
 // one open store, a compiled-probe cache, and pooled estimator scratch
 // shared across requests, with the total rank-worker fan-out bounded by
-// -max-workers. Ctrl-C (or SIGTERM) drains in-flight requests and
-// persists the manifest before exiting.
+// -max-workers. With -coordinator it instead fronts a set of shard
+// replicas, scattering each rank query to all of them and merging the
+// per-shard top-K heaps. Ctrl-C (or SIGTERM) drains in-flight requests
+// (and, store mode, persists the manifest) before exiting.
 func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	storeDir := fs.String("store", "", "sketch store directory")
@@ -770,7 +791,33 @@ func runServe(args []string) {
 	compactEvery := fs.Duration("compact-every", 0, "background compaction check interval (0 disables)")
 	segmentBytes := fs.Int64("segment-bytes", 0, "segment roll threshold in bytes (0 = default 128 MiB)")
 	pprofFlag := fs.Bool("pprof", false, "expose /debug/pprof profiling handlers (trusted networks only)")
+	coordinator := fs.Bool("coordinator", false, "coordinate rank queries across -shards instead of serving a store")
+	shards := fs.String("shards", "", "comma-separated shard base URLs (coordinator mode)")
+	shardTimeout := fs.Duration("shard-timeout", 0, "per-attempt shard request bound (0 = default 2m, negative disables)")
+	shardConnect := fs.Duration("shard-connect-timeout", 0, "shard dial bound (0 = default 5s, negative disables)")
+	shardRetries := fs.Int("shard-retries", 0, "transient-failure retries per shard request (0 = default 2, negative disables)")
 	die(fs.Parse(args))
+
+	if *coordinator {
+		var urls []string
+		for _, u := range strings.Split(*shards, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		co, err := misketch.OpenCluster(urls, misketch.ClusterOptions{
+			ConnectTimeout: *shardConnect,
+			RequestTimeout: *shardTimeout,
+			Retries:        *shardRetries,
+		})
+		die(err)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		fmt.Printf("misketch serve: coordinating %d shards, listening on %s\n", len(urls), *addr)
+		die(co.ListenAndServe(ctx, *addr))
+		fmt.Println("misketch serve: coordinator drained, bye")
+		return
+	}
 	if *backend != misketch.BackendMem {
 		requireFlags(map[string]string{"store": *storeDir})
 	}

@@ -1,0 +1,197 @@
+package misketch
+
+// e2e_cluster_test.go drives cluster mode the way a deployment would:
+// three fs-backed shard stores, each behind a real misketch serve
+// listener on port 0, fronted by a coordinator on its own listener. A
+// rank over the coordinator must be bit-identical to a single node
+// ranking the union catalog, and killing a shard mid-run must degrade
+// the answer (partial: true), never fail it. Named TestCluster* so the
+// CI cluster smoke step can select the whole family with -run.
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// serveOnPort0 starts srv on a port-0 listener and returns its base
+// URL plus a cancel that drains it.
+func serveOnPort0(t *testing.T, serve func(context.Context, net.Listener) error) (string, context.CancelFunc) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("serve: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("serve did not drain within 10s")
+		}
+	})
+	return "http://" + ln.Addr().String(), cancel
+}
+
+func TestClusterE2EMatchesSingleNode(t *testing.T) {
+	const nShards, nCand = 3, 24
+
+	// Build the union store and the three disjoint shard stores on
+	// disk, dealing candidate c to shard c%nShards.
+	union, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardSts := make([]*Store, nShards)
+	for i := range shardSts {
+		if shardSts[i], err = OpenStore(t.TempDir()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(99))
+	opt := Options{Size: 128}
+	tb, err := NewStreamBuilder(RoleTrain, true, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		g := rng.Intn(120)
+		tb.AddNum(fmt.Sprintf("g%d", g), float64(g%8)+0.5*rng.NormFloat64())
+	}
+	train := tb.Sketch()
+	for c := 0; c < nCand; c++ {
+		cb, err := NewStreamBuilder(RoleCandidate, true, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < 120; g++ {
+			cb.AddNum(fmt.Sprintf("g%d", g), float64(g%8)+float64(1+c%6)*rng.NormFloat64())
+		}
+		sk := cb.Sketch()
+		name := fmt.Sprintf("corpus/c%03d", c)
+		if err := union.Put(name, sk); err != nil {
+			t.Fatal(err)
+		}
+		if err := shardSts[c%nShards].Put(name, sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Single-node ground truth over the union store.
+	unionSrv := httptest.NewServer(NewServer(union, ServerOptions{}))
+	defer unionSrv.Close()
+
+	// Real listeners for the shards and the coordinator.
+	shardURLs := make([]string, nShards)
+	cancels := make([]context.CancelFunc, nShards)
+	for i, st := range shardSts {
+		srv := NewServer(st, ServerOptions{})
+		shardURLs[i], cancels[i] = serveOnPort0(t, srv.ServeListener)
+	}
+	coord, err := OpenCluster(shardURLs, ClusterOptions{
+		Retries:      -1,
+		RetryBackoff: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordURL, _ := serveOnPort0(t, coord.ServeListener)
+
+	minJoin := 10
+	body, err := json.Marshal(RankRequest{
+		Sketch:  sketchB64(t, train),
+		Prefix:  "corpus/",
+		MinJoin: &minJoin,
+		K:       3,
+		Top:     10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := func(base string) (int, ClusterRankResponse) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/rank", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		var rr ClusterRankResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(raw, &rr); err != nil {
+				t.Fatalf("decoding %q: %v", raw, err)
+			}
+		}
+		return resp.StatusCode, rr
+	}
+
+	status, want := rank(unionSrv.URL)
+	if status != http.StatusOK || len(want.Ranked) == 0 {
+		t.Fatalf("single-node rank: status %d, %d results", status, len(want.Ranked))
+	}
+	status, got := rank(coordURL)
+	if status != http.StatusOK {
+		t.Fatalf("cluster rank: status %d", status)
+	}
+	if got.Partial {
+		t.Fatalf("cluster rank partial with all shards up: %+v", got.ShardErrors)
+	}
+	if len(got.Ranked) != len(want.Ranked) {
+		t.Fatalf("cluster ranked %d, single node %d", len(got.Ranked), len(want.Ranked))
+	}
+	for i := range got.Ranked {
+		if got.Ranked[i] != want.Ranked[i] {
+			t.Fatalf("rank[%d]: cluster %+v != single-node %+v", i, got.Ranked[i], want.Ranked[i])
+		}
+	}
+
+	// Kill shard 1 for real (drain its listener) and re-rank: the
+	// answer must degrade, not fail.
+	cancels[1]()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, got = rank(coordURL)
+		if status != http.StatusOK {
+			t.Fatalf("rank with a dead shard: status %d, want 200 degraded", status)
+		}
+		if got.Partial {
+			break
+		}
+		// The drain may still be finishing; a fully-answered query in
+		// the window is fine — it must still be bit-identical.
+		if time.Now().After(deadline) {
+			t.Fatal("shard kill never surfaced as a partial response")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if len(got.ShardErrors) != 1 || got.ShardErrors[0].Shard != shardURLs[1] {
+		t.Fatalf("shard errors = %+v, want one for %s", got.ShardErrors, shardURLs[1])
+	}
+	if len(got.Ranked) == 0 {
+		t.Fatal("degraded rank returned no results from surviving shards")
+	}
+}
+
+func sketchB64(t testing.TB, sk *Sketch) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSketch(&buf, sk); err != nil {
+		t.Fatal(err)
+	}
+	return base64.StdEncoding.EncodeToString(buf.Bytes())
+}

@@ -1,0 +1,423 @@
+// Package cluster scatters discovery queries across misketch serve
+// replicas and gathers their per-shard top-K heaps into one ranking —
+// the multi-node deployment mode. Each replica owns a disjoint shard of
+// the catalog (segment files are immutable and content-addressed, so
+// placement is file copying: rsync a subset of segments per replica and
+// let each rebuild its manifest). The coordinator speaks the exact same
+// HTTP/JSON protocol as a single node, so clients cannot tell a
+// coordinator from a replica except for two additive response fields:
+// "partial" and "shard_errors", reported when a shard was unreachable
+// and the ranking covers only the shards that answered.
+//
+// Correctness of the merge rests on two invariants the single-node
+// engine already provides:
+//
+//   - Shards are disjoint, so a candidate appears in exactly one
+//     shard's top-K and concatenation never double-counts.
+//   - Each shard ranks with the same total order the store uses —
+//     MI descending, name ascending on ties — and a per-shard top-K
+//     is a superset of that shard's contribution to the global top-K.
+//     Concatenate, sort by the same order, cut at K: bit-identical to
+//     a single node ranking the union catalog.
+//
+// Failure handling is degraded-results, not fail-stop: a scattered
+// query that loses shards still answers from the shards that responded,
+// with "partial": true and one error per lost shard. Only when every
+// shard fails does the query error. Per-shard clients bound connects
+// and requests with timeouts and retry transient failures (transport
+// errors, 502/503/504) with exponential backoff.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"misketch/internal/server"
+)
+
+// Defaults for Options zero values.
+const (
+	// DefaultConnectTimeout bounds dialing a shard. Short: shards are
+	// LAN peers, and a dead shard should fail fast into degraded mode.
+	DefaultConnectTimeout = 5 * time.Second
+	// DefaultRequestTimeout bounds one request attempt to a shard,
+	// covering the slowest expected rank-batch on a loaded replica.
+	DefaultRequestTimeout = 2 * time.Minute
+	// DefaultRetries is the transient-failure retry budget per request.
+	DefaultRetries = 2
+	// DefaultRetryBackoff is the wait before the first retry; each
+	// further retry doubles it.
+	DefaultRetryBackoff = 100 * time.Millisecond
+	// DefaultShutdownTimeout bounds the graceful drain on shutdown.
+	DefaultShutdownTimeout = 30 * time.Second
+)
+
+// Options tunes a cluster coordinator. Every duration follows the
+// server package's convention: zero means the Default* constant,
+// negative disables that bound.
+type Options struct {
+	// ConnectTimeout bounds dialing a shard.
+	ConnectTimeout time.Duration
+	// RequestTimeout bounds one request attempt to a shard (each retry
+	// gets a fresh bound).
+	RequestTimeout time.Duration
+	// Retries is the per-request retry budget for transient shard
+	// failures: transport errors and 502/503/504 responses. Zero means
+	// DefaultRetries, negative disables retrying.
+	Retries int
+	// RetryBackoff is the wait before the first retry, doubling on each
+	// further one. Zero means DefaultRetryBackoff, negative retries
+	// immediately.
+	RetryBackoff time.Duration
+	// ShutdownTimeout bounds the graceful drain in ListenAndServe.
+	ShutdownTimeout time.Duration
+	// Connection timeouts for the coordinator's own HTTP listener,
+	// mirroring server.Options.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
+}
+
+// timeout resolves one Options duration: zero means the default,
+// negative means disabled.
+func timeout(v, def time.Duration) time.Duration {
+	switch {
+	case v < 0:
+		return 0
+	case v == 0:
+		return def
+	default:
+		return v
+	}
+}
+
+// retryBudget resolves Options.Retries: zero means the default,
+// negative means no retries.
+func retryBudget(v int) int {
+	switch {
+	case v < 0:
+		return 0
+	case v == 0:
+		return DefaultRetries
+	default:
+		return v
+	}
+}
+
+// ShardError reports one shard's failure inside a degraded (partial)
+// response or a ClusterError.
+type ShardError struct {
+	// Shard is the failing shard's base URL.
+	Shard string `json:"shard"`
+	// Status is the HTTP status the shard answered with, 0 for
+	// transport-level failures that never got a response.
+	Status int `json:"status,omitempty"`
+	// Error describes the failure.
+	Error string `json:"error"`
+}
+
+// ClusterError is the error a coordinator query fails with when it
+// cannot answer at all — every shard failed, or the request itself was
+// invalid. It carries the HTTP status the coordinator serves.
+type ClusterError struct {
+	// StatusCode is the HTTP status for this failure: 400 for an
+	// invalid request, 404 for a by-name train no shard stores, 502
+	// when shards failed in ways the coordinator cannot vouch for.
+	StatusCode int
+	Message    string
+	// Shards lists the per-shard failures behind the error, when any.
+	Shards []ShardError
+}
+
+func (e *ClusterError) Error() string {
+	if len(e.Shards) == 0 {
+		return e.Message
+	}
+	parts := make([]string, len(e.Shards))
+	for i, se := range e.Shards {
+		parts[i] = fmt.Sprintf("%s: %s", se.Shard, se.Error)
+	}
+	return fmt.Sprintf("%s (%s)", e.Message, strings.Join(parts, "; "))
+}
+
+// RankResponse is a coordinator's answer to POST /v1/rank: the merged
+// single-node response plus the degraded-mode fields. Partial and
+// ShardErrors are absent (omitempty) on a fully-answered query, so a
+// healthy cluster is wire-identical to a single node.
+type RankResponse struct {
+	server.RankResponse
+	// Partial reports that at least one shard did not contribute: the
+	// ranking is correct for the shards that answered but may be
+	// missing candidates owned by the lost shards.
+	Partial bool `json:"partial,omitempty"`
+	// ShardErrors lists the shards that did not contribute and why.
+	ShardErrors []ShardError `json:"shard_errors,omitempty"`
+}
+
+// RankBatchResponse is a coordinator's answer to POST /v1/rank/batch;
+// see RankResponse for the degraded-mode fields.
+type RankBatchResponse struct {
+	server.RankBatchResponse
+	Partial     bool         `json:"partial,omitempty"`
+	ShardErrors []ShardError `json:"shard_errors,omitempty"`
+}
+
+// LsResponse is a coordinator's answer to GET /v1/ls: the union
+// manifest across shards, sorted by name.
+type LsResponse struct {
+	server.LsResponse
+	Partial     bool         `json:"partial,omitempty"`
+	ShardErrors []ShardError `json:"shard_errors,omitempty"`
+}
+
+// Coordinator scatters discovery queries to a fixed set of shard
+// replicas and merges their answers. It implements http.Handler with
+// the same endpoint surface a single node serves for reads; mutating
+// endpoints (/v1/put, /v1/sketch) are not proxied — shard placement is
+// an offline concern (see the package comment).
+type Coordinator struct {
+	shards []*shard
+	opt    Options
+	mux    *http.ServeMux
+
+	rankRequests  atomic.Int64
+	rankPartial   atomic.Int64
+	rankFailures  atomic.Int64
+	batchRequests atomic.Int64
+	batchPartial  atomic.Int64
+	batchFailures atomic.Int64
+}
+
+// New builds a coordinator over the given shard base URLs (e.g.
+// "http://10.0.0.1:8080"). Shards must host disjoint catalog shards;
+// the merge double-counts nothing only because each candidate name
+// lives on exactly one shard.
+func New(shardURLs []string, opt Options) (*Coordinator, error) {
+	if len(shardURLs) == 0 {
+		return nil, fmt.Errorf("cluster: at least one shard URL is required")
+	}
+	seen := make(map[string]bool, len(shardURLs))
+	shards := make([]*shard, 0, len(shardURLs))
+	for _, raw := range shardURLs {
+		base := strings.TrimRight(strings.TrimSpace(raw), "/")
+		u, err := url.Parse(base)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("cluster: shard URL %q is not an http(s) base URL", raw)
+		}
+		if seen[base] {
+			return nil, fmt.Errorf("cluster: duplicate shard URL %q", base)
+		}
+		seen[base] = true
+		shards = append(shards, newShard(base, opt))
+	}
+	c := &Coordinator{shards: shards, opt: opt, mux: http.NewServeMux()}
+	c.mux.HandleFunc("POST /v1/rank", c.handleRank)
+	c.mux.HandleFunc("POST /v1/rank/batch", c.handleRankBatch)
+	c.mux.HandleFunc("GET /v1/ls", c.handleLs)
+	c.mux.HandleFunc("GET /v1/stats", c.handleStats)
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	return c, nil
+}
+
+// Shards returns the configured shard base URLs, in scatter order.
+func (c *Coordinator) Shards() []string {
+	out := make([]string, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.url
+	}
+	return out
+}
+
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+// ListenAndServe serves on addr until ctx is cancelled, then drains
+// in-flight requests bounded by Options.ShutdownTimeout (zero means
+// DefaultShutdownTimeout, negative waits unboundedly).
+func (c *Coordinator) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return c.ServeListener(ctx, ln)
+}
+
+// ServeListener is ListenAndServe over an existing listener (which it
+// takes ownership of) — the entry point when the caller needs the
+// bound address, e.g. after listening on port 0.
+func (c *Coordinator) ServeListener(ctx context.Context, ln net.Listener) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hs := &http.Server{
+		Handler:           c,
+		ReadHeaderTimeout: timeout(c.opt.ReadHeaderTimeout, server.DefaultReadHeaderTimeout),
+		ReadTimeout:       timeout(c.opt.ReadTimeout, server.DefaultReadTimeout),
+		WriteTimeout:      timeout(c.opt.WriteTimeout, server.DefaultWriteTimeout),
+		IdleTimeout:       timeout(c.opt.IdleTimeout, server.DefaultIdleTimeout),
+	}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shCtx, cancel := c.shutdownContext()
+		defer cancel()
+		done <- hs.Shutdown(shCtx)
+	}()
+	err := hs.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		err = <-done
+	}
+	return err
+}
+
+// shutdownContext resolves Options.ShutdownTimeout with the same
+// semantics the server package uses: zero means DefaultShutdownTimeout,
+// negative disables the bound.
+func (c *Coordinator) shutdownContext() (context.Context, context.CancelFunc) {
+	if d := timeout(c.opt.ShutdownTimeout, DefaultShutdownTimeout); d > 0 {
+		return context.WithTimeout(context.Background(), d)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// scatter issues the same request to every shard concurrently and
+// returns one result per shard, in shard order.
+func (c *Coordinator) scatter(ctx context.Context, method, pathAndQuery string, body []byte, contentType string) []shardResult {
+	out := make([]shardResult, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sh := range c.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			out[i] = sh.do(ctx, method, pathAndQuery, body, contentType, c.opt)
+		}(i, sh)
+	}
+	wg.Wait()
+	return out
+}
+
+// ShardStats are one shard's client-side counters, served under
+// /v1/stats on the coordinator.
+type ShardStats struct {
+	URL string `json:"url"`
+	// Requests counts scattered requests to this shard (retries of one
+	// request count once).
+	Requests int64 `json:"requests"`
+	// Errors counts requests that ended in failure after retries —
+	// transport errors and 5xx responses.
+	Errors int64 `json:"errors"`
+	// Retries counts individual retry attempts.
+	Retries int64 `json:"retries"`
+	// TotalLatencyNS accumulates end-to-end request latency, retries
+	// and backoff included; MeanLatencyNS is TotalLatencyNS/Requests.
+	TotalLatencyNS int64 `json:"total_latency_ns"`
+	MeanLatencyNS  int64 `json:"mean_latency_ns"`
+	// LastError is the most recent failure, empty if none.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// CoordinatorStats are the coordinator's own counters.
+type CoordinatorStats struct {
+	RankRequests  int64 `json:"rank_requests"`
+	RankPartial   int64 `json:"rank_partial"`
+	RankFailures  int64 `json:"rank_failures"`
+	BatchRequests int64 `json:"batch_requests"`
+	BatchPartial  int64 `json:"batch_partial"`
+	BatchFailures int64 `json:"batch_failures"`
+}
+
+// StatsResponse is the body of GET /v1/stats on a coordinator.
+type StatsResponse struct {
+	Shards      []ShardStats     `json:"shards"`
+	Coordinator CoordinatorStats `json:"coordinator"`
+}
+
+// Stats snapshots the coordinator's counters (also served at
+// /v1/stats).
+func (c *Coordinator) Stats() StatsResponse {
+	resp := StatsResponse{
+		Shards: make([]ShardStats, len(c.shards)),
+		Coordinator: CoordinatorStats{
+			RankRequests:  c.rankRequests.Load(),
+			RankPartial:   c.rankPartial.Load(),
+			RankFailures:  c.rankFailures.Load(),
+			BatchRequests: c.batchRequests.Load(),
+			BatchPartial:  c.batchPartial.Load(),
+			BatchFailures: c.batchFailures.Load(),
+		},
+	}
+	for i, sh := range c.shards {
+		resp.Shards[i] = sh.stats()
+	}
+	return resp
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Stats())
+}
+
+// handleHealthz reports coordinator liveness plus a best-effort
+// reachability probe of every shard (one attempt, no retries, bounded
+// by the connect timeout — a health check must not hang).
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type shardHealth struct {
+		URL string `json:"url"`
+		OK  bool   `json:"ok"`
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout(c.opt.ConnectTimeout, DefaultConnectTimeout))
+	defer cancel()
+	health := make([]shardHealth, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sh := range c.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			res := sh.doOnce(ctx, http.MethodGet, "/healthz", nil, "", c.opt)
+			health[i] = shardHealth{URL: sh.url, OK: res.err == nil && res.status == http.StatusOK}
+		}(i, sh)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, struct {
+		OK     bool          `json:"ok"`
+		Shards []shardHealth `json:"shards"`
+	}{true, health})
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeClusterError maps a query failure onto the wire: the
+// ClusterError's status and message, with the per-shard failures
+// attached so the operator sees which replicas are sick.
+func writeClusterError(w http.ResponseWriter, err error) {
+	var ce *ClusterError
+	if !errors.As(err, &ce) {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, ce.StatusCode, struct {
+		Error       string       `json:"error"`
+		ShardErrors []ShardError `json:"shard_errors,omitempty"`
+	}{ce.Message, ce.Shards})
+}

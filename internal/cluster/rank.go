@@ -1,0 +1,350 @@
+package cluster
+
+// Scatter-gather ranking. The coordinator validates a request once,
+// resolves by-name trains to inline sketch bytes (a stored train lives
+// on exactly one shard; the others must still rank against it), fans
+// the request out to every shard, and merges the per-shard top-K heaps
+// under the store's total order — MI descending, name ascending on
+// ties — so the merged top-K is bit-identical to a single node ranking
+// the union catalog.
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"time"
+
+	"misketch/internal/server"
+)
+
+// Request aliases: a coordinator accepts exactly the single-node
+// request bodies.
+type (
+	RankRequest      = server.RankRequest
+	RankBatchRequest = server.RankBatchRequest
+)
+
+// Rank scatters one rank query to every shard and merges the answers.
+// It returns a *ClusterError when the request is invalid or no shard
+// could answer; a degraded answer (some shards lost) is not an error —
+// inspect Partial and ShardErrors.
+func (c *Coordinator) Rank(ctx context.Context, req RankRequest) (*RankResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, &ClusterError{StatusCode: http.StatusBadRequest, Message: err.Error()}
+	}
+	return c.rankBody(ctx, body)
+}
+
+func (c *Coordinator) rankBody(ctx context.Context, body []byte) (*RankResponse, error) {
+	c.rankRequests.Add(1)
+	req, err := server.DecodeRankRequest(body)
+	if err != nil {
+		c.rankFailures.Add(1)
+		return nil, &ClusterError{StatusCode: http.StatusBadRequest, Message: err.Error()}
+	}
+	if req.Train != "" {
+		sketch, cerr := c.resolveTrain(ctx, req.Train)
+		if cerr != nil {
+			c.rankFailures.Add(1)
+			return nil, cerr
+		}
+		req.Train, req.Sketch = "", sketch
+		if body, err = json.Marshal(req); err != nil {
+			c.rankFailures.Add(1)
+			return nil, &ClusterError{StatusCode: http.StatusInternalServerError, Message: err.Error()}
+		}
+	}
+
+	started := time.Now()
+	results := c.scatter(ctx, http.MethodPost, "/v1/rank", body, "application/json")
+	resp := &RankResponse{RankResponse: server.RankResponse{Ranked: []server.RankedResult{}, ProbeCached: true}}
+	skipped := map[string]bool{}
+	answered := 0
+	for _, r := range results {
+		if r.err != nil || r.status != http.StatusOK {
+			resp.ShardErrors = append(resp.ShardErrors, r.shardError())
+			continue
+		}
+		var sr server.RankResponse
+		if err := json.Unmarshal(r.body, &sr); err != nil {
+			resp.ShardErrors = append(resp.ShardErrors, ShardError{Shard: r.shard.url, Error: "undecodable response: " + err.Error()})
+			continue
+		}
+		answered++
+		resp.Ranked = append(resp.Ranked, sr.Ranked...)
+		for _, name := range sr.Skipped {
+			skipped[name] = true
+		}
+		resp.ProbeCached = resp.ProbeCached && sr.ProbeCached
+		if sr.Workers > resp.Workers {
+			resp.Workers = sr.Workers
+		}
+	}
+	if answered == 0 {
+		c.rankFailures.Add(1)
+		return nil, allShardsFailed("rank", resp.ShardErrors)
+	}
+	resp.Partial = answered < len(results)
+	if resp.Partial {
+		c.rankPartial.Add(1)
+	} else {
+		resp.ShardErrors = nil
+	}
+	mergeRanked(resp.Ranked, req.Top, &resp.Ranked)
+	resp.Skipped = sortedNames(skipped)
+	resp.ElapsedNS = time.Since(started).Nanoseconds()
+	return resp, nil
+}
+
+// RankBatch scatters one batch rank query to every shard and merges
+// the answers; error semantics mirror Rank.
+func (c *Coordinator) RankBatch(ctx context.Context, req RankBatchRequest) (*RankBatchResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, &ClusterError{StatusCode: http.StatusBadRequest, Message: err.Error()}
+	}
+	return c.rankBatchBody(ctx, body)
+}
+
+func (c *Coordinator) rankBatchBody(ctx context.Context, body []byte) (*RankBatchResponse, error) {
+	c.batchRequests.Add(1)
+	req, err := server.DecodeRankBatchRequest(body)
+	if err != nil {
+		c.batchFailures.Add(1)
+		return nil, &ClusterError{StatusCode: http.StatusBadRequest, Message: err.Error()}
+	}
+	rewrote := false
+	for i := range req.Trains {
+		if req.Trains[i].Train == "" {
+			continue
+		}
+		sketch, cerr := c.resolveTrain(ctx, req.Trains[i].Train)
+		if cerr != nil {
+			c.batchFailures.Add(1)
+			return nil, cerr
+		}
+		req.Trains[i].Train, req.Trains[i].Sketch = "", sketch
+		rewrote = true
+	}
+	if rewrote {
+		if body, err = json.Marshal(req); err != nil {
+			c.batchFailures.Add(1)
+			return nil, &ClusterError{StatusCode: http.StatusInternalServerError, Message: err.Error()}
+		}
+	}
+
+	started := time.Now()
+	results := c.scatter(ctx, http.MethodPost, "/v1/rank/batch", body, "application/json")
+	resp := &RankBatchResponse{RankBatchResponse: server.RankBatchResponse{}}
+	// Queries merge positionally: every shard answers in request order,
+	// so query q's slices concatenate across shards.
+	merged := make([]server.BatchQueryResponse, len(req.Trains))
+	for q := range merged {
+		merged[q] = server.BatchQueryResponse{Name: req.Trains[q].Name, Ranked: []server.RankedResult{}}
+	}
+	skipped := map[string]bool{}
+	answered := 0
+	for _, r := range results {
+		if r.err != nil || r.status != http.StatusOK {
+			resp.ShardErrors = append(resp.ShardErrors, r.shardError())
+			continue
+		}
+		var sr server.RankBatchResponse
+		if err := json.Unmarshal(r.body, &sr); err != nil || len(sr.Queries) != len(merged) {
+			resp.ShardErrors = append(resp.ShardErrors, ShardError{Shard: r.shard.url, Error: "undecodable batch response"})
+			continue
+		}
+		answered++
+		for q := range sr.Queries {
+			merged[q].Ranked = append(merged[q].Ranked, sr.Queries[q].Ranked...)
+			merged[q].Pruned += sr.Queries[q].Pruned
+		}
+		for _, name := range sr.Skipped {
+			skipped[name] = true
+		}
+		resp.ProbesCached += sr.ProbesCached
+		if sr.Workers > resp.Workers {
+			resp.Workers = sr.Workers
+		}
+	}
+	if answered == 0 {
+		c.batchFailures.Add(1)
+		return nil, allShardsFailed("rank batch", resp.ShardErrors)
+	}
+	resp.Partial = answered < len(results)
+	if resp.Partial {
+		c.batchPartial.Add(1)
+	} else {
+		resp.ShardErrors = nil
+	}
+	for q := range merged {
+		mergeRanked(merged[q].Ranked, req.Top, &merged[q].Ranked)
+	}
+	resp.Queries = merged
+	resp.Skipped = sortedNames(skipped)
+	resp.ElapsedNS = time.Since(started).Nanoseconds()
+	return resp, nil
+}
+
+// resolveTrain locates a stored train by name: scatter GET /v1/get, the
+// owning shard answers with the serialized sketch, and the coordinator
+// inlines it (base64) so every shard can rank against it. The 404/500
+// split is load-bearing: only a unanimous 404 proves the name exists
+// nowhere; a sick shard (5xx, unreachable) could be the owner, so the
+// resolution fails 502 rather than inventing a 404.
+func (c *Coordinator) resolveTrain(ctx context.Context, name string) (string, *ClusterError) {
+	results := c.scatter(ctx, http.MethodGet, "/v1/get?name="+url.QueryEscape(name), nil, "")
+	notFound := 0
+	var serrs []ShardError
+	for _, r := range results {
+		if r.err == nil && r.status == http.StatusOK {
+			return base64.StdEncoding.EncodeToString(r.body), nil
+		}
+		if r.err == nil && r.status == http.StatusNotFound {
+			notFound++
+			continue
+		}
+		serrs = append(serrs, r.shardError())
+	}
+	if notFound == len(results) {
+		return "", &ClusterError{
+			StatusCode: http.StatusNotFound,
+			Message:    "no shard stores sketch \"" + name + "\"",
+		}
+	}
+	return "", &ClusterError{
+		StatusCode: http.StatusBadGateway,
+		Message:    "train \"" + name + "\" could not be resolved: not on any healthy shard, and some shards failed",
+		Shards:     serrs,
+	}
+}
+
+// allShardsFailed classifies a query with zero successful shards. When
+// every shard agreed on the same client-error status the request itself
+// is at fault and the coordinator forwards that status (e.g. a 400 seed
+// mismatch); any disagreement or server-side failure is a 502.
+func allShardsFailed(what string, serrs []ShardError) *ClusterError {
+	status := 0
+	uniform := true
+	for _, se := range serrs {
+		if se.Status < 400 || se.Status >= 500 {
+			uniform = false
+			break
+		}
+		if status == 0 {
+			status = se.Status
+		} else if se.Status != status {
+			uniform = false
+			break
+		}
+	}
+	ce := &ClusterError{StatusCode: http.StatusBadGateway, Message: what + ": every shard failed", Shards: serrs}
+	if uniform && status != 0 {
+		ce.StatusCode = status
+		ce.Message = what + ": " + serrs[0].Error
+	}
+	return ce
+}
+
+// mergeRanked sorts the concatenated per-shard rankings under the
+// store's total order and cuts at top (0 keeps all). Shards are
+// disjoint, so names are unique and (MI desc, name asc) is total —
+// the merge is deterministic and bit-identical to a single-node rank
+// over the union catalog.
+func mergeRanked(in []server.RankedResult, top int, out *[]server.RankedResult) {
+	sort.Slice(in, func(i, j int) bool {
+		if in[i].MI != in[j].MI {
+			return in[i].MI > in[j].MI
+		}
+		return in[i].Name < in[j].Name
+	})
+	if top > 0 && len(in) > top {
+		in = in[:top]
+	}
+	*out = in
+}
+
+func sortedNames(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (c *Coordinator) handleRank(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	resp, rerr := c.rankBody(r.Context(), body)
+	if rerr != nil {
+		writeClusterError(w, rerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleRankBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	resp, rerr := c.rankBatchBody(r.Context(), body)
+	if rerr != nil {
+		writeClusterError(w, rerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleLs merges the shard manifests into one listing, sorted by name.
+func (c *Coordinator) handleLs(w http.ResponseWriter, r *http.Request) {
+	pathAndQuery := "/v1/ls"
+	if prefix := r.URL.Query().Get("prefix"); prefix != "" {
+		pathAndQuery += "?prefix=" + url.QueryEscape(prefix)
+	}
+	results := c.scatter(r.Context(), http.MethodGet, pathAndQuery, nil, "")
+	resp := LsResponse{LsResponse: server.LsResponse{Sketches: []server.MetaResult{}}}
+	answered := 0
+	for _, res := range results {
+		if res.err != nil || res.status != http.StatusOK {
+			resp.ShardErrors = append(resp.ShardErrors, res.shardError())
+			continue
+		}
+		var sr server.LsResponse
+		if err := json.Unmarshal(res.body, &sr); err != nil {
+			resp.ShardErrors = append(resp.ShardErrors, ShardError{Shard: res.shard.url, Error: "undecodable response: " + err.Error()})
+			continue
+		}
+		answered++
+		resp.Sketches = append(resp.Sketches, sr.Sketches...)
+	}
+	if answered == 0 {
+		writeClusterError(w, allShardsFailed("ls", resp.ShardErrors))
+		return
+	}
+	resp.Partial = answered < len(results)
+	if !resp.Partial {
+		resp.ShardErrors = nil
+	}
+	sort.Slice(resp.Sketches, func(i, j int) bool { return resp.Sketches[i].Name < resp.Sketches[j].Name })
+	resp.Count = len(resp.Sketches)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func readBody(r *http.Request) ([]byte, error) {
+	defer r.Body.Close()
+	return io.ReadAll(r.Body)
+}

@@ -80,8 +80,10 @@ type RankBatchResponse struct {
 	ElapsedNS int64 `json:"elapsed_ns"`
 }
 
-// decodeRankBatchRequest parses and validates a batch rank request body.
-func decodeRankBatchRequest(body []byte) (*RankBatchRequest, error) {
+// DecodeRankBatchRequest parses and validates a batch rank request
+// body. Exported for the cluster coordinator, which validates a batch
+// once before scattering it to every shard.
+func DecodeRankBatchRequest(body []byte) (*RankBatchRequest, error) {
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	var req RankBatchRequest
@@ -131,7 +133,7 @@ func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, bodyErrStatus(err), "reading body: %v", err)
 		return
 	}
-	req, err := decodeRankBatchRequest(body)
+	req, err := DecodeRankBatchRequest(body)
 	if err != nil {
 		s.batchFailures.Add(1)
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -145,14 +147,11 @@ func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
 	probesCached := 0
 	for i := range req.Trains {
 		ref := &req.Trains[i]
-		train, digest, err := s.trainSketch(&RankRequest{Sketch: ref.Sketch, Train: ref.Train})
+		refReq := RankRequest{Sketch: ref.Sketch, Train: ref.Train}
+		train, digest, err := s.trainSketch(&refReq)
 		if err != nil {
 			s.batchFailures.Add(1)
-			status := http.StatusBadRequest
-			if ref.Train != "" {
-				status = http.StatusNotFound
-			}
-			httpError(w, status, "trains[%d] %q: %v", i, ref.Name, err)
+			httpError(w, trainErrStatus(&refReq, err), "trains[%d] %q: %v", i, ref.Name, err)
 			return
 		}
 		if train.Role != core.RoleTrain {

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -73,6 +74,11 @@ const (
 	// (the root package sits above this one, so the constant is
 	// duplicated rather than imported).
 	defaultSketchSize = 1024
+	// maxSketchSize bounds ?size= on /v1/sketch: entries are materialized
+	// in memory per request, so an absurd size is a denial of service,
+	// and anything past 2^30 could not round-trip the packed record
+	// format's 32-bit array lengths anyway.
+	maxSketchSize = 1 << 30
 )
 
 // Options tunes a discovery server.
@@ -88,7 +94,10 @@ type Options struct {
 	// DefaultMaxBodyBytes.
 	MaxBodyBytes int64
 	// ShutdownTimeout bounds how long ListenAndServe waits for in-flight
-	// requests on shutdown; zero means DefaultShutdownTimeout.
+	// requests on shutdown. It follows the same convention as the four
+	// connection timeouts below: zero means DefaultShutdownTimeout,
+	// negative disables the bound entirely — the drain waits for the
+	// last in-flight request no matter how long it runs.
 	ShutdownTimeout time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
 	// server mux — CPU and heap profiles of a live discovery service,
@@ -165,9 +174,8 @@ func New(st *store.Store, opt Options) *Server {
 	if opt.MaxBodyBytes <= 0 {
 		opt.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	if opt.ShutdownTimeout <= 0 {
-		opt.ShutdownTimeout = DefaultShutdownTimeout
-	}
+	// ShutdownTimeout is resolved at shutdown time (shutdownContext), not
+	// clamped here: zero means the default, negative means unbounded.
 	s := &Server{
 		st:      st,
 		opt:     opt,
@@ -181,6 +189,7 @@ func New(st *store.Store, opt Options) *Server {
 	s.mux.HandleFunc("POST /v1/rank/batch", s.handleRankBatch)
 	s.mux.HandleFunc("POST /v1/sketch", s.handleSketch)
 	s.mux.HandleFunc("POST /v1/put", s.handlePut)
+	s.mux.HandleFunc("GET /v1/get", s.handleGet)
 	s.mux.HandleFunc("GET /v1/ls", s.handleLs)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -235,7 +244,7 @@ func (s *Server) ServeListener(ctx context.Context, ln net.Listener) error {
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
-		shCtx, cancel := context.WithTimeout(context.Background(), s.opt.ShutdownTimeout)
+		shCtx, cancel := s.shutdownContext()
 		defer cancel()
 		done <- hs.Shutdown(shCtx)
 	}()
@@ -247,6 +256,19 @@ func (s *Server) ServeListener(ctx context.Context, ln net.Listener) error {
 		err = ferr
 	}
 	return err
+}
+
+// shutdownContext resolves Options.ShutdownTimeout into the context the
+// graceful drain runs under: zero means DefaultShutdownTimeout, a
+// positive value bounds the drain to it, and a negative value disables
+// the bound — the returned context has no deadline and the drain waits
+// for the last in-flight request. Factored out (and tested) because the
+// semantics must match the connection-timeout convention exactly.
+func (s *Server) shutdownContext() (context.Context, context.CancelFunc) {
+	if d := timeout(s.opt.ShutdownTimeout, DefaultShutdownTimeout); d > 0 {
+		return context.WithTimeout(context.Background(), d)
+	}
+	return context.WithCancel(context.Background())
 }
 
 // errorResponse is the error body of every non-2xx JSON response.
@@ -273,6 +295,25 @@ func bodyErrStatus(err error) int {
 		return http.StatusRequestEntityTooLarge
 	}
 	return http.StatusBadRequest
+}
+
+// trainErrStatus classifies a trainSketch failure. An inline sketch that
+// fails to decode is the client's payload (400). A by-name train maps to
+// 404 only when the store reports the name missing (store.ErrNotFound);
+// any other by-name failure — a CRC mismatch on a corrupt record, a
+// truncated segment, an I/O error — is a server-side fault and must be
+// 500: a cluster coordinator (or any retrying client) treats 404 as
+// authoritative "does not exist" and 5xx as "this replica is sick", so
+// misclassifying corruption as 404 silently converts data loss into an
+// empty answer.
+func trainErrStatus(req *RankRequest, err error) int {
+	if req.Train == "" {
+		return http.StatusBadRequest
+	}
+	if errors.Is(err, store.ErrNotFound) {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
 }
 
 // RankRequest is the body of POST /v1/rank. Exactly one of Sketch and
@@ -332,8 +373,10 @@ type RankResponse struct {
 	ElapsedNS int64 `json:"elapsed_ns"`
 }
 
-// decodeRankRequest parses and validates a rank request body.
-func decodeRankRequest(body []byte) (*RankRequest, error) {
+// DecodeRankRequest parses and validates a rank request body. Exported
+// for the cluster coordinator, which validates a request once before
+// scattering it to every shard.
+func DecodeRankRequest(body []byte) (*RankRequest, error) {
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	var req RankRequest
@@ -405,7 +448,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		httpError(w, bodyErrStatus(err), "reading body: %v", err)
 		return
 	}
-	req, err := decodeRankRequest(body)
+	req, err := DecodeRankRequest(body)
 	if err != nil {
 		s.rankFailures.Add(1)
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -414,11 +457,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	train, digest, err := s.trainSketch(req)
 	if err != nil {
 		s.rankFailures.Add(1)
-		status := http.StatusBadRequest
-		if req.Train != "" {
-			status = http.StatusNotFound
-		}
-		httpError(w, status, "train sketch: %v", err)
+		httpError(w, trainErrStatus(req, err), "train sketch: %v", err)
 		return
 	}
 	if train.Role != core.RoleTrain {
@@ -532,16 +571,19 @@ func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
 		opt.Method = core.Method(m)
 	}
 	var err error
-	if opt.Size, err = intParam(q.Get("size"), defaultSketchSize); err != nil || opt.Size < 1 {
-		httpError(w, http.StatusBadRequest, "invalid size %q", q.Get("size"))
+	// Size and seed are range-checked, not truncated: a seed is a uint32
+	// everywhere in the sketch format, and silently wrapping ?seed=2^32
+	// to 0 would build a sketch that joins nothing honestly-seeded (the
+	// coordinated-sampling filter compares seeds bit-for-bit), turning a
+	// client typo into empty rankings with no error anywhere.
+	if opt.Size, err = intParam(q.Get("size"), defaultSketchSize); err != nil || opt.Size < 1 || opt.Size > maxSketchSize {
+		httpError(w, http.StatusBadRequest, "size %q out of range [1, %d]", q.Get("size"), maxSketchSize)
 		return
 	}
-	seed, err := intParam(q.Get("seed"), 0)
-	if err != nil || seed < 0 {
-		httpError(w, http.StatusBadRequest, "invalid seed %q", q.Get("seed"))
+	if opt.Seed, err = seedParam(q.Get("seed")); err != nil {
+		httpError(w, http.StatusBadRequest, "seed %q out of range [0, %d]", q.Get("seed"), uint64(math.MaxUint32))
 		return
 	}
-	opt.Seed = uint32(seed)
 	opt.Agg = table.AggFunc(q.Get("agg"))
 
 	tb, err := table.ReadCSV(r.Body)
@@ -599,6 +641,38 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, PutResponse{
 		Name: name, Entries: sk.Len(), Numeric: sk.Numeric, Seed: sk.Seed,
 	})
+}
+
+// handleGet serves a stored sketch's serialized bytes (the exact format
+// /v1/put ingests) under ?name= — the inverse of /v1/put. A cluster
+// coordinator resolves a by-name train through it: the shard owning the
+// name answers with the bytes, shards without it answer 404, and a shard
+// whose record is corrupt answers 500 — the 404-vs-500 split is what
+// lets the coordinator distinguish "not here" from "this replica is
+// sick" when deciding whether the name exists anywhere.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "query parameter \"name\" is required")
+		return
+	}
+	sk, err := s.st.Get(name)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, store.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, "loading sketch: %v", err)
+		return
+	}
+	var buf bytes.Buffer
+	if _, err := sk.WriteTo(&buf); err != nil {
+		httpError(w, http.StatusInternalServerError, "serializing sketch: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // MetaResult is one manifest record in an LsResponse.
@@ -769,4 +843,14 @@ func intParam(s string, def int) (int, error) {
 		return def, nil
 	}
 	return strconv.Atoi(s)
+}
+
+// seedParam parses an optional seed query parameter, rejecting values
+// that do not fit the sketch format's uint32 seed instead of wrapping.
+func seedParam(s string) (uint32, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 32)
+	return uint32(v), err
 }

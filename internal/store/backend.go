@@ -98,7 +98,9 @@ func (b *memBackend) loadView(m Meta) (*core.Sketch, uint64, error) {
 	sk, ok := b.sketches[m.Name]
 	b.mu.Unlock()
 	if !ok {
-		return nil, 0, fmt.Errorf("store: no sketch %q", m.Name)
+		// A Delete raced the caller's manifest snapshot: the name is
+		// genuinely gone, not corrupt, so the miss carries the sentinel.
+		return nil, 0, fmt.Errorf("store: no sketch %q: %w", m.Name, ErrNotFound)
 	}
 	return sk, 0, nil
 }

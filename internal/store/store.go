@@ -20,6 +20,7 @@ package store
 import (
 	"container/heap"
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -29,6 +30,15 @@ import (
 	"misketch/internal/core"
 	"misketch/internal/mi"
 )
+
+// ErrNotFound is the sentinel wrapped by Get and Delete when no sketch
+// with the requested name exists. Callers translating store errors into
+// protocol status codes (the HTTP service's 404-vs-500 split) must test
+// with errors.Is against this sentinel: every other error from Get — a
+// CRC mismatch, a truncated record, an I/O failure — is store-side
+// corruption, not a missing name, and conflating the two turns data
+// loss into a silent "not found".
+var ErrNotFound = errors.New("sketch not found")
 
 // Store is a catalog of persisted sketches with a manifest index, a
 // bounded in-memory cache, and a pluggable storage backend. It is safe
@@ -300,7 +310,7 @@ func (s *Store) Get(name string) (*core.Sketch, error) {
 		b := s.backend
 		s.mu.Unlock()
 		if !known {
-			return nil, fmt.Errorf("store: no sketch %q", name)
+			return nil, fmt.Errorf("store: no sketch %q: %w", name, ErrNotFound)
 		}
 		sk, err := b.loadOwned(m)
 		if err == errSegmentGone && attempt < 3 {
@@ -331,7 +341,7 @@ func (s *Store) Delete(name string) error {
 	b := s.backend
 	s.mu.Unlock()
 	if !known {
-		return fmt.Errorf("store: no sketch %q", name)
+		return fmt.Errorf("store: no sketch %q: %w", name, ErrNotFound)
 	}
 	seg, end, err := b.tombstone(name)
 	if err != nil {

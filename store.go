@@ -161,6 +161,13 @@ type OpenStoreOptions = store.OpenOptions
 // touching sketch bytes, plus the packed record's segment location.
 type SketchMeta = store.Meta
 
+// ErrNotFound is the sentinel Store.Get and Store.Delete wrap when no
+// sketch with the requested name exists — test with errors.Is. A load
+// failure that is NOT ErrNotFound (a CRC mismatch, an I/O error) means
+// the record exists but could not be read; callers classifying errors
+// (the HTTP layer's 404-vs-500 split) must not treat it as a miss.
+var ErrNotFound = store.ErrNotFound
+
 // StoreStats are observability counters for a store handle: backend
 // kind, segment count/bytes/liveness, compaction passes, cache
 // hits/misses/evictions, bytes cached, record decodes, the ranking
