@@ -787,6 +787,7 @@ func runServe(args []string) {
 	maxWorkers := fs.Int("max-workers", 0, "total rank-worker bound across requests (0 = GOMAXPROCS)")
 	probeCache := fs.Int("probe-cache", 0, "compiled train-probe cache entries (0 = default, negative disables)")
 	cacheBytes := fs.Int64("cache", 0, "decoded-sketch cache bytes (0 = default, negative disables)")
+	resultCache := fs.Int64("result-cache-bytes", 64<<20, "generation-fenced rank result cache bytes (0 disables; both modes)")
 	backend := fs.String("backend", "fs", "storage backend: fs (segments+mmap) or mem (diskless)")
 	compactEvery := fs.Duration("compact-every", 0, "background compaction check interval (0 disables)")
 	segmentBytes := fs.Int64("segment-bytes", 0, "segment roll threshold in bytes (0 = default 128 MiB)")
@@ -806,9 +807,10 @@ func runServe(args []string) {
 			}
 		}
 		co, err := misketch.OpenCluster(urls, misketch.ClusterOptions{
-			ConnectTimeout: *shardConnect,
-			RequestTimeout: *shardTimeout,
-			Retries:        *shardRetries,
+			ConnectTimeout:   *shardConnect,
+			RequestTimeout:   *shardTimeout,
+			Retries:          *shardRetries,
+			ResultCacheBytes: *resultCache,
 		})
 		die(err)
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -832,9 +834,10 @@ func runServe(args []string) {
 	n, err := st.Len()
 	die(err)
 	srv := misketch.NewServer(st, misketch.ServerOptions{
-		MaxWorkers:  *maxWorkers,
-		ProbeCache:  *probeCache,
-		EnablePprof: *pprofFlag,
+		MaxWorkers:       *maxWorkers,
+		ProbeCache:       *probeCache,
+		EnablePprof:      *pprofFlag,
+		ResultCacheBytes: *resultCache,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -78,6 +78,15 @@ type Options struct {
 	// further one. Zero means DefaultRetryBackoff, negative retries
 	// immediately.
 	RetryBackoff time.Duration
+	// ResultCacheBytes bounds the coordinator's result cache: per-shard
+	// decoded answers revalidated by shard ETag (an unchanged shard
+	// answers 304 and its cached top-K feeds the merge without a body
+	// transfer or decode), merged encoded responses replayed when every
+	// shard revalidates, and singleflight coalescing of concurrent
+	// identical requests. Zero or negative disables caching and
+	// coalescing; the coordinator still emits ETags and honors client
+	// If-None-Match. Partial (degraded) responses are never cached.
+	ResultCacheBytes int64
 	// ShutdownTimeout bounds the graceful drain in ListenAndServe.
 	ShutdownTimeout time.Duration
 	// Connection timeouts for the coordinator's own HTTP listener,
@@ -190,6 +199,10 @@ type Coordinator struct {
 	opt    Options
 	mux    *http.ServeMux
 
+	// results is the shard-ETag-driven result cache (nil when
+	// disabled); see resultcache.go.
+	results *clusterCache
+
 	rankRequests  atomic.Int64
 	rankPartial   atomic.Int64
 	rankFailures  atomic.Int64
@@ -220,7 +233,12 @@ func New(shardURLs []string, opt Options) (*Coordinator, error) {
 		seen[base] = true
 		shards = append(shards, newShard(base, opt))
 	}
-	c := &Coordinator{shards: shards, opt: opt, mux: http.NewServeMux()}
+	c := &Coordinator{
+		shards:  shards,
+		opt:     opt,
+		mux:     http.NewServeMux(),
+		results: newClusterCache(opt.ResultCacheBytes),
+	}
 	c.mux.HandleFunc("POST /v1/rank", c.handleRank)
 	c.mux.HandleFunc("POST /v1/rank/batch", c.handleRankBatch)
 	c.mux.HandleFunc("GET /v1/ls", c.handleLs)
@@ -293,13 +311,24 @@ func (c *Coordinator) shutdownContext() (context.Context, context.CancelFunc) {
 // scatter issues the same request to every shard concurrently and
 // returns one result per shard, in shard order.
 func (c *Coordinator) scatter(ctx context.Context, method, pathAndQuery string, body []byte, contentType string) []shardResult {
+	return c.scatterRevalidating(ctx, method, pathAndQuery, body, contentType, nil)
+}
+
+// scatterRevalidating is scatter with a per-shard If-None-Match value
+// (inm[i] for shard i; empty sends none), so shards holding unchanged
+// answers reply 304 without a body.
+func (c *Coordinator) scatterRevalidating(ctx context.Context, method, pathAndQuery string, body []byte, contentType string, inm []string) []shardResult {
 	out := make([]shardResult, len(c.shards))
 	var wg sync.WaitGroup
 	for i, sh := range c.shards {
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
-			out[i] = sh.do(ctx, method, pathAndQuery, body, contentType, c.opt)
+			tag := ""
+			if i < len(inm) {
+				tag = inm[i]
+			}
+			out[i] = sh.do(ctx, method, pathAndQuery, body, contentType, tag, c.opt)
 		}(i, sh)
 	}
 	wg.Wait()
@@ -334,6 +363,18 @@ type CoordinatorStats struct {
 	BatchRequests int64 `json:"batch_requests"`
 	BatchPartial  int64 `json:"batch_partial"`
 	BatchFailures int64 `json:"batch_failures"`
+	// The shard-ETag result cache: shard 304s whose cached decoded
+	// answers fed a merge, merged bodies replayed without re-merging,
+	// requests coalesced behind an identical in-flight scatter, LRU
+	// evictions, client revalidations answered 304, and the cache's
+	// current footprint.
+	ResultShardHits   int64 `json:"result_shard_hits"`
+	ResultMergedHits  int64 `json:"result_merged_hits"`
+	ResultCoalesced   int64 `json:"result_coalesced"`
+	ResultEvictions   int64 `json:"result_evictions"`
+	ResultNotModified int64 `json:"result_not_modified"`
+	ResultBytes       int64 `json:"result_bytes"`
+	ResultEntries     int   `json:"result_entries"`
 }
 
 // StatsResponse is the body of GET /v1/stats on a coordinator.
@@ -345,15 +386,23 @@ type StatsResponse struct {
 // Stats snapshots the coordinator's counters (also served at
 // /v1/stats).
 func (c *Coordinator) Stats() StatsResponse {
+	rc := c.results.stats()
 	resp := StatsResponse{
 		Shards: make([]ShardStats, len(c.shards)),
 		Coordinator: CoordinatorStats{
-			RankRequests:  c.rankRequests.Load(),
-			RankPartial:   c.rankPartial.Load(),
-			RankFailures:  c.rankFailures.Load(),
-			BatchRequests: c.batchRequests.Load(),
-			BatchPartial:  c.batchPartial.Load(),
-			BatchFailures: c.batchFailures.Load(),
+			RankRequests:      c.rankRequests.Load(),
+			RankPartial:       c.rankPartial.Load(),
+			RankFailures:      c.rankFailures.Load(),
+			BatchRequests:     c.batchRequests.Load(),
+			BatchPartial:      c.batchPartial.Load(),
+			BatchFailures:     c.batchFailures.Load(),
+			ResultShardHits:   rc.ShardHits,
+			ResultMergedHits:  rc.MergedHits,
+			ResultCoalesced:   rc.Coalesced,
+			ResultEvictions:   rc.Evictions,
+			ResultNotModified: rc.NotModified,
+			ResultBytes:       rc.Bytes,
+			ResultEntries:     rc.Entries,
 		},
 	}
 	for i, sh := range c.shards {
@@ -382,7 +431,7 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
-			res := sh.doOnce(ctx, http.MethodGet, "/healthz", nil, "", c.opt)
+			res := sh.doOnce(ctx, http.MethodGet, "/healthz", nil, "", "", c.opt)
 			health[i] = shardHealth{URL: sh.url, OK: res.err == nil && res.status == http.StatusOK}
 		}(i, sh)
 	}

@@ -10,12 +10,15 @@ package cluster
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/url"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"misketch/internal/server"
@@ -31,50 +34,72 @@ type (
 // Rank scatters one rank query to every shard and merges the answers.
 // It returns a *ClusterError when the request is invalid or no shard
 // could answer; a degraded answer (some shards lost) is not an error —
-// inspect Partial and ShardErrors.
+// inspect Partial and ShardErrors. The returned response may be shared
+// with the coordinator's result cache and must not be mutated.
 func (c *Coordinator) Rank(ctx context.Context, req RankRequest) (*RankResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, &ClusterError{StatusCode: http.StatusBadRequest, Message: err.Error()}
 	}
-	return c.rankBody(ctx, body)
+	c.rankRequests.Add(1)
+	preq, canon, digest, cerr := c.prepRank(ctx, body)
+	if cerr != nil {
+		c.rankFailures.Add(1)
+		return nil, cerr
+	}
+	resp, _, _, rerr := c.rankScattered(ctx, preq, canon, digest)
+	return resp, rerr
 }
 
-func (c *Coordinator) rankBody(ctx context.Context, body []byte) (*RankResponse, error) {
-	c.rankRequests.Add(1)
+// prepRank turns a raw request body into its canonical scattered form:
+// decoded, by-name trains resolved to inline sketches, re-marshaled
+// (so JSON field order and spelling cannot split the cache), and
+// digested for the cache and singleflight keys.
+func (c *Coordinator) prepRank(ctx context.Context, body []byte) (*RankRequest, []byte, [sha256.Size]byte, *ClusterError) {
+	var zero [sha256.Size]byte
 	req, err := server.DecodeRankRequest(body)
 	if err != nil {
-		c.rankFailures.Add(1)
-		return nil, &ClusterError{StatusCode: http.StatusBadRequest, Message: err.Error()}
+		return nil, nil, zero, &ClusterError{StatusCode: http.StatusBadRequest, Message: err.Error()}
 	}
 	if req.Train != "" {
 		sketch, cerr := c.resolveTrain(ctx, req.Train)
 		if cerr != nil {
-			c.rankFailures.Add(1)
-			return nil, cerr
+			return nil, nil, zero, cerr
 		}
 		req.Train, req.Sketch = "", sketch
-		if body, err = json.Marshal(req); err != nil {
-			c.rankFailures.Add(1)
-			return nil, &ClusterError{StatusCode: http.StatusInternalServerError, Message: err.Error()}
+	}
+	canon, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, zero, &ClusterError{StatusCode: http.StatusInternalServerError, Message: err.Error()}
+	}
+	return req, canon, requestDigest("rank", canon), nil
+}
+
+// rankScattered runs the cached scatter-merge: revalidate cached
+// per-shard answers with If-None-Match, decode only the shards that
+// changed, and replay the merged body outright when nothing did. It
+// returns the merged response, the coordinator's ETag ("" when the
+// answer is partial or a shard sent no ETag), and the encoded body.
+func (c *Coordinator) rankScattered(ctx context.Context, req *RankRequest, canon []byte, digest [sha256.Size]byte) (*RankResponse, string, []byte, error) {
+	started := time.Now()
+	inm := make([]string, len(c.shards))
+	cached := make([]*ccEntry, len(c.shards))
+	if c.results != nil {
+		for i := range c.shards {
+			if ent := c.results.get(ccKey{shard: i, digest: digest}); ent != nil {
+				cached[i] = ent
+				inm[i] = ent.etag
+			}
 		}
 	}
+	results := c.scatterRevalidating(ctx, http.MethodPost, "/v1/rank", canon, "application/json", inm)
 
-	started := time.Now()
-	results := c.scatter(ctx, http.MethodPost, "/v1/rank", body, "application/json")
 	resp := &RankResponse{RankResponse: server.RankResponse{Ranked: []server.RankedResult{}, ProbeCached: true}}
 	skipped := map[string]bool{}
+	tags := make([]string, len(results))
 	answered := 0
-	for _, r := range results {
-		if r.err != nil || r.status != http.StatusOK {
-			resp.ShardErrors = append(resp.ShardErrors, r.shardError())
-			continue
-		}
-		var sr server.RankResponse
-		if err := json.Unmarshal(r.body, &sr); err != nil {
-			resp.ShardErrors = append(resp.ShardErrors, ShardError{Shard: r.shard.url, Error: "undecodable response: " + err.Error()})
-			continue
-		}
+	allRevalidated := true
+	merge := func(sr *server.RankResponse) {
 		answered++
 		resp.Ranked = append(resp.Ranked, sr.Ranked...)
 		for _, name := range sr.Skipped {
@@ -85,9 +110,39 @@ func (c *Coordinator) rankBody(ctx context.Context, body []byte) (*RankResponse,
 			resp.Workers = sr.Workers
 		}
 	}
+	for i, r := range results {
+		switch {
+		case r.err == nil && r.status == http.StatusNotModified && cached[i] != nil:
+			// The shard vouched that its cached answer still holds:
+			// reuse the decoded heap, no body crossed the wire.
+			c.results.shardHits.Add(1)
+			tags[i] = cached[i].etag
+			merge(cached[i].decoded.(*server.RankResponse))
+		case r.err == nil && r.status == http.StatusOK:
+			allRevalidated = false
+			var sr server.RankResponse
+			if err := json.Unmarshal(r.body, &sr); err != nil {
+				resp.ShardErrors = append(resp.ShardErrors, ShardError{Shard: r.shard.url, Error: "undecodable response: " + err.Error()})
+				continue
+			}
+			tags[i] = r.etag
+			if c.results != nil && r.etag != "" {
+				c.results.add(&ccEntry{
+					key:     ccKey{shard: i, digest: digest},
+					etag:    r.etag,
+					decoded: &sr,
+					size:    int64(len(r.body)) + ccEntryOverhead,
+				})
+			}
+			merge(&sr)
+		default:
+			allRevalidated = false
+			resp.ShardErrors = append(resp.ShardErrors, r.shardError())
+		}
+	}
 	if answered == 0 {
 		c.rankFailures.Add(1)
-		return nil, allShardsFailed("rank", resp.ShardErrors)
+		return nil, "", nil, allShardsFailed("rank", resp.ShardErrors)
 	}
 	resp.Partial = answered < len(results)
 	if resp.Partial {
@@ -95,51 +150,103 @@ func (c *Coordinator) rankBody(ctx context.Context, body []byte) (*RankResponse,
 	} else {
 		resp.ShardErrors = nil
 	}
+
+	etag := ""
+	if !resp.Partial && allTagged(tags) {
+		etag = coordEtagFor(digest, tags)
+		if allRevalidated && c.results != nil {
+			if ent := c.results.get(ccKey{shard: mergedShard, digest: digest}); ent != nil && ent.etag == etag && sameTags(ent.shardTags, tags) {
+				// Every shard revalidated and the merge for exactly this
+				// set of shard answers is cached: replay its bytes.
+				c.results.mergedHits.Add(1)
+				return ent.decoded.(*RankResponse), etag, ent.body, nil
+			}
+		}
+	}
 	mergeRanked(resp.Ranked, req.Top, &resp.Ranked)
 	resp.Skipped = sortedNames(skipped)
 	resp.ElapsedNS = time.Since(started).Nanoseconds()
-	return resp, nil
+	encoded := encodeJSON(resp)
+	if etag != "" && c.results != nil {
+		c.results.add(&ccEntry{
+			key:       ccKey{shard: mergedShard, digest: digest},
+			etag:      etag,
+			decoded:   resp,
+			body:      encoded,
+			shardTags: tags,
+			size:      int64(len(encoded)) + ccEntryOverhead,
+		})
+	}
+	return resp, etag, encoded, nil
+}
+
+// allTagged reports whether every shard sent an ETag; without one the
+// coordinator cannot vouch for content stability and emits none.
+func allTagged(tags []string) bool {
+	for _, t := range tags {
+		if t == "" {
+			return false
+		}
+	}
+	return true
 }
 
 // RankBatch scatters one batch rank query to every shard and merges
-// the answers; error semantics mirror Rank.
+// the answers; error and sharing semantics mirror Rank.
 func (c *Coordinator) RankBatch(ctx context.Context, req RankBatchRequest) (*RankBatchResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, &ClusterError{StatusCode: http.StatusBadRequest, Message: err.Error()}
 	}
-	return c.rankBatchBody(ctx, body)
+	c.batchRequests.Add(1)
+	preq, canon, digest, cerr := c.prepRankBatch(ctx, body)
+	if cerr != nil {
+		c.batchFailures.Add(1)
+		return nil, cerr
+	}
+	resp, _, _, rerr := c.rankBatchScattered(ctx, preq, canon, digest)
+	return resp, rerr
 }
 
-func (c *Coordinator) rankBatchBody(ctx context.Context, body []byte) (*RankBatchResponse, error) {
-	c.batchRequests.Add(1)
+// prepRankBatch mirrors prepRank for the batch endpoint.
+func (c *Coordinator) prepRankBatch(ctx context.Context, body []byte) (*RankBatchRequest, []byte, [sha256.Size]byte, *ClusterError) {
+	var zero [sha256.Size]byte
 	req, err := server.DecodeRankBatchRequest(body)
 	if err != nil {
-		c.batchFailures.Add(1)
-		return nil, &ClusterError{StatusCode: http.StatusBadRequest, Message: err.Error()}
+		return nil, nil, zero, &ClusterError{StatusCode: http.StatusBadRequest, Message: err.Error()}
 	}
-	rewrote := false
 	for i := range req.Trains {
 		if req.Trains[i].Train == "" {
 			continue
 		}
 		sketch, cerr := c.resolveTrain(ctx, req.Trains[i].Train)
 		if cerr != nil {
-			c.batchFailures.Add(1)
-			return nil, cerr
+			return nil, nil, zero, cerr
 		}
 		req.Trains[i].Train, req.Trains[i].Sketch = "", sketch
-		rewrote = true
 	}
-	if rewrote {
-		if body, err = json.Marshal(req); err != nil {
-			c.batchFailures.Add(1)
-			return nil, &ClusterError{StatusCode: http.StatusInternalServerError, Message: err.Error()}
+	canon, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, zero, &ClusterError{StatusCode: http.StatusInternalServerError, Message: err.Error()}
+	}
+	return req, canon, requestDigest("batch", canon), nil
+}
+
+// rankBatchScattered is rankScattered for the batch endpoint.
+func (c *Coordinator) rankBatchScattered(ctx context.Context, req *RankBatchRequest, canon []byte, digest [sha256.Size]byte) (*RankBatchResponse, string, []byte, error) {
+	started := time.Now()
+	inm := make([]string, len(c.shards))
+	cached := make([]*ccEntry, len(c.shards))
+	if c.results != nil {
+		for i := range c.shards {
+			if ent := c.results.get(ccKey{shard: i, digest: digest}); ent != nil {
+				cached[i] = ent
+				inm[i] = ent.etag
+			}
 		}
 	}
+	results := c.scatterRevalidating(ctx, http.MethodPost, "/v1/rank/batch", canon, "application/json", inm)
 
-	started := time.Now()
-	results := c.scatter(ctx, http.MethodPost, "/v1/rank/batch", body, "application/json")
 	resp := &RankBatchResponse{RankBatchResponse: server.RankBatchResponse{}}
 	// Queries merge positionally: every shard answers in request order,
 	// so query q's slices concatenate across shards.
@@ -148,17 +255,10 @@ func (c *Coordinator) rankBatchBody(ctx context.Context, body []byte) (*RankBatc
 		merged[q] = server.BatchQueryResponse{Name: req.Trains[q].Name, Ranked: []server.RankedResult{}}
 	}
 	skipped := map[string]bool{}
+	tags := make([]string, len(results))
 	answered := 0
-	for _, r := range results {
-		if r.err != nil || r.status != http.StatusOK {
-			resp.ShardErrors = append(resp.ShardErrors, r.shardError())
-			continue
-		}
-		var sr server.RankBatchResponse
-		if err := json.Unmarshal(r.body, &sr); err != nil || len(sr.Queries) != len(merged) {
-			resp.ShardErrors = append(resp.ShardErrors, ShardError{Shard: r.shard.url, Error: "undecodable batch response"})
-			continue
-		}
+	allRevalidated := true
+	merge := func(sr *server.RankBatchResponse) {
 		answered++
 		for q := range sr.Queries {
 			merged[q].Ranked = append(merged[q].Ranked, sr.Queries[q].Ranked...)
@@ -172,9 +272,37 @@ func (c *Coordinator) rankBatchBody(ctx context.Context, body []byte) (*RankBatc
 			resp.Workers = sr.Workers
 		}
 	}
+	for i, r := range results {
+		switch {
+		case r.err == nil && r.status == http.StatusNotModified && cached[i] != nil:
+			c.results.shardHits.Add(1)
+			tags[i] = cached[i].etag
+			merge(cached[i].decoded.(*server.RankBatchResponse))
+		case r.err == nil && r.status == http.StatusOK:
+			allRevalidated = false
+			var sr server.RankBatchResponse
+			if err := json.Unmarshal(r.body, &sr); err != nil || len(sr.Queries) != len(merged) {
+				resp.ShardErrors = append(resp.ShardErrors, ShardError{Shard: r.shard.url, Error: "undecodable batch response"})
+				continue
+			}
+			tags[i] = r.etag
+			if c.results != nil && r.etag != "" {
+				c.results.add(&ccEntry{
+					key:     ccKey{shard: i, digest: digest},
+					etag:    r.etag,
+					decoded: &sr,
+					size:    int64(len(r.body)) + ccEntryOverhead,
+				})
+			}
+			merge(&sr)
+		default:
+			allRevalidated = false
+			resp.ShardErrors = append(resp.ShardErrors, r.shardError())
+		}
+	}
 	if answered == 0 {
 		c.batchFailures.Add(1)
-		return nil, allShardsFailed("rank batch", resp.ShardErrors)
+		return nil, "", nil, allShardsFailed("rank batch", resp.ShardErrors)
 	}
 	resp.Partial = answered < len(results)
 	if resp.Partial {
@@ -182,13 +310,35 @@ func (c *Coordinator) rankBatchBody(ctx context.Context, body []byte) (*RankBatc
 	} else {
 		resp.ShardErrors = nil
 	}
+
+	etag := ""
+	if !resp.Partial && allTagged(tags) {
+		etag = coordEtagFor(digest, tags)
+		if allRevalidated && c.results != nil {
+			if ent := c.results.get(ccKey{shard: mergedShard, digest: digest}); ent != nil && ent.etag == etag && sameTags(ent.shardTags, tags) {
+				c.results.mergedHits.Add(1)
+				return ent.decoded.(*RankBatchResponse), etag, ent.body, nil
+			}
+		}
+	}
 	for q := range merged {
 		mergeRanked(merged[q].Ranked, req.Top, &merged[q].Ranked)
 	}
 	resp.Queries = merged
 	resp.Skipped = sortedNames(skipped)
 	resp.ElapsedNS = time.Since(started).Nanoseconds()
-	return resp, nil
+	encoded := encodeJSON(resp)
+	if etag != "" && c.results != nil {
+		c.results.add(&ccEntry{
+			key:       ccKey{shard: mergedShard, digest: digest},
+			etag:      etag,
+			decoded:   resp,
+			body:      encoded,
+			shardTags: tags,
+			size:      int64(len(encoded)) + ccEntryOverhead,
+		})
+	}
+	return resp, etag, encoded, nil
 }
 
 // resolveTrain locates a stored train by name: scatter GET /v1/get, the
@@ -287,12 +437,30 @@ func (c *Coordinator) handleRank(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
-	resp, rerr := c.rankBody(r.Context(), body)
-	if rerr != nil {
-		writeClusterError(w, rerr)
+	c.rankRequests.Add(1)
+	req, canon, digest, cerr := c.prepRank(r.Context(), body)
+	if cerr != nil {
+		c.rankFailures.Add(1)
+		writeClusterError(w, cerr)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+
+	f, leader, release := c.results.joinFlight(r.Context(), digest)
+	defer release()
+	if !leader {
+		c.awaitFlight(w, r, f, &c.rankFailures)
+		return
+	}
+	resp, etag, encoded, rerr := c.rankScattered(f.ctx, req, canon, digest)
+	_ = resp
+	if rerr != nil {
+		status, errBody := clusterErrorBytes(rerr)
+		c.results.finishFlight(digest, f, status, "", errBody)
+		writeOutcome(w, r, c.results, status, "", errBody)
+		return
+	}
+	c.results.finishFlight(digest, f, http.StatusOK, etag, encoded)
+	writeOutcome(w, r, c.results, http.StatusOK, etag, encoded)
 }
 
 func (c *Coordinator) handleRankBatch(w http.ResponseWriter, r *http.Request) {
@@ -301,12 +469,78 @@ func (c *Coordinator) handleRankBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
-	resp, rerr := c.rankBatchBody(r.Context(), body)
-	if rerr != nil {
-		writeClusterError(w, rerr)
+	c.batchRequests.Add(1)
+	req, canon, digest, cerr := c.prepRankBatch(r.Context(), body)
+	if cerr != nil {
+		c.batchFailures.Add(1)
+		writeClusterError(w, cerr)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+
+	f, leader, release := c.results.joinFlight(r.Context(), digest)
+	defer release()
+	if !leader {
+		c.awaitFlight(w, r, f, &c.batchFailures)
+		return
+	}
+	resp, etag, encoded, rerr := c.rankBatchScattered(f.ctx, req, canon, digest)
+	_ = resp
+	if rerr != nil {
+		status, errBody := clusterErrorBytes(rerr)
+		c.results.finishFlight(digest, f, status, "", errBody)
+		writeOutcome(w, r, c.results, status, "", errBody)
+		return
+	}
+	c.results.finishFlight(digest, f, http.StatusOK, etag, encoded)
+	writeOutcome(w, r, c.results, http.StatusOK, etag, encoded)
+}
+
+// awaitFlight serves a coalesced request from its flight's published
+// outcome; failures counts the replayed error against this endpoint.
+func (c *Coordinator) awaitFlight(w http.ResponseWriter, r *http.Request, f *cflight, failures *atomic.Int64) {
+	select {
+	case <-f.done:
+		if f.status != http.StatusOK {
+			failures.Add(1)
+		}
+		writeOutcome(w, r, c.results, f.status, f.etag, f.body)
+	case <-r.Context().Done():
+		httpError(w, http.StatusServiceUnavailable,
+			"client cancelled while coalesced behind an identical in-flight query")
+	}
+}
+
+// writeOutcome puts a (status, etag, body) outcome on the wire,
+// honoring the request's own If-None-Match when the outcome carries an
+// ETag — each coalesced participant revalidates independently.
+func writeOutcome(w http.ResponseWriter, r *http.Request, cc *clusterCache, status int, etag string, body []byte) {
+	if status == http.StatusOK && etag != "" {
+		if etagMatches(r.Header.Get("If-None-Match"), etag) {
+			if cc != nil {
+				cc.notModified.Add(1)
+			}
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("ETag", etag)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// clusterErrorBytes encodes a query failure exactly as
+// writeClusterError serves it, for replay to coalesced waiters.
+func clusterErrorBytes(err error) (int, []byte) {
+	var ce *ClusterError
+	if !errors.As(err, &ce) {
+		return http.StatusInternalServerError, encodeJSON(errorResponse{Error: err.Error()})
+	}
+	return ce.StatusCode, encodeJSON(struct {
+		Error       string       `json:"error"`
+		ShardErrors []ShardError `json:"shard_errors,omitempty"`
+	}{ce.Message, ce.Shards})
 }
 
 // handleLs merges the shard manifests into one listing, sorted by name.

@@ -1,0 +1,331 @@
+package cluster
+
+// Coordinator result-cache tests: shard 304 revalidation must merge
+// bit-identically to a full-body scatter — including across a shard
+// restart whose generation counter collides with the old process —
+// and partial (degraded) answers must never be cached or carry ETags.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"testing"
+	"time"
+
+	"misketch/internal/core"
+	"misketch/internal/server"
+	"misketch/internal/store"
+)
+
+var elapsedRE = regexp.MustCompile(`"elapsed_ns":\d+`)
+
+func normalizeElapsed(b []byte) []byte {
+	return elapsedRE.ReplaceAll(b, []byte(`"elapsed_ns":0`))
+}
+
+// postCoord posts a rank body to a coordinator server and returns the
+// status, ETag, and raw body.
+func postCoord(t testing.TB, url string, body []byte, inm string) (int, string, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/rank", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("ETag"), raw
+}
+
+// TestClusterShard304MergeBitIdentical: with the coordinator cache on,
+// a repeated query revalidates every shard (304, no bodies) and the
+// merged answer is bit-identical to the first full-body scatter and to
+// the single-node ground truth.
+func TestClusterShard304MergeBitIdentical(t *testing.T) {
+	tc := newTestCluster(t, 3, 31)
+	coord := tc.coordinator(t, Options{ResultCacheBytes: 1 << 20})
+	cs := httptest.NewServer(coord)
+	defer cs.Close()
+
+	req := tc.rankRequest(t, 10)
+	body := mustMarshal(t, req)
+	want := tc.singleNodeRank(t, req)
+
+	status, etag1, first := postCoord(t, cs.URL, body, "")
+	if status != http.StatusOK {
+		t.Fatalf("first query: status %d: %s", status, first)
+	}
+	if etag1 == "" {
+		t.Fatal("full cluster answer carried no ETag")
+	}
+	var fr RankResponse
+	mustUnmarshal(t, first, &fr)
+	assertIdenticalRanked(t, fr.Ranked, want.Ranked)
+
+	status, etag2, second := postCoord(t, cs.URL, body, "")
+	if status != http.StatusOK {
+		t.Fatalf("second query: status %d: %s", status, second)
+	}
+	if etag2 != etag1 {
+		t.Fatalf("ETag changed without a mutation: %q -> %q", etag1, etag2)
+	}
+	if !bytes.Equal(normalizeElapsed(first), normalizeElapsed(second)) {
+		t.Fatalf("304-merged answer diverges from full scatter:\n%s\n%s", first, second)
+	}
+	st := coord.Stats().Coordinator
+	if st.ResultShardHits != 3 {
+		t.Fatalf("shard 304 reuses = %d, want 3", st.ResultShardHits)
+	}
+	if st.ResultMergedHits != 1 {
+		t.Fatalf("merged replays = %d, want 1", st.ResultMergedHits)
+	}
+
+	// A client holding the coordinator ETag revalidates for free.
+	status, _, revalBody := postCoord(t, cs.URL, body, etag1)
+	if status != http.StatusNotModified {
+		t.Fatalf("client revalidation: status %d, want 304: %s", status, revalBody)
+	}
+	if len(revalBody) != 0 {
+		t.Fatalf("304 carried a body: %q", revalBody)
+	}
+}
+
+// TestClusterCacheMutationInvalidates: a Put on one shard must change
+// that shard's ETag (and the coordinator's), and the next identical
+// query must merge the fresh answer while the untouched shards still
+// revalidate with 304.
+func TestClusterCacheMutationInvalidates(t *testing.T) {
+	tc := newTestCluster(t, 3, 31)
+	coord := tc.coordinator(t, Options{ResultCacheBytes: 1 << 20})
+	cs := httptest.NewServer(coord)
+	defer cs.Close()
+
+	req := tc.rankRequest(t, 0) // all results, so the new candidate must appear
+	body := mustMarshal(t, req)
+	_, etag1, _ := postCoord(t, cs.URL, body, "")
+
+	// Mutate shard 0 (and the union ground truth identically).
+	extra := buildCandidate(t, 91)
+	if err := tc.shardSts[0].Put("corpus/extra", extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.unionSt.Put("corpus/extra", extra); err != nil {
+		t.Fatal(err)
+	}
+
+	status, etag2, second := postCoord(t, cs.URL, body, "")
+	if status != http.StatusOK {
+		t.Fatalf("post-mutation query: status %d: %s", status, second)
+	}
+	if etag2 == etag1 {
+		t.Fatal("coordinator ETag unchanged across a shard mutation")
+	}
+	var sr RankResponse
+	mustUnmarshal(t, second, &sr)
+	want := tc.singleNodeRank(t, req)
+	assertIdenticalRanked(t, sr.Ranked, want.Ranked)
+	found := false
+	for _, rr := range sr.Ranked {
+		if rr.Name == "corpus/extra" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("merged answer missing the candidate added between queries")
+	}
+	// Shards 1 and 2 were untouched: they revalidated.
+	if st := coord.Stats().Coordinator; st.ResultShardHits != 2 {
+		t.Fatalf("shard 304 reuses = %d, want 2 (untouched shards only)", st.ResultShardHits)
+	}
+}
+
+// TestClusterShardRestartEpoch: a shard restart that lands on the same
+// generation number but different content must NOT revalidate the old
+// ETag — the per-process epoch makes the stale entry unusable and the
+// merge stays bit-identical to ground truth.
+func TestClusterShardRestartEpoch(t *testing.T) {
+	tc := newTestCluster(t, 2, 20)
+
+	// Shard 0 is replaced by a hand-run server so it can be restarted
+	// on the same address with a different store.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	hs1 := &http.Server{Handler: server.New(tc.shardSts[0], server.Options{})}
+	go hs1.Serve(ln)
+
+	urls := []string{"http://" + addr, tc.shards[1].URL}
+	coord, err := New(urls, Options{ResultCacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(coord)
+	defer cs.Close()
+
+	req := tc.rankRequest(t, 0)
+	body := mustMarshal(t, req)
+	if status, _, raw := postCoord(t, cs.URL, body, ""); status != http.StatusOK {
+		t.Fatalf("warmup: status %d: %s", status, raw)
+	}
+
+	// "Restart" shard 0: a new store with the same number of puts (so
+	// the generation counter collides with the old process) but one
+	// candidate replaced by different data.
+	st2, err := store.OpenWithOptions(t.TempDir(), store.OpenOptions{Backend: store.BackendMem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	names, old := shardContents(t, tc.shardSts[0])
+	changed := ""
+	for i, name := range names {
+		sk := old[i]
+		if i == 0 {
+			sk = buildCandidate(t, 123) // different content, same put count
+			changed = name
+		}
+		if err := st2.Put(name, sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g1, g2 := tc.shardSts[0].Gen(), st2.Gen(); g1 != g2 {
+		t.Fatalf("test setup: generations diverge (%d vs %d); the collision scenario needs them equal", g1, g2)
+	}
+	// Union ground truth mirrors the restart's changed candidate.
+	if err := tc.unionSt.Put(changed, buildCandidate(t, 123)); err != nil {
+		t.Fatal(err)
+	}
+
+	hs1.Close()
+	var ln2 net.Listener
+	for i := 0; ; i++ {
+		if ln2, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		if i > 50 {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	hs2 := &http.Server{Handler: server.New(st2, server.Options{})}
+	defer hs2.Close()
+	go hs2.Serve(ln2)
+
+	status, _, raw := postCoord(t, cs.URL, body, "")
+	if status != http.StatusOK {
+		t.Fatalf("post-restart query: status %d: %s", status, raw)
+	}
+	var rr RankResponse
+	mustUnmarshal(t, raw, &rr)
+	if rr.Partial {
+		t.Fatalf("post-restart query answered partial: %s", raw)
+	}
+	want := tc.singleNodeRank(t, req)
+	assertIdenticalRanked(t, rr.Ranked, want.Ranked)
+}
+
+// TestClusterPartialNeverCached: with one shard down the answer is
+// partial — no coordinator ETag, no merged-cache entry — and recovery
+// is never served from a degraded merge.
+func TestClusterPartialNeverCached(t *testing.T) {
+	tc := newTestCluster(t, 3, 31)
+	coord := tc.coordinator(t, Options{
+		ResultCacheBytes: 1 << 20,
+		RequestTimeout:   2 * time.Second,
+		Retries:          -1,
+	})
+	cs := httptest.NewServer(coord)
+	defer cs.Close()
+
+	req := tc.rankRequest(t, 10)
+	body := mustMarshal(t, req)
+
+	// Warm the full merge first, then lose a shard.
+	if status, etag, _ := postCoord(t, cs.URL, body, ""); status != http.StatusOK || etag == "" {
+		t.Fatalf("warmup: status %d etag %q", status, etag)
+	}
+	tc.shards[1].Close()
+
+	for pass := 0; pass < 2; pass++ {
+		status, etag, raw := postCoord(t, cs.URL, body, "")
+		if status != http.StatusOK {
+			t.Fatalf("degraded pass %d: status %d: %s", pass, status, raw)
+		}
+		var rr RankResponse
+		mustUnmarshal(t, raw, &rr)
+		if !rr.Partial {
+			t.Fatalf("degraded pass %d: lost shard but partial=false: %s", pass, raw)
+		}
+		if etag != "" {
+			t.Fatalf("degraded pass %d: partial answer carried ETag %q", pass, etag)
+		}
+	}
+	if st := coord.Stats().Coordinator; st.ResultMergedHits != 0 {
+		t.Fatalf("merged replays = %d during degraded service, want 0", st.ResultMergedHits)
+	}
+}
+
+// buildCandidate makes one joinable candidate whose values depend on
+// salt, so different salts give different sketch content.
+func buildCandidate(t testing.TB, salt int) *core.Sketch {
+	t.Helper()
+	cb, err := core.NewStreamBuilder(core.RoleCandidate, true, core.Options{Method: core.TUPSK, Size: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 90; g++ {
+		cb.AddNum(fmt.Sprintf("g%d", g), float64((g+salt)%7))
+	}
+	return cb.Sketch()
+}
+
+// shardContents snapshots a store's sketches by name, in listing order.
+func shardContents(t testing.TB, st *store.Store) ([]string, []*core.Sketch) {
+	t.Helper()
+	names, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sketches := make([]*core.Sketch, 0, len(names))
+	for _, name := range names {
+		sk, err := st.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sketches = append(sketches, sk)
+	}
+	return names, sketches
+}
+
+func mustMarshal(t testing.TB, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func mustUnmarshal(t testing.TB, b []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(b, v); err != nil {
+		t.Fatalf("decoding %q: %v", b, err)
+	}
+}

@@ -49,6 +49,9 @@ type shardResult struct {
 	shard  *shard
 	status int
 	body   []byte
+	// etag is the shard's ETag header, when it sent one — the handle
+	// the coordinator's result cache revalidates with.
+	etag string
 	// err is a transport-level failure (dial, timeout, broken
 	// connection) that survived the retry budget; status and body are
 	// meaningless when set.
@@ -75,15 +78,16 @@ func (r shardResult) transient() bool {
 // do issues one request to the shard, retrying transient failures with
 // exponential backoff up to the Options budget. The context bounds the
 // whole exchange including backoff waits; each attempt additionally
-// gets its own RequestTimeout.
-func (s *shard) do(ctx context.Context, method, pathAndQuery string, body []byte, contentType string, opt Options) shardResult {
+// gets its own RequestTimeout. A non-empty ifNoneMatch is sent as the
+// If-None-Match header so an unchanged shard can answer 304 bodyless.
+func (s *shard) do(ctx context.Context, method, pathAndQuery string, body []byte, contentType, ifNoneMatch string, opt Options) shardResult {
 	s.requests.Add(1)
 	started := time.Now()
 	backoff := timeout(opt.RetryBackoff, DefaultRetryBackoff)
 	attempts := retryBudget(opt.Retries) + 1
 	var res shardResult
 	for attempt := 0; ; attempt++ {
-		res = s.doOnce(ctx, method, pathAndQuery, body, contentType, opt)
+		res = s.doOnce(ctx, method, pathAndQuery, body, contentType, ifNoneMatch, opt)
 		if !res.transient() || attempt+1 >= attempts || ctx.Err() != nil {
 			break
 		}
@@ -111,7 +115,7 @@ func (s *shard) do(ctx context.Context, method, pathAndQuery string, body []byte
 
 // doOnce is a single attempt: one request, one response, body fully
 // read so the connection returns to the pool.
-func (s *shard) doOnce(ctx context.Context, method, pathAndQuery string, body []byte, contentType string, opt Options) shardResult {
+func (s *shard) doOnce(ctx context.Context, method, pathAndQuery string, body []byte, contentType, ifNoneMatch string, opt Options) shardResult {
 	if d := timeout(opt.RequestTimeout, DefaultRequestTimeout); d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
@@ -128,6 +132,9 @@ func (s *shard) doOnce(ctx context.Context, method, pathAndQuery string, body []
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
 	resp, err := s.client.Do(req)
 	if err != nil {
 		return shardResult{shard: s, err: err}
@@ -137,7 +144,7 @@ func (s *shard) doOnce(ctx context.Context, method, pathAndQuery string, body []
 	if err != nil {
 		return shardResult{shard: s, err: fmt.Errorf("reading response: %w", err)}
 	}
-	return shardResult{shard: s, status: resp.StatusCode, body: b}
+	return shardResult{shard: s, status: resp.StatusCode, body: b, etag: resp.Header.Get("ETag")}
 }
 
 func (s *shard) stats() ShardStats {

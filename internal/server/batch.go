@@ -20,7 +20,6 @@ import (
 	"time"
 
 	"misketch/internal/core"
-	"misketch/internal/mi"
 	"misketch/internal/store"
 )
 
@@ -140,11 +139,17 @@ func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Resolve every train and its compiled probe before admission, so a
-	// queued batch holds no capacity while its sketches decode.
+	// Same fence as handleRank: the generation is read before any train
+	// resolves, so the cache key can never name fresher data than the
+	// snapshot the computation will see.
+	gen := s.st.Gen()
+
+	// Resolve every train before admission, so a queued batch holds no
+	// capacity while its sketches decode. Probe compilation waits for
+	// the flight leader — a coalesced or cached batch never compiles.
 	trains := make([]*core.Sketch, len(req.Trains))
-	probes := make([]*core.TrainProbe, len(req.Trains))
-	probesCached := 0
+	digests := make([]probeDigest, len(req.Trains))
+	names := make([]string, len(req.Trains))
 	for i := range req.Trains {
 		ref := &req.Trains[i]
 		refReq := RankRequest{Sketch: ref.Sketch, Train: ref.Train}
@@ -166,47 +171,96 @@ func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
 				i, ref.Name, train.Seed, trains[0].Seed)
 			return
 		}
-		probe, cached := s.probes.get(digest)
+		trains[i] = train
+		digests[i] = digest
+		names[i] = ref.Name
+	}
+
+	p := resolveRankParams(req.Prefix, req.MinJoin, req.K, req.Top, req.Workers,
+		req.NoCascade, req.CascadeMargin, s.opt.MaxWorkers)
+	canon := canonicalBatchDigest(names, digests, p)
+	key := cacheKey{digest: canon, gen: gen}
+	etag := etagFor(s.epoch, canon, gen)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		if s.results != nil {
+			s.results.notModified.Add(1)
+		}
+		writeNotModified(w, etag)
+		return
+	}
+	if cachedTag, cachedBody, ok := s.results.get(key); ok {
+		writeCachedResponse(w, cachedTag, cachedBody)
+		return
+	}
+
+	f, leader, release := s.results.joinFlight(r.Context(), key)
+	defer release()
+	if !leader {
+		select {
+		case <-f.done:
+			if f.status != http.StatusOK {
+				s.batchFailures.Add(1)
+			}
+			replayFlight(w, f)
+		case <-r.Context().Done():
+			s.rankRejected.Add(1)
+			httpError(w, http.StatusServiceUnavailable, "%v", errCoalescedCancel)
+		}
+		return
+	}
+
+	status, fresh, cacheable := s.computeRankBatch(f.ctx, req, trains, digests, p)
+	if status == http.StatusOK {
+		s.results.add(key, etag, cacheable)
+	}
+	s.results.finishFlight(key, f, status, etag, cacheable)
+	if status == http.StatusOK {
+		writeCachedResponse(w, etag, fresh)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(fresh)
+}
+
+// computeRankBatch is handleRankBatch's flight-leader body: probe
+// compile-or-reuse, semaphore admission, store batch ranking, and JSON
+// encoding. fresh reports the probes_cached count this computation saw;
+// cacheable (stored and replayed to waiters) forces it to len(trains),
+// which is what any later identical batch would observe.
+func (s *Server) computeRankBatch(ctx context.Context, req *RankBatchRequest, trains []*core.Sketch, digests []probeDigest, p rankParams) (status int, fresh, cacheable []byte) {
+	probes := make([]*core.TrainProbe, len(trains))
+	probesCached := 0
+	for i := range trains {
+		probe, cached := s.probes.get(digests[i])
 		if !cached {
-			probe = core.CompileTrainProbe(train)
-			s.probes.add(digest, probe)
+			probe = core.CompileTrainProbe(trains[i])
+			s.probes.add(digests[i], probe)
 		} else {
-			train = probe.Train()
+			// The cached probe was compiled from bit-identical sketch
+			// bytes; rank against its train so they always agree.
+			trains[i] = probe.Train()
 			probesCached++
 		}
-		trains[i] = train
 		probes[i] = probe
 	}
 
-	workers := req.Workers
-	if workers <= 0 || workers > s.opt.MaxWorkers {
-		workers = s.opt.MaxWorkers
-	}
-	ctx := r.Context()
-	if err := s.sem.acquire(ctx, workers); err != nil {
-		// Counted as a rejection only, mirroring handleRank: the client
+	if err := s.sem.acquire(ctx, p.workers); err != nil {
+		// Counted as a rejection only, mirroring handleRank: the clients
 		// left before capacity freed, which is not a batch failure.
 		s.rankRejected.Add(1)
-		httpError(w, http.StatusServiceUnavailable, "cancelled while queued for capacity: %v", err)
-		return
+		body := encodeJSON(errorResponse{Error: fmt.Sprintf("cancelled while queued for capacity: %v", err)})
+		return http.StatusServiceUnavailable, body, body
 	}
-	defer s.sem.release(workers)
+	defer s.sem.release(p.workers)
 
-	minJoin := defaultMinJoin
-	if req.MinJoin != nil {
-		minJoin = *req.MinJoin
-	}
-	k := req.K
-	if k == 0 {
-		k = mi.DefaultK
-	}
 	started := time.Now()
 	res, err := s.st.RankBatch(ctx, trains, store.BatchOptions{
 		Prefix:        req.Prefix,
-		MinJoinSize:   minJoin,
-		K:             k,
+		MinJoinSize:   p.minJoin,
+		K:             p.k,
 		TopK:          req.Top,
-		Workers:       workers,
+		Workers:       p.workers,
 		Probes:        probes,
 		ScratchPool:   s.scratch,
 		NoCascade:     req.NoCascade,
@@ -218,14 +272,14 @@ func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			status = http.StatusServiceUnavailable
 		}
-		httpError(w, status, "rank batch: %v", err)
-		return
+		body := encodeJSON(errorResponse{Error: fmt.Sprintf("rank batch: %v", err)})
+		return status, body, body
 	}
 	resp := RankBatchResponse{
 		Queries:      make([]BatchQueryResponse, len(res.Queries)),
 		Skipped:      res.Skipped,
 		ProbesCached: probesCached,
-		Workers:      workers,
+		Workers:      p.workers,
 		ElapsedNS:    time.Since(started).Nanoseconds(),
 	}
 	for q, qr := range res.Queries {
@@ -241,5 +295,11 @@ func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Queries[q] = out
 	}
-	writeJSON(w, http.StatusOK, resp)
+	fresh = encodeJSON(resp)
+	cacheable = fresh
+	if resp.ProbesCached != len(trains) {
+		resp.ProbesCached = len(trains)
+		cacheable = encodeJSON(resp)
+	}
+	return http.StatusOK, fresh, cacheable
 }

@@ -150,3 +150,59 @@ func BenchmarkServerRank(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkServeRankCached is the result-cache hit path: the same warm
+// query through a server with the cache on. Before the clock starts it
+// asserts the acceptance contract — the cached body is bit-identical
+// to the uncached server's answer (elapsed_ns aside) — then times pure
+// hits, which skip probe compilation, semaphore admission, estimation,
+// and encoding entirely. Compare against BenchmarkServerRank/http.
+func BenchmarkServeRankCached(b *testing.B) {
+	benchSetup()
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	cached := httptest.NewServer(New(benchStore, Options{ResultCacheBytes: 1 << 20}))
+	defer cached.Close()
+	minJoin := 50
+	body, err := json.Marshal(RankRequest{
+		Sketch: benchB64, Prefix: "bench/", MinJoin: &minJoin, K: 3, Top: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func(url string) []byte {
+		resp, err := http.Post(url+"/v1/rank", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d: %s", resp.StatusCode, raw)
+		}
+		return raw
+	}
+
+	// Warm the uncached baseline twice (the second answer has the probe
+	// cache hot, matching what the cached body claims), fill the result
+	// cache, and assert bit-identity before any timing happens.
+	post(benchHTTP.URL)
+	uncachedBody := post(benchHTTP.URL)
+	post(cached.URL)
+	hit := post(cached.URL)
+	if !bytes.Equal(normalizeElapsed(hit), normalizeElapsed(uncachedBody)) {
+		b.Fatalf("cached answer is not bit-identical to uncached:\n%s\n%s", hit, uncachedBody)
+	}
+	var rr RankResponse
+	if err := json.Unmarshal(hit, &rr); err != nil || len(rr.Ranked) != 10 {
+		b.Fatalf("cached answer malformed (%v): %s", err, hit)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if raw := post(cached.URL); !bytes.Equal(raw, hit) {
+			b.Fatalf("hit replay diverged:\n%s\n%s", raw, hit)
+		}
+	}
+}

@@ -2,8 +2,11 @@ package server
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/base64"
 	"encoding/json"
+	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -146,5 +149,89 @@ func FuzzRankBatchRequest(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		fuzzPost(t, srv, "/v1/rank/batch", body)
+	})
+}
+
+// FuzzCanonicalization is the result-cache key differential: two
+// semantically equal rank requests — one spelling its knobs implicitly,
+// one spelling the resolved defaults explicitly — MUST land on the same
+// canonical digest, and any change to a resolved knob, the train
+// content, or the order of a batch's trains MUST change it. A collision
+// in either direction is a correctness bug: the cache would silently
+// serve one query's answer to a different query.
+func FuzzCanonicalization(f *testing.F) {
+	f.Add("bench/", 100, true, 4, 10, 2, false, 0.5, 4, uint64(1))
+	f.Add("", -3, false, 0, 0, 0, true, 0.0, 8, uint64(2))
+	f.Add("p", 7, true, 1, 1, 99, false, -2.0, 3, uint64(3))
+	f.Add("corpus/", 50, true, 6, 25, 1, false, 1e308, 1, uint64(4))
+	f.Fuzz(func(t *testing.T, prefix string, minJoin int, hasMinJoin bool,
+		k, top, workers int, noCascade bool, margin float64, maxWorkers int, seed uint64) {
+		if maxWorkers < 1 {
+			maxWorkers = 1
+		}
+		if math.IsNaN(margin) {
+			// A JSON request can never carry NaN, and NaN breaks the
+			// explicit-respelling comparison below (NaN != NaN).
+			margin = 0
+		}
+		var mj *int
+		if hasMinJoin {
+			mj = &minJoin
+		}
+		p := resolveRankParams(prefix, mj, k, top, workers, noCascade, margin, maxWorkers)
+		train := probeDigest(sha256.Sum256([]byte(fmt.Sprintf("train-%d", seed))))
+		key := canonicalRankDigest(train, p)
+
+		// Differential 1: respelling every resolved default explicitly
+		// is the same request and must collide with the implicit form.
+		mj2 := p.minJoin
+		p2 := resolveRankParams(p.prefix, &mj2, p.k, p.top, p.workers, p.noCascade, p.margin, maxWorkers)
+		if p2 != p {
+			t.Fatalf("resolution is not idempotent: %+v -> %+v", p, p2)
+		}
+		if canonicalRankDigest(train, p2) != key {
+			t.Fatalf("explicit defaults changed the cache key for %+v", p)
+		}
+
+		// Differential 2: every single-knob change to the resolved
+		// params must change the key (injectivity of the digest).
+		perturbed := []rankParams{p, p, p, p, p, p, p}
+		perturbed[0].prefix += "x"
+		perturbed[1].minJoin++
+		perturbed[2].k++
+		perturbed[3].top++
+		perturbed[4].workers++
+		perturbed[5].noCascade = !p.noCascade
+		if p.margin == -1 {
+			perturbed[6].margin = store.DefaultCascadeMargin
+		} else {
+			perturbed[6].margin = -1
+		}
+		for i, q := range perturbed {
+			if canonicalRankDigest(train, q) == key {
+				t.Fatalf("perturbation %d collided: %+v vs %+v", i, p, q)
+			}
+		}
+		other := probeDigest(sha256.Sum256([]byte(fmt.Sprintf("train-%d'", seed))))
+		if canonicalRankDigest(other, p) == key {
+			t.Fatal("different train content collided with the original key")
+		}
+
+		// Differential 3 (batch): the same trains reordered are a
+		// different request — the response lists queries in request
+		// order — so the keys must NOT collide. Nor may a one-train
+		// batch collide with the equivalent single rank query.
+		names := []string{"a", "b"}
+		ab := canonicalBatchDigest(names, []probeDigest{train, other}, p)
+		ba := canonicalBatchDigest([]string{"b", "a"}, []probeDigest{other, train}, p)
+		if ab == ba {
+			t.Fatalf("reordered batch trains collided for %+v", p)
+		}
+		if one := canonicalBatchDigest([]string{"a"}, []probeDigest{train}, p); one == key {
+			t.Fatalf("one-train batch collided with the single rank key for %+v", p)
+		}
+		if again := canonicalBatchDigest(names, []probeDigest{train, other}, p); again != ab {
+			t.Fatal("batch digest is not deterministic")
+		}
 	})
 }

@@ -40,7 +40,6 @@ import (
 	"time"
 
 	"misketch/internal/core"
-	"misketch/internal/mi"
 	"misketch/internal/store"
 	"misketch/internal/table"
 )
@@ -93,6 +92,16 @@ type Options struct {
 	// MaxBodyBytes caps request body sizes; zero means
 	// DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// ResultCacheBytes bounds the rank result cache: a byte-bounded LRU
+	// of fully-encoded /v1/rank and /v1/rank/batch responses keyed by
+	// (canonical request digest, store generation), with singleflight
+	// coalescing of concurrent identical misses (see resultcache.go).
+	// Zero or negative disables both caching and coalescing — the
+	// uncached path is the reference semantics, and cached responses
+	// are bit-identical to it (timing metadata aside). The ETag /
+	// If-None-Match revalidation protocol is independent of this knob
+	// and always on.
+	ResultCacheBytes int64
 	// ShutdownTimeout bounds how long ListenAndServe waits for in-flight
 	// requests on shutdown. It follows the same convention as the four
 	// connection timeouts below: zero means DefaultShutdownTimeout,
@@ -136,6 +145,12 @@ type Server struct {
 	probes  *probeCache
 	scratch *core.ScratchPool
 	mux     *http.ServeMux
+
+	// results is the generation-fenced rank result cache (nil when
+	// disabled); epoch salts this process's ETags so a restart can
+	// never revalidate against the previous incarnation's answers.
+	results *resultCache
+	epoch   [8]byte
 
 	// digests memoizes the content digest of stored train sketches by
 	// (name, store generation), so warm by-name rank requests skip
@@ -184,6 +199,8 @@ func New(st *store.Store, opt Options) *Server {
 		scratch: new(core.ScratchPool),
 		digests: make(map[string]digestMemo),
 		mux:     http.NewServeMux(),
+		results: newResultCache(opt.ResultCacheBytes),
+		epoch:   newEpoch(),
 	}
 	s.mux.HandleFunc("POST /v1/rank", s.handleRank)
 	s.mux.HandleFunc("POST /v1/rank/batch", s.handleRankBatch)
@@ -454,6 +471,10 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// The cache fence: read the generation before resolving the train
+	// or snapshotting the manifest, so an entry keyed by it can only
+	// ever reflect this generation or a newer one — never a stale one.
+	gen := s.st.Gen()
 	train, digest, err := s.trainSketch(req)
 	if err != nil {
 		s.rankFailures.Add(1)
@@ -466,6 +487,69 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	p := resolveRankParams(req.Prefix, req.MinJoin, req.K, req.Top, req.Workers,
+		req.NoCascade, req.CascadeMargin, s.opt.MaxWorkers)
+	canon := canonicalRankDigest(digest, p)
+	key := cacheKey{digest: canon, gen: gen}
+	etag := etagFor(s.epoch, canon, gen)
+	// Revalidation needs no ranking, no cache, and no semaphore: the
+	// ETag is a pure function of (epoch, canonical request, generation).
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		if s.results != nil {
+			s.results.notModified.Add(1)
+		}
+		writeNotModified(w, etag)
+		return
+	}
+	if cachedTag, cachedBody, ok := s.results.get(key); ok {
+		writeCachedResponse(w, cachedTag, cachedBody)
+		return
+	}
+
+	// Miss: coalesce concurrent identical queries into one computation.
+	f, leader, release := s.results.joinFlight(r.Context(), key)
+	defer release()
+	if !leader {
+		select {
+		case <-f.done:
+			if f.status != http.StatusOK {
+				s.rankFailures.Add(1)
+			}
+			replayFlight(w, f)
+		case <-r.Context().Done():
+			s.rankRejected.Add(1)
+			httpError(w, http.StatusServiceUnavailable, "%v", errCoalescedCancel)
+		}
+		return
+	}
+
+	status, fresh, cacheable := s.computeRank(f.ctx, req, train, digest, p)
+	if status == http.StatusOK {
+		s.results.add(key, etag, cacheable)
+	}
+	// Waiters receive the cacheable variant: by the time they read it,
+	// the probe this computation compiled is warm, so probe_cached:true
+	// is both accurate for them and bit-identical to what an uncached
+	// server would have told a second caller.
+	s.results.finishFlight(key, f, status, etag, cacheable)
+	if status == http.StatusOK {
+		writeCachedResponse(w, etag, fresh)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(fresh)
+}
+
+// computeRank runs one rank query end to end — probe compile-or-reuse,
+// semaphore admission, store ranking, JSON encoding — and returns the
+// HTTP status plus two encoded bodies: fresh is the response for the
+// caller that paid the computation (its probe_cached reports what this
+// request actually experienced), cacheable is the variant stored in the
+// result cache and replayed to coalesced waiters (probe_cached forced
+// true, which is what any later identical request would observe). On
+// errors both bodies are the encoded error object.
+func (s *Server) computeRank(ctx context.Context, req *RankRequest, train *core.Sketch, digest probeDigest, p rankParams) (status int, fresh, cacheable []byte) {
 	probe, cached := s.probes.get(digest)
 	if !cached {
 		probe = core.CompileTrainProbe(train)
@@ -476,35 +560,22 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		train = probe.Train()
 	}
 
-	workers := req.Workers
-	if workers <= 0 || workers > s.opt.MaxWorkers {
-		workers = s.opt.MaxWorkers
-	}
-	ctx := r.Context()
-	if err := s.sem.acquire(ctx, workers); err != nil {
-		// The client went away while queued; the waiter is already
-		// unlinked, so its slots were never held.
+	if err := s.sem.acquire(ctx, p.workers); err != nil {
+		// Every interested client went away while queued; the waiter is
+		// already unlinked, so its slots were never held.
 		s.rankRejected.Add(1)
-		httpError(w, http.StatusServiceUnavailable, "cancelled while queued for capacity: %v", err)
-		return
+		body := encodeJSON(errorResponse{Error: fmt.Sprintf("cancelled while queued for capacity: %v", err)})
+		return http.StatusServiceUnavailable, body, body
 	}
-	defer s.sem.release(workers)
+	defer s.sem.release(p.workers)
 
-	minJoin := defaultMinJoin
-	if req.MinJoin != nil {
-		minJoin = *req.MinJoin
-	}
-	k := req.K
-	if k == 0 {
-		k = mi.DefaultK
-	}
 	started := time.Now()
 	ranked, skipped, err := s.st.RankQuery(ctx, train, store.RankOptions{
 		Prefix:        req.Prefix,
-		MinJoinSize:   minJoin,
-		K:             k,
+		MinJoinSize:   p.minJoin,
+		K:             p.k,
 		TopK:          req.Top,
-		Workers:       workers,
+		Workers:       p.workers,
 		Probe:         probe,
 		ScratchPool:   s.scratch,
 		NoCascade:     req.NoCascade,
@@ -516,14 +587,14 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			status = http.StatusServiceUnavailable
 		}
-		httpError(w, status, "rank: %v", err)
-		return
+		body := encodeJSON(errorResponse{Error: fmt.Sprintf("rank: %v", err)})
+		return status, body, body
 	}
 	resp := RankResponse{
 		Ranked:      make([]RankedResult, len(ranked)),
 		Skipped:     skipped,
 		ProbeCached: cached,
-		Workers:     workers,
+		Workers:     p.workers,
 		ElapsedNS:   time.Since(started).Nanoseconds(),
 	}
 	for i, rs := range ranked {
@@ -531,7 +602,26 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 			Name: rs.Name, MI: rs.MI, Estimator: string(rs.Estimator), JoinSize: rs.JoinSize,
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	fresh = encodeJSON(resp)
+	cacheable = fresh
+	if !resp.ProbeCached {
+		resp.ProbeCached = true
+		cacheable = encodeJSON(resp)
+	}
+	return http.StatusOK, fresh, cacheable
+}
+
+// encodeJSON marshals v exactly as writeJSON puts it on the wire
+// (trailing newline included), so cached bytes and streamed bytes are
+// interchangeable.
+func encodeJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Response types marshal by construction; reaching here is a
+		// programming error, surfaced as a well-formed 500 body.
+		return []byte(`{"error":"encoding response"}` + "\n")
+	}
+	return append(b, '\n')
 }
 
 // SketchResponse is the body of a successful POST /v1/sketch.
@@ -731,6 +821,17 @@ type ServerStats struct {
 	WorkersHeld    int   `json:"workers_held"`
 	RanksQueued    int   `json:"ranks_queued"`
 	MaxWorkers     int   `json:"max_workers"`
+	// The generation-fenced rank result cache. Hits served encoded
+	// bytes without ranking; coalesced counts requests that joined an
+	// in-flight identical computation; not_modified counts 304
+	// revalidations (served even when the cache is disabled).
+	ResultHits        int64 `json:"result_hits"`
+	ResultMisses      int64 `json:"result_misses"`
+	ResultCoalesced   int64 `json:"result_coalesced"`
+	ResultEvictions   int64 `json:"result_evictions"`
+	ResultNotModified int64 `json:"result_not_modified"`
+	ResultBytes       int64 `json:"result_bytes"`
+	ResultEntries     int   `json:"result_entries"`
 }
 
 // StoreStats mirrors store.Stats for the JSON response.
@@ -782,6 +883,7 @@ func (s *Server) Stats() StatsResponse {
 	ss := s.st.Stats()
 	hits, misses, entries := s.probes.stats()
 	held, waiting := s.sem.inFlight()
+	rc := s.results.stats()
 	return StatsResponse{
 		Store: StoreStats{
 			Backend: ss.Backend, Sketches: ss.Sketches,
@@ -802,19 +904,26 @@ func (s *Server) Stats() StatsResponse {
 			RawBytes:                  ss.RawBytes,
 		},
 		Server: ServerStats{
-			RankRequests:   s.rankRequests.Load(),
-			RankFailures:   s.rankFailures.Load(),
-			RankRejected:   s.rankRejected.Load(),
-			BatchRequests:  s.batchRequests.Load(),
-			BatchFailures:  s.batchFailures.Load(),
-			SketchRequests: s.sketchRequests.Load(),
-			PutRequests:    s.putRequests.Load(),
-			ProbeHits:      hits,
-			ProbeMisses:    misses,
-			ProbesCached:   entries,
-			WorkersHeld:    held,
-			RanksQueued:    waiting,
-			MaxWorkers:     s.opt.MaxWorkers,
+			RankRequests:      s.rankRequests.Load(),
+			RankFailures:      s.rankFailures.Load(),
+			RankRejected:      s.rankRejected.Load(),
+			BatchRequests:     s.batchRequests.Load(),
+			BatchFailures:     s.batchFailures.Load(),
+			SketchRequests:    s.sketchRequests.Load(),
+			PutRequests:       s.putRequests.Load(),
+			ProbeHits:         hits,
+			ProbeMisses:       misses,
+			ProbesCached:      entries,
+			WorkersHeld:       held,
+			RanksQueued:       waiting,
+			MaxWorkers:        s.opt.MaxWorkers,
+			ResultHits:        rc.Hits,
+			ResultMisses:      rc.Misses,
+			ResultCoalesced:   rc.Coalesced,
+			ResultEvictions:   rc.Evictions,
+			ResultNotModified: rc.NotModified,
+			ResultBytes:       rc.Bytes,
+			ResultEntries:     rc.Entries,
 		},
 	}
 }

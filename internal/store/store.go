@@ -64,7 +64,15 @@ type Store struct {
 	// metadata, so manifest comparison is not enough). A single
 	// store-wide counter keeps memory bounded; the cost is only that a
 	// read concurrent with any write skips populating the cache.
-	gen uint64
+	//
+	// It is an atomic so Gen() — the fence every result-caching layer
+	// above the store reads on its hot path — never touches the store
+	// mutex: a warm cached rank must not contend with an in-flight Put,
+	// Delete, or compaction. Mutation sites still increment while
+	// holding mu, so a generation observed under the lock is exact and
+	// a lock-free read is never newer than the manifest state that
+	// produced it.
+	gen atomic.Uint64
 
 	// compactStop ends the auto-compaction loop (nil when disabled).
 	compactStop chan struct{}
@@ -271,7 +279,7 @@ func (s *Store) Put(name string, sk *core.Sketch) error {
 		if end := off + length; s.covered[seg] < end {
 			s.covered[seg] = end
 		}
-		s.gen++
+		s.gen.Add(1)
 		s.dirty = true
 		if s.cache != nil {
 			s.cache.add(name, sk, 0)
@@ -306,7 +314,7 @@ func (s *Store) Get(name string) (*core.Sketch, error) {
 			}
 		}
 		m, known := s.manifest[name]
-		gen := s.gen
+		gen := s.gen.Load()
 		b := s.backend
 		s.mu.Unlock()
 		if !known {
@@ -324,7 +332,7 @@ func (s *Store) Get(name string) (*core.Sketch, error) {
 		// Only cache the load if no Put or Delete raced it: a stale (or
 		// deleted) version must not be resurrected into the cache over
 		// the mutation's result.
-		if _, ok := s.manifest[name]; ok && s.gen == gen && s.backend == b && s.cache != nil {
+		if _, ok := s.manifest[name]; ok && s.gen.Load() == gen && s.backend == b && s.cache != nil {
 			s.cache.add(name, sk, 0)
 		}
 		s.mu.Unlock()
@@ -355,7 +363,7 @@ func (s *Store) Delete(name string) error {
 	if s.backend == b && s.covered[seg] < end {
 		s.covered[seg] = end
 	}
-	s.gen++
+	s.gen.Add(1)
 	if s.cache != nil {
 		s.cache.remove(name)
 	}
@@ -799,13 +807,20 @@ func (h *rankHeap) offer(r RankedSketch, k int) bool {
 }
 
 // Gen returns the store's mutation generation, which increments on
-// every Put and Delete. Callers caching derived state (e.g. a content
-// digest of a stored sketch) can key it by (name, Gen) and revalidate
-// when the generation moves.
+// every Put and Delete. Callers caching derived state (a content digest
+// of a stored sketch, an encoded rank response) key it by (input, Gen)
+// and revalidate when the generation moves. The read is lock-free: it
+// sits on the warm path of every cached rank, where taking the store
+// mutex would make cache hits contend with Put/Delete/Compact.
+//
+// Fencing contract: read Gen before taking the manifest snapshot the
+// derived result is computed from. The snapshot then reflects the
+// observed generation or a newer one — never an older one — so an
+// entry keyed by that generation can serve a concurrent reader fresher
+// data than it asked for (linearizable) but can never serve any reader
+// data older than the generation it observed.
 func (s *Store) Gen() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.gen
+	return s.gen.Load()
 }
 
 // Len returns the number of stored sketches.
